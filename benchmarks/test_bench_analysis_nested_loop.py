@@ -1,0 +1,104 @@
+"""Section 3.2 — the nested-loop cost analysis, reproduced to the page.
+
+Regenerates every number in the paper's back-of-envelope analysis of the
+index-driven nested-loop plan on the hypothetical database (1,000 items,
+200,000 transactions, 10 items each):
+
+* index sizing: 4,000 + 14 pages / L = 3 for ``(item, trans_id)``;
+  2,000 + 5 pages for ``(trans_id)``;
+* ~40 leaf fetches and ~2,000 trans_id probes per item;
+* ≈ 2,000,000 random page fetches ≈ 40,000 s ("more than 11 hours").
+
+A scaled-down *empirical* run with real B+-trees confirms the model's
+per-item access pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cost_model import nested_loop_c2_cost
+from repro.analysis.report import format_kv_block
+from repro.core.nested_loop import nested_loop_mine_disk
+from repro.data.hypothetical import (
+    HypotheticalConfig,
+    generate_hypothetical_database,
+)
+
+
+def test_nested_loop_model(benchmark, emit):
+    cost = benchmark(nested_loop_c2_cost)
+
+    emit(
+        "analysis_32_nested_loop",
+        format_kv_block(
+            {
+                "(item, trans_id) leaf pages": cost.item_index.leaf_pages,
+                "(item, trans_id) non-leaf pages": cost.item_index.nonleaf_pages,
+                "(item, trans_id) levels": cost.item_index.levels,
+                "(trans_id) leaf pages": cost.tid_index.leaf_pages,
+                "(trans_id) non-leaf pages": cost.tid_index.nonleaf_pages,
+                "leaf fetches per item": cost.leaf_fetches_per_item,
+                "matching trans_ids per item": cost.matching_tids_per_item,
+                "total page fetches": cost.page_fetches,
+                "modelled seconds": cost.seconds,
+                "modelled hours": round(cost.hours, 2),
+            },
+            title="Section 3.2 — nested-loop strategy cost analysis",
+        ),
+    )
+
+    assert cost.item_index.leaf_pages == 4000
+    assert cost.item_index.nonleaf_pages == 14
+    assert cost.item_index.levels == 3
+    assert cost.tid_index.leaf_pages == 2000
+    assert cost.tid_index.nonleaf_pages == 5
+    assert cost.leaf_fetches_per_item == 40
+    assert cost.matching_tids_per_item == 2000
+    assert cost.page_fetches == pytest.approx(2_000_000, rel=0.03)
+    assert cost.hours > 11
+
+
+def test_nested_loop_empirical_scaled(benchmark, emit):
+    """Run the real index plan at 1/100 scale and compare against the
+    model evaluated at the same scale."""
+    config = HypotheticalConfig(
+        num_items=100, num_transactions=2000, items_per_transaction=10
+    )
+    db = generate_hypothetical_database(config)
+
+    result = benchmark.pedantic(
+        nested_loop_mine_disk,
+        args=(db, 0.005),
+        kwargs={"buffer_pages": 16, "max_length": 2},
+        rounds=1,
+        iterations=1,
+    )
+    io = result.extra["io"]
+    model = nested_loop_c2_cost(config)
+
+    emit(
+        "analysis_32_empirical",
+        format_kv_block(
+            {
+                "scale": "1/100 (100 items, 2,000 txns)",
+                "measured page accesses": io.total_accesses,
+                "modelled page fetches": model.page_fetches,
+                "measured random reads": io.random_reads,
+                "measured sequential reads": io.sequential_reads,
+                "measured / modelled": round(
+                    io.total_accesses / model.page_fetches, 3
+                ),
+            },
+            title="Section 3.2 — empirical validation at 1/100 scale",
+        ),
+    )
+
+    # The model assumes nothing is cached; the real run has a buffer pool,
+    # so measured <= modelled, but they must share the order of magnitude.
+    # (At laptop scale the pool also absorbs much of the randomness the
+    # paper's model prices at 20 ms/fetch; the nested-vs-merge verdict is
+    # asserted on equal footing in test_bench_join_strategies.)
+    assert io.total_accesses <= model.page_fetches
+    assert io.total_accesses >= model.page_fetches / 50
+    assert io.random_reads > 0

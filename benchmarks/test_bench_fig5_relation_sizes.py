@@ -1,0 +1,82 @@
+"""Figure 5 — size of relation R_i (Kbytes) per iteration, per minsup.
+
+Paper claims reproduced here (Section 6.1):
+
+* ``|R_1| = 115,568`` tuples in every run (the starting relation is the
+  same for all minimum supports);
+* ``R_4`` is empty in all cases (no frequent 4-patterns at ≥ 0.1%);
+* the general trend is that ``R_i`` *shrinks* with the iteration number,
+  and the drop from ``R_1`` to ``R_2`` is sharp for large minimum
+  support;
+* for small enough minimum support (≤ 0.1%) the size can first *increase*
+  (``R_2`` outweighs ``R_1``) and only then decrease.
+"""
+
+from __future__ import annotations
+
+from conftest import EXTENDED_MINSUP_GRID, minsup_label
+
+from repro.analysis.report import format_figure_series
+from repro.core.setm import setm
+from repro.data.retail import PAPER_NUM_SALES_ROWS
+
+
+def sweep(retail_db):
+    return {
+        minsup_label(minsup): setm(retail_db, minsup)
+        for minsup in EXTENDED_MINSUP_GRID
+    }
+
+
+def test_fig5_relation_sizes(benchmark, retail_db, emit):
+    results = benchmark.pedantic(
+        sweep, args=(retail_db,), rounds=1, iterations=1
+    )
+
+    series = {
+        label: result.r_sizes_kbytes() for label, result in results.items()
+    }
+    emit(
+        "fig5_relation_sizes",
+        format_figure_series(
+            series,
+            x_label="iteration",
+            title=(
+                "Figure 5 — size of R_i in Kbytes per iteration "
+                "(columns: minimum support)"
+            ),
+        ),
+    )
+
+    for label, result in results.items():
+        sizes = dict(result.r_sizes_kbytes())
+        # |R_1| identical across minsups (Section 6.1).
+        assert result.iterations[0].candidate_instances == PAPER_NUM_SALES_ROWS
+
+        # Monotone decrease from iteration 2 onwards.
+        tail = [sizes[k] for k in sorted(sizes) if k >= 2]
+        assert tail == sorted(tail, reverse=True), label
+
+    # R_4 = 0 at every paper minsup (>= 0.1%).
+    for minsup in EXTENDED_MINSUP_GRID:
+        if minsup < 0.001:
+            continue
+        sizes = dict(results[minsup_label(minsup)].r_sizes_kbytes())
+        assert sizes.get(4, 0.0) == 0.0
+
+    # Small minsup: R_2 exceeds R_1 (increase-then-decrease shape).
+    low = dict(results["0.1%"].r_sizes_kbytes())
+    assert low[2] > low[1]
+
+    # Large minsup: sharp decrease from R_1 to R_2.
+    high = dict(results["5%"].r_sizes_kbytes())
+    assert high[2] < 0.5 * high[1]
+
+    # The sharp decrease is *delayed* for smaller minimum supports: the
+    # R_2/R_1 ratio grows monotonically as minsup shrinks.
+    ratios = [
+        dict(results[minsup_label(m)].r_sizes_kbytes())[2]
+        / dict(results[minsup_label(m)].r_sizes_kbytes())[1]
+        for m in EXTENDED_MINSUP_GRID
+    ]
+    assert ratios == sorted(ratios, reverse=True)

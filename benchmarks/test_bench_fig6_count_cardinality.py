@@ -1,0 +1,68 @@
+"""Figure 6 — cardinality of the count relation C_i per iteration.
+
+Paper claims reproduced here (Section 6.1):
+
+* ``|C_1| = 59`` for every minimum support (the pseudocode's ``C_1``
+  carries no HAVING clause, so it counts all 59 items);
+* ``|C_4| = 0`` in all cases;
+* for small minimum support, ``|C_i|`` *increases* before decreasing
+  (the hump that makes low-minsup runs expensive);
+* for large minimum support, ``|C_i|`` decreases from the start.
+"""
+
+from __future__ import annotations
+
+from conftest import EXTENDED_MINSUP_GRID, minsup_label
+
+from repro.analysis.report import format_figure_series
+from repro.core.setm import setm
+from repro.data.retail import PAPER_NUM_ITEMS
+
+
+def sweep(retail_db):
+    return {
+        minsup_label(minsup): setm(retail_db, minsup)
+        for minsup in EXTENDED_MINSUP_GRID
+    }
+
+
+def test_fig6_count_cardinalities(benchmark, retail_db, emit):
+    results = benchmark.pedantic(
+        sweep, args=(retail_db,), rounds=1, iterations=1
+    )
+
+    series = {
+        label: result.c_cardinalities() for label, result in results.items()
+    }
+    emit(
+        "fig6_count_cardinality",
+        format_figure_series(
+            series,
+            x_label="iteration",
+            title=(
+                "Figure 6 — cardinality of C_i per iteration "
+                "(columns: minimum support)"
+            ),
+        ),
+    )
+
+    for label, result in results.items():
+        cardinalities = dict(result.c_cardinalities())
+        # |C_1| = 59 in all cases.
+        assert cardinalities[1] == PAPER_NUM_ITEMS, label
+
+    # |C_4| = 0 at every paper minsup.
+    for minsup in EXTENDED_MINSUP_GRID:
+        if minsup < 0.001:
+            continue
+        cardinalities = dict(results[minsup_label(minsup)].c_cardinalities())
+        assert cardinalities.get(4, 0) == 0
+
+    # Small minsup: the hump — |C_2| far exceeds |C_1|.
+    low = dict(results["0.1%"].c_cardinalities())
+    assert low[2] > low[1]
+
+    # Large minsup: monotone decrease from the start.
+    high = dict(results["5%"].c_cardinalities())
+    values = [high[k] for k in sorted(high)]
+    assert values == sorted(values, reverse=True)

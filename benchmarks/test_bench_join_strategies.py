@@ -1,0 +1,106 @@
+"""Ablation — nested-loop vs sort-merge, measured on the same data.
+
+The paper compares the two strategies analytically (Sections 3.2 and
+4.3); this bench runs both *physical* implementations — the index-probing
+nested-loop plan over real B+-trees and the sort/merge-scan pipeline over
+heap files — on identical scaled instances of the hypothetical database.
+
+Scale matters: the paper's blow-up needs its 1,000-item catalogue.  With
+1,000 items, an item matches ~1% of transactions, which is about one
+transaction per ``(trans_id)``-index leaf — so every probe of the inner
+index lands on a *different* leaf and pays a random fetch, exactly the
+per-probe charge of Section 3.2.  (Shrink the catalogue and the probes
+cluster per leaf, hiding the effect — which is itself worth knowing.)
+
+Assertions: both plans find identical patterns; the nested-loop plan
+performs several times the page accesses and — with random fetches priced
+at 20 ms vs 10 ms — several times the modelled I/O time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.nested_loop import nested_loop_mine_disk
+from repro.core.setm_disk import setm_disk
+from repro.data.hypothetical import (
+    HypotheticalConfig,
+    generate_hypothetical_database,
+)
+
+
+def compare_at(transactions: int):
+    config = HypotheticalConfig(
+        num_items=1000,
+        num_transactions=transactions,
+        items_per_transaction=10,
+    )
+    db = generate_hypothetical_database(config)
+    # 0.5% minimum support, the paper's analysis setting; every item
+    # (~1% frequency) qualifies for C_1, driving the full outer loop.
+    nested = nested_loop_mine_disk(
+        db, 0.005, buffer_pages=8, max_length=2
+    )
+    merged = setm_disk(
+        db,
+        0.005,
+        buffer_pages=16,
+        sort_memory_pages=64,
+        max_length=2,
+    )
+    assert nested.same_patterns_as(merged)
+    return nested.extra["io"], merged.extra["io"]
+
+
+def run_comparison():
+    return {n: compare_at(n) for n in (2500, 10_000)}
+
+
+def test_join_strategy_ablation(benchmark, emit):
+    outcomes = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    rows = []
+    for transactions, (nested_io, merged_io) in outcomes.items():
+        access_ratio = nested_io.total_accesses / max(
+            1, merged_io.total_accesses
+        )
+        time_ratio = nested_io.estimated_seconds() / max(
+            1e-9, merged_io.estimated_seconds()
+        )
+        rows.append(
+            (
+                transactions,
+                nested_io.total_accesses,
+                merged_io.total_accesses,
+                round(access_ratio, 1),
+                round(nested_io.estimated_seconds(), 1),
+                round(merged_io.estimated_seconds(), 1),
+                round(time_ratio, 1),
+            )
+        )
+    emit(
+        "ablation_join_strategies",
+        format_table(
+            [
+                "transactions",
+                "nested accesses",
+                "merge accesses",
+                "access ratio",
+                "nested model s",
+                "merge model s",
+                "time ratio",
+            ],
+            rows,
+            title=(
+                "Ablation — nested-loop (Section 3) vs sort-merge "
+                "(Section 4) at paper selectivity (1,000 items, "
+                "10 items/txn, minsup 0.5%)"
+            ),
+        ),
+    )
+
+    for _, nested_accesses, merged_accesses, access_ratio, _, _, time_ratio in rows:
+        # Sort-merge wins on raw page accesses...
+        assert access_ratio >= 3.0
+        # ...and even more on modelled time (random vs sequential pricing).
+        assert time_ratio >= 4.0
+        assert nested_accesses > merged_accesses

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""SQL mining — the paper's headline claim, demonstrated live.
+
+Shows that association-rule mining runs on "general query languages such
+as SQL" three ways:
+
+1. prints the generated Section 4.1 statements for the first iterations;
+2. executes them on the bundled SQL engine and shows the *physical
+   plans* (merge-scan joins for the Section 4.1 queries, nested loops
+   when forced — the Section 3 vs Section 4 story in EXPLAIN output);
+3. executes the identical SQL on stdlib sqlite3 and checks that all
+   three engines (in-memory SETM included) produce identical patterns.
+
+Run:  python examples/sql_mining.py
+"""
+
+from __future__ import annotations
+
+from repro.core.setm import setm
+from repro.core.setm_sql import setm_sql
+from repro.data.example import paper_example_database
+from repro.sql import generator as gen
+from repro.sql.database import SQLDatabase
+from repro.sqlbridge.sqlite_miner import sqlite_mine
+
+
+def show_generated_sql() -> None:
+    print("Generated SQL (Section 4.1, iteration k=2):\n")
+    for sql in (
+        gen.insert_rk_prime_query(2),
+        gen.insert_ck_query(2),
+        gen.insert_rk_filter_query(2),
+    ):
+        print(f"  {sql};\n")
+
+
+def show_plans() -> None:
+    database = SQLDatabase()
+    database.execute("CREATE TABLE SALES (trans_id INTEGER, item TEXT)")
+    database.execute("CREATE TABLE R1 (trans_id INTEGER, item1 TEXT)")
+    example = paper_example_database()
+    database.insert_rows("SALES", example.sales_rows())
+    database.execute(gen.insert_r1_query())
+
+    merge_scan_sql = """
+        SELECT p.trans_id, p.item1, q.item
+        FROM R1 p, SALES q
+        WHERE q.trans_id = p.trans_id AND q.item > p.item1
+    """
+    print("Physical plan of the R'_2 query (sort-merge engine):\n")
+    print("  " + database.explain(merge_scan_sql).replace("\n", "\n  "))
+
+    nested = SQLDatabase(join_method="nested")
+    nested.execute("CREATE TABLE SALES (trans_id INTEGER, item TEXT)")
+    nested.execute("CREATE TABLE R1 (trans_id INTEGER, item1 TEXT)")
+    nested.insert_rows("SALES", example.sales_rows())
+    nested.execute(gen.insert_r1_query())
+    print("\nSame query, nested-loop-only optimizer (the Section 3 plan):\n")
+    print("  " + nested.explain(merge_scan_sql).replace("\n", "\n  "))
+
+
+def cross_check() -> None:
+    example = paper_example_database()
+    reference = setm(example, 0.30)
+    via_native = setm_sql(example, 0.30)
+    via_sqlite = sqlite_mine(example, 0.30)
+
+    print("\nCross-engine check on the paper example (minsup 30%):")
+    for result in (reference, via_native, via_sqlite):
+        total = sum(len(rel) for rel in result.count_relations.values())
+        print(
+            f"  {result.algorithm:<14} {total} frequent patterns, "
+            f"{result.elapsed_seconds * 1000:.1f} ms"
+        )
+    assert via_native.same_patterns_as(reference)
+    assert via_sqlite.same_patterns_as(reference)
+    print("  all three engines agree exactly")
+
+    print("\nSQL script executed by the native run "
+          f"({len(via_native.extra['statements'])} statements):")
+    for sql in via_native.extra["statements"][:6]:
+        print(f"  {sql};")
+    print("  ...")
+
+
+def main() -> None:
+    show_generated_sql()
+    show_plans()
+    cross_check()
+
+
+if __name__ == "__main__":
+    main()

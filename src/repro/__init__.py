@@ -1,0 +1,57 @@
+"""repro — a full reproduction of Houtsma & Swami's SETM (ICDE 1995).
+
+*Set-Oriented Mining for Association Rules in Relational Databases*
+expressed association-rule mining as plain SQL — sorting, merge-scan
+joins, ``GROUP BY``/``HAVING`` — and showed the resulting Algorithm SETM
+to be simple, fast, and stable across minimum-support values.
+
+This package rebuilds the whole system:
+
+* :mod:`repro.core` — Algorithm SETM in three guises (in-memory, SQL,
+  paged-disk), the nested-loop strategy it rejects, and rule generation;
+* :mod:`repro.sql` + :mod:`repro.relational` — a SQL subset engine, so
+  the paper's queries run verbatim (``sqlite3`` is supported too);
+* :mod:`repro.storage` — a simulated disk, buffer pool, external sort,
+  merge-scan join and B+-tree matching the paper's cost-model constants;
+* :mod:`repro.baselines` — AIS, Apriori, and a brute-force oracle;
+* :mod:`repro.data` — the Figure 1 example, a generator calibrated to the
+  paper's retail data set, Quest workloads, and the hypothetical analysis
+  database;
+* :mod:`repro.analysis` — the Section 3.2 / 4.3 cost models, to the page.
+
+Quickstart::
+
+    from repro import TransactionDatabase, mine_association_rules
+
+    db = TransactionDatabase([(1, ["bread", "butter", "milk"]),
+                              (2, ["bread", "butter"])])
+    result, rules = mine_association_rules(
+        db, minimum_support=0.5, minimum_confidence=0.9)
+"""
+
+from repro.api import ALGORITHMS, mine_association_rules, mine_frequent_itemsets
+from repro.core.result import IterationStats, MiningResult
+from repro.core.rules import Rule, generate_rules
+from repro.core.setm import setm
+from repro.core.transactions import (
+    ItemCatalog,
+    Transaction,
+    TransactionDatabase,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ItemCatalog",
+    "IterationStats",
+    "MiningResult",
+    "Rule",
+    "Transaction",
+    "TransactionDatabase",
+    "__version__",
+    "generate_rules",
+    "mine_association_rules",
+    "mine_frequent_itemsets",
+    "setm",
+]

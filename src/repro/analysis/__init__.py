@@ -1,0 +1,26 @@
+"""Analytic cost models (Sections 3.2 and 4.3) and report formatting."""
+
+from repro.analysis.btree_model import BTreeSizing, size_btree
+from repro.analysis.cost_model import (
+    NestedLoopCost,
+    SortMergeCost,
+    nested_loop_c2_cost,
+    sort_merge_page_accesses,
+    sort_merge_relation_pages,
+    strategy_speedup,
+)
+from repro.analysis.report import format_figure_series, format_kv_block, format_table
+
+__all__ = [
+    "BTreeSizing",
+    "NestedLoopCost",
+    "SortMergeCost",
+    "format_figure_series",
+    "format_kv_block",
+    "format_table",
+    "nested_loop_c2_cost",
+    "size_btree",
+    "sort_merge_page_accesses",
+    "sort_merge_relation_pages",
+    "strategy_speedup",
+]

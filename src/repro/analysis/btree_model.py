@@ -1,0 +1,93 @@
+"""Closed-form B+-tree sizing — the index arithmetic of Section 3.2.
+
+The paper sizes two indexes over the 2M-tuple hypothetical ``SALES``:
+
+* ``(item, trans_id)``: 8-byte leaf entries → 500 per leaf → 4,000 leaf
+  pages; 12-byte non-leaf entries → 333 per page → 14 non-leaf pages;
+  3 levels.
+* ``(trans_id)``: 4-byte leaf entries → 1,000 per leaf → 2,000 leaf
+  pages; 8-byte non-leaf entries → 500 per page → 5 non-leaf pages.
+
+:func:`size_btree` reproduces those numbers from first principles (page
+size, header reserve, field width), and the property tests check it
+against the *actual* page-backed B+-tree of :mod:`repro.storage.btree`
+built on the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.disk import PAGE_SIZE
+from repro.storage.page import FIELD_BYTES, PAGE_HEADER_BYTES
+
+__all__ = ["BTreeSizing", "size_btree"]
+
+#: "Assuming 4 bytes for a pointer" (Section 3.2).
+POINTER_BYTES = 4
+
+
+@dataclass(frozen=True, slots=True)
+class BTreeSizing:
+    """Derived geometry of a B+-tree."""
+
+    num_entries: int
+    leaf_entry_bytes: int
+    nonleaf_entry_bytes: int
+    leaf_capacity: int
+    nonleaf_capacity: int
+    leaf_pages: int
+    nonleaf_pages: int
+    levels: int
+
+    @property
+    def total_pages(self) -> int:
+        return self.leaf_pages + self.nonleaf_pages
+
+
+def size_btree(
+    num_entries: int,
+    *,
+    leaf_entry_fields: int,
+    key_fields: int,
+) -> BTreeSizing:
+    """Size a B+-tree under the paper's physical constants.
+
+    Parameters
+    ----------
+    num_entries:
+        Leaf entries (index rows).  The paper's indexes store the data in
+        the leaves, so this equals the relation cardinality.
+    leaf_entry_fields:
+        4-byte fields per leaf entry (2 for ``(item, trans_id)``, 1 for the
+        trans_id-only leaves of the ``(trans_id)`` index).
+    key_fields:
+        Fields of the separator key in non-leaf pages; a non-leaf entry is
+        the key plus one 4-byte child pointer.
+    """
+    if num_entries < 0:
+        raise ValueError(f"num_entries must be non-negative, got {num_entries}")
+    usable = PAGE_SIZE - PAGE_HEADER_BYTES
+    leaf_entry_bytes = leaf_entry_fields * FIELD_BYTES
+    nonleaf_entry_bytes = key_fields * FIELD_BYTES + POINTER_BYTES
+    leaf_capacity = usable // leaf_entry_bytes
+    nonleaf_capacity = usable // nonleaf_entry_bytes
+
+    leaf_pages = -(-num_entries // leaf_capacity) if num_entries else 1
+    levels = 1
+    nonleaf_pages = 0
+    width = leaf_pages
+    while width > 1:
+        width = -(-width // nonleaf_capacity)
+        nonleaf_pages += width
+        levels += 1
+    return BTreeSizing(
+        num_entries=num_entries,
+        leaf_entry_bytes=leaf_entry_bytes,
+        nonleaf_entry_bytes=nonleaf_entry_bytes,
+        leaf_capacity=leaf_capacity,
+        nonleaf_capacity=nonleaf_capacity,
+        leaf_pages=leaf_pages,
+        nonleaf_pages=nonleaf_pages,
+        levels=levels,
+    )

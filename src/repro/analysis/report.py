@@ -1,0 +1,82 @@
+"""ASCII table and series formatting for experiment output.
+
+The benchmark harness regenerates each paper table/figure as text: tables
+render like the Section 6.2 execution-time table, figures render as
+aligned series (one row per iteration, one column per minimum support) —
+the transposed view of the Figure 5/6 curves.  Everything returns plain
+strings so benches can both print them and write them to files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_figure_series", "format_kv_block"]
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table with a rule under the header."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_figure_series(
+    series: Mapping[str, Sequence[tuple[int, float | int]]],
+    *,
+    x_label: str = "iteration",
+    title: str | None = None,
+) -> str:
+    """Render figure curves as a table: x values down, one curve per column.
+
+    ``series`` maps curve labels (e.g. ``"0.1%"``) to ``(x, y)`` points.
+    Missing x values in a curve render as blanks, so curves of different
+    lengths (mining runs terminating at different iterations) align.
+    """
+    xs = sorted({x for points in series.values() for x, _ in points})
+    headers = [x_label, *series.keys()]
+    rows: list[list[object]] = []
+    lookup = {
+        label: {x: y for x, y in points} for label, points in series.items()
+    }
+    for x in xs:
+        row: list[object] = [x]
+        for label in series:
+            value = lookup[label].get(x)
+            row.append("" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_kv_block(pairs: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render aligned ``key: value`` lines (cost-model breakdowns)."""
+    width = max((len(key) for key in pairs), default=0)
+    lines = [] if title is None else [title]
+    lines.extend(f"{key.ljust(width)} : {_render(value)}" for key, value in pairs.items())
+    return "\n".join(lines)

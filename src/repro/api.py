@@ -1,0 +1,108 @@
+"""Front-door mining API.
+
+Most users want two calls:
+
+>>> from repro import TransactionDatabase, mine_association_rules
+>>> db = TransactionDatabase([(1, ["bread", "butter", "milk"]),
+...                           (2, ["bread", "butter"]),
+...                           (3, ["beer"])])
+>>> result, rules = mine_association_rules(db, minimum_support=0.5,
+...                                        minimum_confidence=0.9)
+>>> [str(r) for r in rules]
+['butter ==> bread, [100.0%, 66.7%]', 'bread ==> butter, [100.0%, 66.7%]']
+
+``algorithm`` selects the engine; ``"setm"`` (the paper's contribution)
+is the default.  All engines return identical patterns — the test suite
+holds them to that — so the choice only affects *how* the work is done:
+
+===================  ==========================================================
+``setm``             In-memory Algorithm SETM (Figure 4)
+``setm-disk``        SETM on the paged storage engine (reports page accesses)
+``setm-sql``         SETM as generated SQL on the bundled engine (Section 4.1)
+``setm-sqlite``      The same SQL on stdlib sqlite3
+``nested-loop``      The Section 3.1 formulation, in memory
+``apriori``          Apriori baseline (VLDB '94)
+``ais``              AIS baseline (SIGMOD '93, the paper's reference [4])
+``bruteforce``       Exhaustive oracle (small inputs only)
+===================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines.ais import ais
+from repro.baselines.apriori import apriori
+from repro.baselines.bruteforce import bruteforce
+from repro.core.nested_loop import nested_loop_mine
+from repro.core.result import MiningResult
+from repro.core.rules import Rule, generate_rules
+from repro.core.setm import setm
+from repro.core.setm_disk import setm_disk
+from repro.core.setm_sql import setm_sql
+from repro.core.transactions import TransactionDatabase
+from repro.sqlbridge.sqlite_miner import sqlite_mine
+
+__all__ = ["ALGORITHMS", "mine_association_rules", "mine_frequent_itemsets"]
+
+#: Algorithm registry: name → callable(db, minsup, **kwargs) → MiningResult.
+ALGORITHMS: dict[str, Callable[..., MiningResult]] = {
+    "setm": setm,
+    "setm-disk": setm_disk,
+    "setm-sql": setm_sql,
+    "setm-sqlite": sqlite_mine,
+    "nested-loop": nested_loop_mine,
+    "apriori": apriori,
+    "ais": ais,
+    "bruteforce": bruteforce,
+}
+
+
+def mine_frequent_itemsets(
+    database: TransactionDatabase,
+    minimum_support: float,
+    *,
+    algorithm: str = "setm",
+    **options: object,
+) -> MiningResult:
+    """Find all patterns with support at least ``minimum_support``.
+
+    Parameters
+    ----------
+    database:
+        The transactions to mine.
+    minimum_support:
+        Fraction of transactions in ``(0, 1]`` a pattern must appear in.
+    algorithm:
+        One of :data:`ALGORITHMS` (default ``"setm"``).
+    options:
+        Passed through to the engine (e.g. ``max_length=3``,
+        ``buffer_pages=128`` for ``setm-disk``).
+    """
+    try:
+        engine = ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from: {known}"
+        ) from None
+    return engine(database, minimum_support, **options)
+
+
+def mine_association_rules(
+    database: TransactionDatabase,
+    minimum_support: float,
+    minimum_confidence: float,
+    *,
+    algorithm: str = "setm",
+    **options: object,
+) -> tuple[MiningResult, list[Rule]]:
+    """Mine patterns, then generate the Section 5 rules from them.
+
+    Returns the :class:`MiningResult` (for its iteration statistics and
+    count relations) together with the qualifying rules.
+    """
+    result = mine_frequent_itemsets(
+        database, minimum_support, algorithm=algorithm, **options
+    )
+    return result, generate_rules(result, minimum_confidence)

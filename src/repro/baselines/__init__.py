@@ -1,0 +1,8 @@
+"""Comparison algorithms: AIS (the paper's [4]), Apriori, brute force."""
+
+from repro.baselines.ais import ais
+from repro.baselines.apriori import apriori, generate_candidates
+from repro.baselines.bruteforce import bruteforce
+from repro.baselines.hashtree import HashTree
+
+__all__ = ["HashTree", "ais", "apriori", "bruteforce", "generate_candidates"]

@@ -1,0 +1,69 @@
+"""Exhaustive-enumeration oracle for differential testing.
+
+Counts *every* itemset of every transaction up to ``max_length`` and keeps
+those meeting minimum support.  Exponential in transaction length, so only
+usable on small databases — which is exactly its job: the hypothesis-based
+property tests compare SETM, AIS, Apriori, the nested-loop evaluator, the
+SQL engines and the disk engine against this oracle on randomly generated
+small inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+from repro.core.result import IterationStats, MiningResult, Pattern
+from repro.core.transactions import TransactionDatabase
+
+__all__ = ["bruteforce"]
+
+
+def bruteforce(
+    database: TransactionDatabase,
+    minimum_support: float,
+    *,
+    max_length: int | None = None,
+) -> MiningResult:
+    """Enumerate all itemsets of all transactions and filter by support."""
+    started = time.perf_counter()
+    threshold = database.absolute_support(minimum_support)
+
+    longest = max((len(txn) for txn in database), default=0)
+    if max_length is not None:
+        longest = min(longest, max_length)
+
+    counts: dict[Pattern, int] = {}
+    for txn in database:
+        for k in range(1, min(len(txn), longest) + 1):
+            for subset in combinations(txn.items, k):
+                counts[subset] = counts.get(subset, 0) + 1
+
+    count_relations: dict[int, dict[Pattern, int]] = {}
+    for pattern, count in counts.items():
+        if count >= threshold:
+            count_relations.setdefault(len(pattern), {})[pattern] = count
+
+    iterations = [
+        IterationStats(
+            k=k,
+            candidate_instances=sum(
+                count for p, count in counts.items() if len(p) == k
+            ),
+            supported_instances=sum(count_relations.get(k, {}).values()),
+            candidate_patterns=sum(1 for p in counts if len(p) == k),
+            supported_patterns=len(count_relations.get(k, {})),
+        )
+        for k in range(1, longest + 1)
+    ]
+
+    return MiningResult(
+        algorithm="bruteforce",
+        num_transactions=database.num_transactions,
+        minimum_support=minimum_support,
+        support_threshold=threshold,
+        count_relations=count_relations,
+        unfiltered_item_counts=database.item_counts(),
+        iterations=iterations,
+        elapsed_seconds=time.perf_counter() - started,
+    )

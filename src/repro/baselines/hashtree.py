@@ -1,0 +1,189 @@
+"""The Apriori hash tree for candidate support counting.
+
+Agrawal & Srikant (VLDB '94, Section 2.1.2) count candidate itemsets per
+transaction with a *hash tree*: interior nodes hash the next item of the
+candidate; leaves hold small buckets of candidates.  Counting a
+transaction walks the tree once per item position instead of testing
+every candidate — the data structure that made Apriori practical and the
+fair way to benchmark it against SETM.
+
+The classic recursive structure:
+
+* a **leaf** stores up to ``leaf_capacity`` candidates (with their
+  counters); overflowing leaves split into interior nodes — unless the
+  node is deeper than the itemset length, in which case the leaf just
+  grows (candidates sharing a full prefix cannot be split apart);
+* an **interior node** at depth ``d`` hashes item ``d`` of a candidate
+  into one of ``fanout`` children;
+* counting a transaction descends: at depth ``d`` every transaction item
+  past the already-matched prefix is hashed and the subtree explored;
+  at a leaf, each stored candidate is verified against the transaction.
+
+All candidates in one tree must share one length ``k`` (Apriori counts
+one level at a time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.result import Pattern
+
+__all__ = ["HashTree"]
+
+
+class _Node:
+    __slots__ = ("children", "candidates")
+
+    def __init__(self) -> None:
+        # Leaf until it splits: candidates is the bucket, children the
+        # hash table (None while the node is a leaf).
+        self.children: dict[int, _Node] | None = None
+        self.candidates: list[Pattern] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class HashTree:
+    """A hash tree over equal-length candidate itemsets.
+
+    Parameters
+    ----------
+    candidates:
+        The candidate ``k``-itemsets (lexicographically ordered tuples,
+        all the same length).
+    fanout:
+        Hash-table width of interior nodes.
+    leaf_capacity:
+        Bucket size before a leaf splits.
+    """
+
+    def __init__(
+        self,
+        candidates: Iterable[Pattern],
+        *,
+        fanout: int = 8,
+        leaf_capacity: int = 16,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be at least 2, got {fanout}")
+        if leaf_capacity < 1:
+            raise ValueError(
+                f"leaf_capacity must be positive, got {leaf_capacity}"
+            )
+        self.fanout = fanout
+        self.leaf_capacity = leaf_capacity
+        self._counts: dict[Pattern, int] = {}
+        self.k = 0
+        self._root = _Node()
+        for candidate in candidates:
+            candidate = tuple(candidate)
+            if not candidate:
+                raise ValueError("candidates must be non-empty")
+            if self.k == 0:
+                self.k = len(candidate)
+            elif len(candidate) != self.k:
+                raise ValueError(
+                    f"mixed candidate lengths: {self.k} and {len(candidate)}"
+                )
+            if candidate not in self._counts:
+                self._counts[candidate] = 0
+                self._insert(self._root, candidate, depth=0)
+
+    # -- construction ---------------------------------------------------------------
+
+    def _hash(self, item) -> int:
+        return hash(item) % self.fanout
+
+    def _insert(self, node: _Node, candidate: Pattern, depth: int) -> None:
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children.setdefault(
+                self._hash(candidate[depth]), _Node()
+            )
+            depth += 1
+        node.candidates.append(candidate)
+        # Split overflowing leaves while there is still an item to hash.
+        if len(node.candidates) > self.leaf_capacity and depth < self.k:
+            spilled = node.candidates
+            node.candidates = []
+            node.children = {}
+            for entry in spilled:
+                child = node.children.setdefault(
+                    self._hash(entry[depth]), _Node()
+                )
+                child.candidates.append(entry)
+            # A skewed hash may overflow one child; recurse on those.
+            for child in node.children.values():
+                if (
+                    len(child.candidates) > self.leaf_capacity
+                    and depth + 1 < self.k
+                ):
+                    regrow = child.candidates
+                    child.candidates = []
+                    for entry in regrow:
+                        self._insert(child, entry, depth + 1)
+
+    # -- counting --------------------------------------------------------------------
+
+    def count_transaction(self, items: Sequence) -> None:
+        """Add 1 to every candidate contained in ``items`` (sorted).
+
+        A leaf can be reached through several hash paths of one
+        transaction, so matches are gathered into a set first and each
+        candidate is incremented at most once per transaction.
+        """
+        if not self.k or len(items) < self.k:
+            return
+        matched: set[Pattern] = set()
+        self._collect(self._root, items, start=0, depth=0, matched=matched)
+        for candidate in matched:
+            self._counts[candidate] += 1
+
+    def _collect(
+        self,
+        node: _Node,
+        items: Sequence,
+        start: int,
+        depth: int,
+        matched: set[Pattern],
+    ) -> None:
+        if node.is_leaf:
+            for candidate in node.candidates:
+                if candidate not in matched and self._contains(
+                    items, candidate
+                ):
+                    matched.add(candidate)
+            return
+        assert node.children is not None
+        # Hash each remaining item that could still leave enough items
+        # to complete a k-candidate.
+        remaining_needed = self.k - depth
+        last_start = len(items) - remaining_needed
+        for position in range(start, last_start + 1):
+            child = node.children.get(self._hash(items[position]))
+            if child is not None:
+                self._collect(child, items, position + 1, depth + 1, matched)
+
+    @staticmethod
+    def _contains(items: Sequence, candidate: Pattern) -> bool:
+        """Subset test of a sorted candidate against sorted items."""
+        position = 0
+        for item in candidate:
+            while position < len(items) and items[position] < item:
+                position += 1
+            if position >= len(items) or items[position] != item:
+                return False
+            position += 1
+        return True
+
+    # -- results ---------------------------------------------------------------------
+
+    def counts(self) -> dict[Pattern, int]:
+        """Support counters accumulated so far (a copy)."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's main workflows without writing any
+Python:
+
+* ``mine`` — mine a transaction file (``.basket`` or ``SALES`` CSV) and
+  print patterns and rules;
+* ``generate`` — produce one of the bundled data sets as a file;
+* ``sql`` — print the paper's generated SQL script for inspection or for
+  feeding to another database;
+* ``analyze`` — print the Section 3.2 / 4.3 cost analyses.
+
+Examples::
+
+    python -m repro generate --dataset retail --scale 0.1 --output r.basket
+    python -m repro mine r.basket --minsup 0.01 --minconf 0.7
+    python -m repro sql --k 3 --strategy sort-merge
+    python -m repro analyze
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.cost_model import (
+    nested_loop_c2_cost,
+    sort_merge_page_accesses,
+    sort_merge_relation_pages,
+    strategy_speedup,
+)
+from repro.analysis.report import format_kv_block, format_table
+from repro.api import ALGORITHMS, mine_association_rules
+from repro.core.transactions import TransactionDatabase
+from repro.data.example import paper_example_database
+from repro.data.hypothetical import generate_hypothetical_database
+from repro.data.io import (
+    read_basket_file,
+    read_sales_csv,
+    write_basket_file,
+    write_sales_csv,
+)
+from repro.data.quest import QuestConfig, generate_quest_dataset
+from repro.data.retail import generate_retail_dataset
+from repro.sql import generator as sqlgen
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SETM association-rule mining (Houtsma & Swami, ICDE 1995)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mine = commands.add_parser("mine", help="mine a transaction file")
+    mine.add_argument("input", help=".basket file or SALES .csv")
+    mine.add_argument("--minsup", type=float, default=0.01,
+                      help="minimum support fraction (default 0.01)")
+    mine.add_argument("--minconf", type=float, default=0.5,
+                      help="minimum confidence fraction (default 0.5)")
+    mine.add_argument("--algorithm", default="setm",
+                      choices=sorted(ALGORITHMS),
+                      help="mining engine (default setm)")
+    mine.add_argument("--max-length", type=int, default=None,
+                      help="cap on pattern length")
+    mine.add_argument("--patterns", action="store_true",
+                      help="also print every frequent pattern")
+
+    generate = commands.add_parser("generate", help="write a bundled data set")
+    generate.add_argument("--dataset", required=True,
+                          choices=["example", "retail", "quest", "hypothetical"])
+    generate.add_argument("--output", required=True,
+                          help="output path (.basket or .csv)")
+    generate.add_argument("--scale", type=float, default=1.0,
+                          help="scale factor for retail/hypothetical")
+    generate.add_argument("--transactions", type=int, default=None,
+                          help="transaction count for quest")
+    generate.add_argument("--seed", type=int, default=None,
+                          help="seed for quest")
+
+    sql = commands.add_parser("sql", help="print the generated mining SQL")
+    sql.add_argument("--k", type=int, default=3,
+                     help="generate statements up to pattern length k")
+    sql.add_argument("--strategy", default="sort-merge",
+                     choices=["sort-merge", "nested-loop"])
+    sql.add_argument("--item-type", default="INTEGER",
+                     choices=["INTEGER", "TEXT"])
+
+    commands.add_parser("analyze", help="print the paper's cost analyses")
+    return parser
+
+
+def _load(path: str) -> TransactionDatabase:
+    if path.endswith(".csv"):
+        return read_sales_csv(path)
+    return read_basket_file(path)
+
+
+def _cmd_mine(args: argparse.Namespace, out) -> int:
+    database = _load(args.input)
+    print(
+        f"{database.num_transactions:,} transactions, "
+        f"{database.num_sales_rows:,} rows, "
+        f"{len(database.distinct_items())} items",
+        file=out,
+    )
+    options = {}
+    if args.max_length is not None:
+        options["max_length"] = args.max_length
+    result, rules = mine_association_rules(
+        database,
+        args.minsup,
+        args.minconf,
+        algorithm=args.algorithm,
+        **options,
+    )
+    total = sum(len(rel) for rel in result.count_relations.values())
+    print(
+        f"{result.algorithm}: {total} frequent patterns "
+        f"(longest {result.max_pattern_length}), "
+        f"{len(rules)} rules, {result.elapsed_seconds:.3f}s",
+        file=out,
+    )
+    if args.patterns:
+        for pattern, count in result.iter_patterns():
+            rendered = " ".join(str(item) for item in pattern)
+            print(f"  {rendered}  [{count}]", file=out)
+    for rule in rules:
+        print(f"  {rule}", file=out)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    if args.dataset == "example":
+        database = paper_example_database()
+    elif args.dataset == "retail":
+        database = generate_retail_dataset(scale=args.scale)
+    elif args.dataset == "hypothetical":
+        database = generate_hypothetical_database(scale=args.scale)
+    else:
+        config = QuestConfig()
+        if args.transactions is not None:
+            config = QuestConfig(num_transactions=args.transactions)
+        if args.seed is not None:
+            config = QuestConfig(
+                num_transactions=config.num_transactions, seed=args.seed
+            )
+        database = generate_quest_dataset(config)
+
+    path = Path(args.output)
+    if path.suffix == ".csv":
+        write_sales_csv(database, path)
+    else:
+        write_basket_file(database, path)
+    print(
+        f"wrote {database.num_transactions:,} transactions "
+        f"({database.num_sales_rows:,} rows) to {path}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace, out) -> int:
+    statements = [
+        sqlgen.create_sales_table(args.item_type),
+        sqlgen.create_r_table(1, args.item_type),
+        sqlgen.insert_r1_query(),
+        sqlgen.create_c_table(1, args.item_type),
+        sqlgen.insert_c1_query(),
+    ]
+    for k in range(2, args.k + 1):
+        statements.append(sqlgen.create_c_table(k, args.item_type))
+        if args.strategy == "sort-merge":
+            statements.append(sqlgen.create_r_table(k, args.item_type, prime=True))
+            statements.append(sqlgen.insert_rk_prime_query(k))
+            statements.append(sqlgen.insert_ck_query(k))
+            statements.append(sqlgen.create_r_table(k, args.item_type))
+            statements.append(sqlgen.insert_rk_filter_query(k))
+        else:
+            statements.append(sqlgen.insert_ck_nested_loop_query(k))
+    for sql in statements:
+        print(f"{sql};", file=out)
+    return 0
+
+
+def _cmd_analyze(out) -> int:
+    nested = nested_loop_c2_cost()
+    merged = sort_merge_page_accesses(sort_merge_relation_pages(), 3)
+    print(
+        format_kv_block(
+            {
+                "nested-loop page fetches": nested.page_fetches,
+                "nested-loop modelled time (s)": nested.seconds,
+                "sort-merge page accesses": merged.page_accesses,
+                "sort-merge modelled time (s)": merged.seconds,
+                "speedup": round(strategy_speedup(nested, merged), 1),
+            },
+            title="Hypothetical database (1,000 items, 200k transactions)",
+        ),
+        file=out,
+    )
+    print(
+        format_table(
+            ["index", "leaf pages", "non-leaf pages", "levels"],
+            [
+                (
+                    "(item, trans_id)",
+                    nested.item_index.leaf_pages,
+                    nested.item_index.nonleaf_pages,
+                    nested.item_index.levels,
+                ),
+                (
+                    "(trans_id)",
+                    nested.tid_index.leaf_pages,
+                    nested.tid_index.nonleaf_pages,
+                    nested.tid_index.levels,
+                ),
+            ],
+            title="B+-tree sizing (Section 3.2)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "mine":
+            return _cmd_mine(args, out)
+        if args.command == "generate":
+            return _cmd_generate(args, out)
+        if args.command == "sql":
+            return _cmd_sql(args, out)
+        if args.command == "analyze":
+            return _cmd_analyze(out)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, as CLI
+        # tools are expected to.
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's core: Algorithm SETM, its variants, and rule generation."""
+
+from repro.core.nested_loop import nested_loop_mine, nested_loop_mine_disk
+from repro.core.result import IterationStats, MiningResult, Pattern
+from repro.core.rules import Rule, generate_rules, rules_as_paper_lines
+from repro.core.setm import setm
+from repro.core.setm_disk import setm_disk
+from repro.core.setm_sql import NativeBackend, SQLBackend, setm_sql
+from repro.core.transactions import (
+    Item,
+    ItemCatalog,
+    Transaction,
+    TransactionDatabase,
+    sales_rows_to_transactions,
+)
+
+__all__ = [
+    "Item",
+    "ItemCatalog",
+    "IterationStats",
+    "MiningResult",
+    "NativeBackend",
+    "Pattern",
+    "Rule",
+    "SQLBackend",
+    "Transaction",
+    "TransactionDatabase",
+    "generate_rules",
+    "nested_loop_mine",
+    "nested_loop_mine_disk",
+    "rules_as_paper_lines",
+    "sales_rows_to_transactions",
+    "setm",
+    "setm_disk",
+    "setm_sql",
+]

@@ -1,0 +1,218 @@
+"""Result containers for mining runs: count relations and iteration stats.
+
+The paper's evaluation (Section 6) is phrased entirely in terms of the
+per-iteration relations SETM materializes:
+
+* ``R_k``  — instances of supported ``k``-patterns, one row per
+  ``(trans_id, item_1, ..., item_k)``; Figure 5 plots its size in Kbytes.
+* ``C_k``  — the count relation ``(item_1, ..., item_k, count)``; Figure 6
+  plots its cardinality.
+
+:class:`IterationStats` records both (plus the pre-filter ``R'_k``), and
+:class:`MiningResult` bundles the full run: every count relation, the
+iteration trace, and the timing information the Section 6.2 table reports.
+All algorithms in this package (SETM in-memory/SQL/disk, nested-loop, AIS,
+Apriori, brute force) return a :class:`MiningResult`, which makes
+differential testing trivial.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.transactions import Item
+
+__all__ = [
+    "BYTES_PER_FIELD",
+    "IterationStats",
+    "MiningResult",
+    "Pattern",
+    "pattern_bytes",
+]
+
+#: The paper represents every field (trans_id or item) as a 4-byte integer
+#: (Section 3.2: "each item and transaction id is represented using 4 bytes").
+BYTES_PER_FIELD = 4
+
+#: A pattern is a lexicographically ordered tuple of items.
+Pattern = tuple[Item, ...]
+
+
+def pattern_bytes(pattern_length: int, cardinality: int) -> int:
+    """Size in bytes of an ``R_k`` relation under the paper's layout.
+
+    Each ``R_k`` tuple is ``(trans_id, item_1, ..., item_k)``:
+    ``k + 1`` fields of 4 bytes (Section 4.3: "The size of a tuple from
+    R_i is (i + 1) x 4 bytes").
+    """
+    return cardinality * (pattern_length + 1) * BYTES_PER_FIELD
+
+
+@dataclass(frozen=True, slots=True)
+class IterationStats:
+    """Bookkeeping for one SETM iteration ``k``.
+
+    Attributes
+    ----------
+    k:
+        Pattern length of this iteration (1 for the initial ``SALES`` pass).
+    candidate_instances:
+        ``|R'_k|`` — rows produced by the merge-scan join *before* the
+        minimum-support filter.  For ``k = 1`` this equals ``|R_1|``.
+    supported_instances:
+        ``|R_k|`` — rows retained after filtering against ``C_k``.
+    candidate_patterns:
+        Distinct patterns grouped out of ``R'_k`` (the ``GROUP BY`` input).
+    supported_patterns:
+        ``|C_k|`` — patterns meeting minimum support (Figure 6's y-axis).
+    """
+
+    k: int
+    candidate_instances: int
+    supported_instances: int
+    candidate_patterns: int
+    supported_patterns: int
+
+    @property
+    def r_bytes(self) -> int:
+        """Size of ``R_k`` in bytes under the paper's 4-byte-field layout."""
+        return pattern_bytes(self.k, self.supported_instances)
+
+    @property
+    def r_kbytes(self) -> float:
+        """Size of ``R_k`` in Kbytes — the quantity Figure 5 plots."""
+        return self.r_bytes / 1024.0
+
+    @property
+    def r_prime_bytes(self) -> int:
+        """Size of the pre-filter ``R'_k`` in bytes."""
+        return pattern_bytes(self.k, self.candidate_instances)
+
+
+@dataclass
+class MiningResult:
+    """Complete outcome of one frequent-pattern mining run.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the producing algorithm (``"setm"``, ``"apriori"``, ...).
+    num_transactions:
+        Size of the mined database (the support denominator).
+    minimum_support:
+        The fractional minimum support requested.
+    support_threshold:
+        Absolute transaction-count threshold actually applied.
+    count_relations:
+        ``{k: {pattern: count}}`` — the supported patterns per length; the
+        union of the ``C_k`` relations (each pattern lexicographically
+        ordered).  ``count_relations[1]`` is the minsup-filtered ``C_1`` of
+        the Section 3.1 SQL.
+    unfiltered_item_counts:
+        The *unfiltered* ``C_1`` of Figure 4's pseudocode ("C1 := generate
+        counts from R1" has no HAVING clause); this is what makes
+        ``|C_1| = 59`` constant across minsups in Figure 6.
+    iterations:
+        Per-iteration statistics, index 0 holding ``k = 1``.
+    elapsed_seconds:
+        Wall-clock mining time (0.0 when the caller did not time the run).
+    extra:
+        Algorithm-specific extras (e.g. page-access counts for the disk
+        variant, candidate counts for Apriori/AIS).
+    """
+
+    algorithm: str
+    num_transactions: int
+    minimum_support: float
+    support_threshold: int
+    count_relations: dict[int, dict[Pattern, int]]
+    unfiltered_item_counts: dict[Item, int] = field(default_factory=dict)
+    iterations: list[IterationStats] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # -- pattern access -----------------------------------------------------------
+
+    def patterns_of_length(self, k: int) -> dict[Pattern, int]:
+        """The ``C_k`` relation as ``{pattern: count}`` (empty if absent)."""
+        return dict(self.count_relations.get(k, {}))
+
+    def all_patterns(self) -> dict[Pattern, int]:
+        """Every supported pattern of every length, merged into one mapping."""
+        merged: dict[Pattern, int] = {}
+        for relation in self.count_relations.values():
+            merged.update(relation)
+        return merged
+
+    def iter_patterns(self) -> Iterator[tuple[Pattern, int]]:
+        """Yield ``(pattern, count)`` pairs ordered by length then pattern."""
+        for k in sorted(self.count_relations):
+            relation = self.count_relations[k]
+            for pattern in sorted(relation):
+                yield pattern, relation[pattern]
+
+    def support_count(self, pattern: Pattern) -> int | None:
+        """Absolute support count of ``pattern`` or ``None`` if unsupported.
+
+        The pattern is canonicalized (sorted) before lookup, so callers may
+        pass items in any order.
+        """
+        canonical = tuple(sorted(pattern))
+        relation = self.count_relations.get(len(canonical))
+        if relation is None:
+            return None
+        return relation.get(canonical)
+
+    def support_fraction(self, pattern: Pattern) -> float | None:
+        """Fractional support of ``pattern`` or ``None`` if unsupported."""
+        count = self.support_count(pattern)
+        if count is None:
+            return None
+        return count / self.num_transactions
+
+    @property
+    def max_pattern_length(self) -> int:
+        """Length of the longest supported pattern (0 when nothing qualifies)."""
+        lengths = [k for k, rel in self.count_relations.items() if rel]
+        return max(lengths, default=0)
+
+    # -- evaluation-figure accessors ------------------------------------------------
+
+    def r_sizes_kbytes(self) -> list[tuple[int, float]]:
+        """``(k, Kbytes of R_k)`` series — one curve of Figure 5."""
+        return [(stats.k, stats.r_kbytes) for stats in self.iterations]
+
+    def c_cardinalities(self) -> list[tuple[int, int]]:
+        """``(k, |C_k|)`` series — one curve of Figure 6.
+
+        For ``k = 1`` the *unfiltered* cardinality is reported when
+        available, matching the paper's "``|C_1| = 59`` in all cases".
+        """
+        series: list[tuple[int, int]] = []
+        for stats in self.iterations:
+            if stats.k == 1 and self.unfiltered_item_counts:
+                series.append((1, len(self.unfiltered_item_counts)))
+            else:
+                series.append((stats.k, stats.supported_patterns))
+        return series
+
+    # -- comparison helpers ----------------------------------------------------------
+
+    def same_patterns_as(self, other: "MiningResult") -> bool:
+        """True when both runs found exactly the same supported patterns.
+
+        Compares patterns *and* counts; ignores iteration traces, timings
+        and algorithm names.  This is the core differential-testing check.
+        """
+        return self.all_patterns() == other.all_patterns()
+
+    def __repr__(self) -> str:
+        total = sum(len(rel) for rel in self.count_relations.values())
+        return (
+            f"MiningResult(algorithm={self.algorithm!r}, "
+            f"patterns={total}, max_length={self.max_pattern_length}, "
+            f"minsup={self.minimum_support}, "
+            f"elapsed={self.elapsed_seconds:.3f}s)"
+        )

@@ -1,0 +1,167 @@
+"""Rule generation from the count relations (Section 5 of the paper).
+
+    "For any pattern of length k, we consider all possible combinations of
+    k-1 items in the antecedent.  The remaining item not used in the
+    combinations is in the consequent.  [...] In order to check the
+    confidence factor, we need the count for the current pattern (available
+    in the current count relation C_k) and the count for the pattern
+    comprising the antecedent (available by lookup in a previous count
+    relation C_{k-1})."
+
+The paper emits rules with a **single-item consequent** only; that is what
+:func:`generate_rules` implements.  Multi-item consequents (the Apriori-era
+generalization) live in :mod:`repro.extensions.multi_consequent`.
+
+Rules render in the paper's notation ``X ==> I, [c%, s%]`` where ``c`` is
+the confidence factor and ``s`` the support percentage — the format of the
+Section 5 listings, reproduced verbatim by ``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.result import MiningResult, Pattern
+from repro.core.transactions import Item
+
+__all__ = ["Rule", "generate_rules", "rules_as_paper_lines"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """An association rule ``antecedent => consequent``.
+
+    Attributes
+    ----------
+    antecedent:
+        Lexicographically ordered items on the left-hand side.
+    consequent:
+        Items on the right-hand side (length 1 for paper-faithful rules).
+    support_count:
+        Number of transactions containing ``antecedent + consequent``.
+    support:
+        ``support_count / num_transactions`` — the paper's ``s``.
+    confidence:
+        ``supp(pattern) / supp(antecedent)`` — the paper's ``c``.
+    lift:
+        ``confidence / supp(consequent)``; not in the paper (the measure
+        postdates it) but standard for downstream users, so exposed here.
+    """
+
+    antecedent: Pattern
+    consequent: Pattern
+    support_count: int
+    support: float
+    confidence: float
+    lift: float
+
+    @property
+    def pattern(self) -> Pattern:
+        """The underlying supported pattern (antecedent ∪ consequent)."""
+        return tuple(sorted(self.antecedent + self.consequent))
+
+    def as_paper_line(self) -> str:
+        """Render in the paper's ``X ==> I, [c%, s%]`` notation."""
+        lhs = " ".join(str(item) for item in self.antecedent)
+        rhs = " ".join(str(item) for item in self.consequent)
+        return (
+            f"{lhs} ==> {rhs}, "
+            f"[{self.confidence * 100:.1f}%, {self.support * 100:.1f}%]"
+        )
+
+    def __str__(self) -> str:
+        return self.as_paper_line()
+
+
+def _antecedent_count(
+    result: MiningResult, antecedent: Pattern
+) -> int | None:
+    """Support count of ``antecedent`` from ``C_{k-1}`` (or unfiltered C_1).
+
+    By downward closure every sub-pattern of a supported pattern is itself
+    supported, so the lookup succeeds for complete mining runs; the
+    unfiltered-``C_1`` fallback covers results produced with ``max_length``
+    caps or by partial backends.
+    """
+    count = result.support_count(antecedent)
+    if count is not None:
+        return count
+    if len(antecedent) == 1 and result.unfiltered_item_counts:
+        return result.unfiltered_item_counts.get(antecedent[0])
+    return None
+
+
+def generate_rules(
+    result: MiningResult,
+    minimum_confidence: float,
+    *,
+    min_pattern_length: int = 2,
+) -> list[Rule]:
+    """Generate all qualifying single-consequent rules from a mining result.
+
+    Parameters
+    ----------
+    result:
+        A :class:`MiningResult` from any algorithm in this package.
+    minimum_confidence:
+        Fractional confidence threshold in ``(0, 1]``; a rule qualifies when
+        ``confidence >= minimum_confidence`` ("meets or exceeds", Section 5).
+    min_pattern_length:
+        Rules are generated from patterns of at least this length (2 in the
+        paper: a rule needs a non-empty antecedent and a consequent).
+
+    Returns
+    -------
+    list[Rule]
+        Ordered by pattern length, then antecedent, then consequent — the
+        order the paper's listings follow (all ``C_2`` rules before ``C_3``
+        rules).
+    """
+    if not 0.0 < minimum_confidence <= 1.0:
+        raise ValueError(
+            f"minimum_confidence must be in (0, 1], got {minimum_confidence!r}"
+        )
+    if min_pattern_length < 2:
+        raise ValueError("min_pattern_length must be at least 2")
+
+    rules: list[Rule] = []
+    n = result.num_transactions
+    for k in sorted(result.count_relations):
+        if k < min_pattern_length:
+            continue
+        for pattern in sorted(result.count_relations[k]):
+            pattern_count = result.count_relations[k][pattern]
+            for index, consequent_item in enumerate(pattern):
+                antecedent = pattern[:index] + pattern[index + 1 :]
+                antecedent_count = _antecedent_count(result, antecedent)
+                if not antecedent_count:
+                    continue
+                confidence = pattern_count / antecedent_count
+                if confidence < minimum_confidence:
+                    continue
+                consequent_count = _antecedent_count(
+                    result, (consequent_item,)
+                )
+                lift = (
+                    confidence / (consequent_count / n)
+                    if consequent_count
+                    else float("nan")
+                )
+                rules.append(
+                    Rule(
+                        antecedent=antecedent,
+                        consequent=(consequent_item,),
+                        support_count=pattern_count,
+                        support=pattern_count / n,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda rule: (len(rule.pattern), rule.antecedent, rule.consequent))
+    return rules
+
+
+def rules_as_paper_lines(rules: Iterable[Rule]) -> list[str]:
+    """Render rules in the paper's listing format, one string per rule."""
+    return [rule.as_paper_line() for rule in rules]

@@ -1,0 +1,247 @@
+"""Algorithm SETM (Figure 4 of the paper), in-memory reference implementation.
+
+This module is a *faithful* transliteration of the pseudocode:
+
+.. code-block:: text
+
+    k := 1;
+    sort R1 on item;
+    C1 := generate counts from R1;
+    repeat
+        k := k + 1;
+        sort R_{k-1} on trans_id, item_1, ..., item_{k-1};
+        R'_k := merge-scan R_{k-1}, R_1;
+        sort R'_k on item_1, ..., item_k;
+        C_k := generate counts from R'_k;
+        R_k := filter R'_k to retain supported patterns;
+    until R_k = {}
+
+Faithfulness notes (also recorded in DESIGN.md):
+
+* ``R'_k`` extends every ``R_{k-1}`` instance with **every** later item of
+  the same transaction — including infrequent items.  Filtering happens
+  only afterwards, against ``C_k``.  This is SETM's signature behaviour
+  (and its signature inefficiency relative to Apriori's candidate pruning);
+  we keep it because the paper's Figure 5/6 curves depend on it.
+* Counting is done exactly as the paper describes: sort ``R'_k`` on the
+  item columns, then a single sequential scan emits group counts.  (A hash
+  aggregate would be equivalent and is used by the Apriori baseline; the
+  ``count_via`` knob exists for the ablation benchmark.)
+* Patterns are generated in lexicographic order (``q.item > p.item_{k-1}``),
+  so each ``k``-subset of a transaction appears exactly once.
+* ``R_1`` is the full ``SALES`` relation; it is *not* filtered to frequent
+  items before joining (the Section 4.1 SQL joins ``SALES q`` directly).
+
+The implementation works on plain Python tuples: an ``R_k`` instance is the
+tuple ``(trans_id, item_1, ..., item_k)``.  The merge-scan join is a real
+two-cursor merge over trans_id groups, not a hash shortcut, so the
+intermediate cardinalities reported in :class:`~repro.core.result.IterationStats`
+are exactly the paper's ``|R'_k|`` and ``|R_k|``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Literal
+
+from repro.core.result import IterationStats, MiningResult, Pattern
+from repro.core.transactions import Item, TransactionDatabase
+
+__all__ = ["setm", "merge_scan_extend", "count_sorted_instances"]
+
+#: Row of an ``R_k`` relation: ``(trans_id, item_1, ..., item_k)``.
+Instance = tuple
+
+
+def merge_scan_extend(
+    r_prev: Sequence[Instance], sales: Sequence[tuple[int, Item]]
+) -> list[Instance]:
+    """The merge-scan join of Figure 4: ``R'_k := merge-scan(R_{k-1}, R_1)``.
+
+    Both inputs must be sorted by ``trans_id`` (``r_prev`` additionally by
+    its item columns, ``sales`` by item — the orders the surrounding sorts
+    establish).  For every pair of rows sharing a ``trans_id``, an output
+    row is produced when the ``SALES`` item is lexicographically greater
+    than the last item of the ``R_{k-1}`` row — the paper's
+    ``q.item > p.item_{k-1}`` band condition.
+
+    Returns the new instances ordered by ``(trans_id, item_1, ..., item_k)``
+    (the natural output order of the merge, since within a transaction the
+    extension scan walks ``sales`` in item order).
+    """
+    output: list[Instance] = []
+    i, j = 0, 0
+    n_prev, n_sales = len(r_prev), len(sales)
+    while i < n_prev and j < n_sales:
+        tid = r_prev[i][0]
+        sales_tid = sales[j][0]
+        if tid < sales_tid:
+            i += 1
+            continue
+        if tid > sales_tid:
+            j += 1
+            continue
+        # Delimit the trans_id group on both sides.
+        i_end = i
+        while i_end < n_prev and r_prev[i_end][0] == tid:
+            i_end += 1
+        j_end = j
+        while j_end < n_sales and sales[j_end][0] == tid:
+            j_end += 1
+        group = sales[j:j_end]
+        for row in r_prev[i:i_end]:
+            last_item = row[-1]
+            # Group is sorted by item: binary-search-free scan from the end
+            # would also work; a linear scan keeps the merge-scan character.
+            for _, item in group:
+                if item > last_item:
+                    output.append(row + (item,))
+        i, j = i_end, j_end
+    return output
+
+
+def count_sorted_instances(
+    instances: Sequence[Instance],
+) -> list[tuple[Pattern, int]]:
+    """Sequential-scan grouping of instances sorted by their item columns.
+
+    ``instances`` must be sorted by ``(item_1, ..., item_k)`` — the state
+    after Figure 4's second sort.  Emits ``(pattern, count)`` in sorted
+    pattern order, mirroring "generating the counts involves a simple
+    sequential scan".
+    """
+    counts: list[tuple[Pattern, int]] = []
+    current: Pattern | None = None
+    run = 0
+    for row in instances:
+        pattern = tuple(row[1:])
+        if pattern == current:
+            run += 1
+        else:
+            if current is not None:
+                counts.append((current, run))
+            current, run = pattern, 1
+    if current is not None:
+        counts.append((current, run))
+    return counts
+
+
+def _hash_counts(instances: Sequence[Instance]) -> list[tuple[Pattern, int]]:
+    """Hash-aggregate alternative to :func:`count_sorted_instances`."""
+    counts: dict[Pattern, int] = {}
+    for row in instances:
+        pattern = tuple(row[1:])
+        counts[pattern] = counts.get(pattern, 0) + 1
+    return sorted(counts.items())
+
+
+def setm(
+    database: TransactionDatabase,
+    minimum_support: float,
+    *,
+    max_length: int | None = None,
+    count_via: Literal["sort", "hash"] = "sort",
+) -> MiningResult:
+    """Run Algorithm SETM and return every count relation ``C_k``.
+
+    Parameters
+    ----------
+    database:
+        The transactions to mine.
+    minimum_support:
+        Fractional minimum support in ``(0, 1]``; converted to an absolute
+        transaction-count threshold via
+        :meth:`TransactionDatabase.absolute_support`.
+    max_length:
+        Optional cap on pattern length (the paper runs until ``R_k`` is
+        empty; the cap exists for interactive exploration).
+    count_via:
+        ``"sort"`` (paper-faithful: sort then sequential scan) or ``"hash"``
+        (hash aggregation).  Both produce identical counts; the knob feeds
+        the counting-strategy ablation benchmark.
+
+    Returns
+    -------
+    MiningResult
+        With ``algorithm="setm"``, one :class:`IterationStats` per iteration
+        (including the terminal empty one, matching the paper's
+        ``|R_4| = 0`` points in Figures 5 and 6), and the unfiltered item
+        counts used by Figure 6's constant ``|C_1|``.
+    """
+    started = time.perf_counter()
+    threshold = database.absolute_support(minimum_support)
+    counter = count_sorted_instances if count_via == "sort" else _hash_counts
+
+    # R_1 := SALES, materialized as (trans_id, item) instances.  sales_rows()
+    # yields rows ordered by (trans_id, item): simultaneously the merge-scan
+    # order and, within each transaction, item order.
+    sales: list[Instance] = list(database.sales_rows())
+
+    # "sort R1 on item; C1 := generate counts from R1" — the pseudocode's C_1
+    # carries no HAVING clause; the Section 3.1 SQL applies one.  We compute
+    # both: unfiltered counts for Figure 6, filtered C_1 for rule generation.
+    r1_by_item = sorted(sales, key=lambda row: row[1:])
+    unfiltered_c1 = counter(r1_by_item)
+    filtered_c1 = {
+        pattern: count for pattern, count in unfiltered_c1 if count >= threshold
+    }
+
+    count_relations: dict[int, dict[Pattern, int]] = {1: filtered_c1}
+    iterations = [
+        IterationStats(
+            k=1,
+            candidate_instances=len(sales),
+            supported_instances=len(sales),
+            candidate_patterns=len(unfiltered_c1),
+            supported_patterns=len(filtered_c1),
+        )
+    ]
+
+    r_current: list[Instance] = sales  # joined unfiltered, per Section 4.1
+    k = 1
+    while r_current:
+        k += 1
+        if max_length is not None and k > max_length:
+            break
+        # sort R_{k-1} on trans_id, item_1, ..., item_{k-1}
+        r_current.sort()
+        # R'_k := merge-scan(R_{k-1}, R_1)
+        r_prime = merge_scan_extend(r_current, sales)
+        # sort R'_k on item_1, ..., item_k
+        r_prime.sort(key=lambda row: row[1:])
+        # C_k := generate counts from R'_k (with the minimum-support HAVING)
+        all_counts = counter(r_prime)
+        c_k = {
+            pattern: count for pattern, count in all_counts if count >= threshold
+        }
+        # R_k := filter R'_k to retain supported patterns ("simple table
+        # look-ups on relation C_k")
+        r_next = [row for row in r_prime if tuple(row[1:]) in c_k]
+
+        iterations.append(
+            IterationStats(
+                k=k,
+                candidate_instances=len(r_prime),
+                supported_instances=len(r_next),
+                candidate_patterns=len(all_counts),
+                supported_patterns=len(c_k),
+            )
+        )
+        if c_k:
+            count_relations[k] = c_k
+        r_current = r_next
+
+    return MiningResult(
+        algorithm="setm",
+        num_transactions=database.num_transactions,
+        minimum_support=minimum_support,
+        support_threshold=threshold,
+        count_relations=count_relations,
+        unfiltered_item_counts={
+            pattern[0]: count for pattern, count in unfiltered_c1
+        },
+        iterations=iterations,
+        elapsed_seconds=time.perf_counter() - started,
+        extra={"count_via": count_via},
+    )

@@ -1,0 +1,214 @@
+"""SETM executed as SQL statements — the paper's headline claim, live.
+
+    "The major contribution of this paper is that it shows that at least
+    some aspects of data mining can be carried out by using general query
+    languages such as SQL, rather than by developing specialized black
+    box algorithms."
+
+:func:`setm_sql` drives Figure 4's loop by issuing the *generated* SQL of
+Sections 3.1/4.1 (see :mod:`repro.sql.generator`) against any backend
+implementing the three-method :class:`SQLBackend` protocol.  Two backends
+ship:
+
+* :class:`NativeBackend` — the bundled SQL engine
+  (:class:`repro.sql.database.SQLDatabase`);
+* ``repro.sqlbridge.SQLiteBackend`` — the stdlib ``sqlite3``.
+
+Both produce bit-identical count relations to the in-memory
+:func:`repro.core.setm.setm`; the integration tests assert it.
+
+:func:`setm_sql` can also run the **nested-loop formulation** (Section
+3.1): pass ``strategy="nested-loop"`` and each ``C_k`` is produced by the
+``C_{k-1} × SALES^k`` join instead of the materialized ``R'_k`` pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from repro.core.result import IterationStats, MiningResult, Pattern
+from repro.core.transactions import TransactionDatabase
+from repro.sql import generator as gen
+
+__all__ = ["NativeBackend", "SQLBackend", "setm_sql"]
+
+
+class SQLBackend(Protocol):
+    """What :func:`setm_sql` needs from a database."""
+
+    def execute(
+        self, sql: str, params: dict[str, object] | None = None
+    ) -> list[tuple] | None:
+        """Run one statement; SELECTs return rows, others may return None."""
+
+    def query_count(self, table: str) -> int:
+        """``SELECT COUNT(*) FROM table``."""
+
+    def item_type(self) -> str:
+        """SQL type of the item column: ``"INTEGER"`` or ``"TEXT"``."""
+
+
+class NativeBackend:
+    """The bundled SQL engine as a :class:`SQLBackend`."""
+
+    def __init__(self, database: TransactionDatabase) -> None:
+        from repro.sql.database import SQLDatabase  # local to avoid cycles
+
+        self.db = SQLDatabase()
+        items = database.distinct_items()
+        self._item_type = (
+            "TEXT"
+            if any(isinstance(item, str) for item in items)
+            else "INTEGER"
+        )
+        self.db.execute(gen.create_sales_table(self._item_type))
+        self.db.insert_rows("SALES", database.sales_rows())
+
+    def execute(
+        self, sql: str, params: dict[str, object] | None = None
+    ) -> list[tuple] | None:
+        result = self.db.execute(sql, params)
+        if result is None or isinstance(result, int):
+            return None
+        return list(result.rows)
+
+    def query_count(self, table: str) -> int:
+        result = self.db.execute(f"SELECT COUNT(*) FROM {table} t")
+        assert result is not None and not isinstance(result, int)
+        return result.rows[0][0]
+
+    def item_type(self) -> str:
+        return self._item_type
+
+
+def setm_sql(
+    database: TransactionDatabase,
+    minimum_support: float,
+    *,
+    backend: SQLBackend | None = None,
+    strategy: str = "sort-merge",
+    max_length: int | None = None,
+) -> MiningResult:
+    """Mine ``database`` by executing the paper's SQL on ``backend``.
+
+    Parameters
+    ----------
+    database:
+        Transactions to mine.  When ``backend`` is provided it must already
+        contain this database's ``SALES`` table (the bundled backends load
+        it themselves).
+    minimum_support:
+        Fractional minimum support in ``(0, 1]``.
+    backend:
+        A :class:`SQLBackend`; defaults to a fresh :class:`NativeBackend`.
+    strategy:
+        ``"sort-merge"`` (Section 4.1: materialize ``R'_k``, count, filter)
+        or ``"nested-loop"`` (Section 3.1: join ``C_{k-1}`` with ``k``
+        copies of ``SALES``).
+    max_length:
+        Optional cap on pattern length.
+
+    Returns
+    -------
+    MiningResult
+        ``algorithm`` is ``"setm-sql"`` or ``"setm-sql-nested-loop"``;
+        ``extra["statements"]`` records every SQL statement executed, in
+        order — the full script is replayable.
+    """
+    if strategy not in ("sort-merge", "nested-loop"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    started = time.perf_counter()
+    threshold = database.absolute_support(minimum_support)
+    backend = backend if backend is not None else NativeBackend(database)
+    item_type = backend.item_type()
+    params: dict[str, object] = {"minsupport": threshold}
+    statements: list[str] = []
+
+    def run(sql: str) -> None:
+        statements.append(sql)
+        backend.execute(sql, params)
+
+    # R_1 := SALES (uniform item1 schema); C_1 with HAVING (Section 3.1).
+    run(gen.create_r_table(1, item_type))
+    run(gen.insert_r1_query())
+    run(gen.create_c_table(1, item_type))
+    run(gen.insert_c1_query(filtered=True))
+
+    unfiltered = backend.execute(
+        "SELECT s.item, COUNT(*) FROM SALES s GROUP BY s.item"
+    )
+    assert unfiltered is not None
+    unfiltered_item_counts = {item: count for item, count in unfiltered}
+
+    def read_counts(k: int) -> dict[Pattern, int]:
+        rows = backend.execute(
+            f"SELECT * FROM {gen.SQLNames.c(k)} t"
+        )
+        assert rows is not None
+        return {tuple(row[:-1]): row[-1] for row in rows}
+
+    c_current = read_counts(1)
+    count_relations: dict[int, dict[Pattern, int]] = {1: c_current}
+    sales_rows = database.num_sales_rows
+    iterations = [
+        IterationStats(
+            k=1,
+            candidate_instances=sales_rows,
+            supported_instances=sales_rows,
+            candidate_patterns=len(unfiltered_item_counts),
+            supported_patterns=len(c_current),
+        )
+    ]
+
+    k = 1
+    r_empty = False
+    while not r_empty and (c_current or k == 1):
+        k += 1
+        if max_length is not None and k > max_length:
+            break
+        run(gen.create_c_table(k, item_type))
+        if strategy == "sort-merge":
+            run(gen.create_r_table(k, item_type, prime=True))
+            run(gen.insert_rk_prime_query(k))
+            candidate_instances = backend.query_count(gen.SQLNames.r_prime(k))
+            run(gen.insert_ck_query(k))
+            c_next = read_counts(k)
+            run(gen.create_r_table(k, item_type))
+            run(gen.insert_rk_filter_query(k))
+            supported_instances = backend.query_count(gen.SQLNames.r(k))
+            r_empty = supported_instances == 0
+        else:
+            run(gen.insert_ck_nested_loop_query(k))
+            c_next = read_counts(k)
+            candidate_instances = 0  # not materialized by this strategy
+            supported_instances = sum(c_next.values())
+            r_empty = not c_next
+
+        iterations.append(
+            IterationStats(
+                k=k,
+                candidate_instances=candidate_instances,
+                supported_instances=supported_instances,
+                candidate_patterns=len(c_next) if c_next else 0,
+                supported_patterns=len(c_next),
+            )
+        )
+        if c_next:
+            count_relations[k] = c_next
+        c_current = c_next
+
+    algorithm = (
+        "setm-sql" if strategy == "sort-merge" else "setm-sql-nested-loop"
+    )
+    return MiningResult(
+        algorithm=algorithm,
+        num_transactions=database.num_transactions,
+        minimum_support=minimum_support,
+        support_threshold=threshold,
+        count_relations=count_relations,
+        unfiltered_item_counts=unfiltered_item_counts,
+        iterations=iterations,
+        elapsed_seconds=time.perf_counter() - started,
+        extra={"statements": statements, "strategy": strategy},
+    )

@@ -1,0 +1,306 @@
+"""Transaction model: the ``SALES(trans_id, item)`` relation of the paper.
+
+The paper (Section 2) stores customer transactions in a relational table
+
+    SALES(trans_id, item)
+
+with one row per item sold in a transaction.  This module provides the
+in-memory equivalent used by every algorithm in this package:
+
+* :class:`Transaction` — one customer transaction (a trans_id plus the set
+  of items purchased, kept sorted so lexicographic pattern generation is a
+  simple scan).
+* :class:`TransactionDatabase` — an ordered collection of transactions with
+  the derived statistics the paper's evaluation reports (number of
+  transactions, number of ``SALES`` rows, distinct items).
+* :class:`ItemCatalog` — a bijection between external item labels (strings
+  such as ``"bread"`` or the paper's ``"A" ... "H"``) and dense integer ids,
+  required by the paged storage engine where every field is a 4-byte integer
+  (Section 3.2: "item values are represented by integers").
+
+Items may be any totally ordered hashable Python values (strings and ints
+are the common cases).  Within one database all items must be mutually
+comparable; mixing ``str`` and ``int`` items raises :class:`TypeError` at
+construction time rather than deep inside a sort.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Item",
+    "ItemCatalog",
+    "Transaction",
+    "TransactionDatabase",
+    "sales_rows_to_transactions",
+]
+
+# An item is any hashable, totally ordered label.  We alias it for
+# documentation purposes; Python's typing cannot express "totally ordered".
+Item = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """One customer transaction: ``trans_id`` plus the items purchased.
+
+    ``items`` is stored as a sorted tuple of distinct items.  Sortedness is
+    an invariant relied on throughout the package: SETM generates patterns
+    in lexicographic order by scanning suffixes of this tuple.
+    """
+
+    trans_id: int
+    items: tuple[Item, ...]
+
+    def __post_init__(self) -> None:
+        try:
+            deduped = tuple(sorted(set(self.items)))
+        except TypeError as exc:
+            names = sorted({type(item).__name__ for item in self.items})
+            raise TypeError(
+                "transaction items must be mutually comparable; found "
+                "mixed types: " + ", ".join(names)
+            ) from exc
+        if deduped != self.items:
+            object.__setattr__(self, "items", deduped)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self.items
+
+    def contains_all(self, pattern: Sequence[Item]) -> bool:
+        """True when every item of ``pattern`` occurs in this transaction."""
+        item_set = set(self.items)
+        return all(item in item_set for item in pattern)
+
+
+class ItemCatalog:
+    """Bijective mapping between item labels and dense integer ids.
+
+    Ids are assigned in sorted label order starting from ``first_id`` so
+    that *lexicographic order of labels equals numeric order of ids*.  This
+    property lets the storage engine and the in-memory algorithms agree on
+    what "lexicographically ordered pattern" means.
+    """
+
+    def __init__(self, labels: Iterable[Item], *, first_id: int = 1) -> None:
+        ordered = sorted(set(labels))
+        self._first_id = first_id
+        self._id_of: dict[Item, int] = {
+            label: first_id + index for index, label in enumerate(ordered)
+        }
+        self._label_of: dict[int, Item] = {
+            item_id: label for label, item_id in self._id_of.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._id_of)
+
+    def __contains__(self, label: Item) -> bool:
+        return label in self._id_of
+
+    def id_of(self, label: Item) -> int:
+        """Integer id for ``label``; raises ``KeyError`` for unknown labels."""
+        return self._id_of[label]
+
+    def label_of(self, item_id: int) -> Item:
+        """Label for ``item_id``; raises ``KeyError`` for unknown ids."""
+        return self._label_of[item_id]
+
+    def encode(self, labels: Iterable[Item]) -> tuple[int, ...]:
+        """Encode a label sequence to ids, preserving order."""
+        return tuple(self._id_of[label] for label in labels)
+
+    def decode(self, ids: Iterable[int]) -> tuple[Item, ...]:
+        """Decode an id sequence back to labels, preserving order."""
+        return tuple(self._label_of[item_id] for item_id in ids)
+
+    def labels(self) -> list[Item]:
+        """All labels in sorted (== id) order."""
+        return [self._label_of[i] for i in sorted(self._label_of)]
+
+
+class TransactionDatabase:
+    """An ordered collection of :class:`Transaction` objects.
+
+    This is the Python-object view of the paper's ``SALES`` relation.  The
+    database is immutable after construction; all mining algorithms treat it
+    as read-only input.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of :class:`Transaction`, or of ``(trans_id, items)`` pairs.
+        Transaction ids must be unique; items within a transaction are
+        de-duplicated and sorted.
+    """
+
+    def __init__(
+        self, transactions: Iterable[Transaction | tuple[int, Iterable[Item]]]
+    ) -> None:
+        normalized: list[Transaction] = []
+        seen_ids: set[int] = set()
+        for entry in transactions:
+            if isinstance(entry, Transaction):
+                txn = entry
+            else:
+                trans_id, items = entry
+                txn = Transaction(trans_id, tuple(items))
+            if txn.trans_id in seen_ids:
+                raise ValueError(f"duplicate trans_id {txn.trans_id!r}")
+            seen_ids.add(txn.trans_id)
+            normalized.append(txn)
+        normalized.sort(key=lambda txn: txn.trans_id)
+        self._transactions: tuple[Transaction, ...] = tuple(normalized)
+        self._check_item_comparability()
+
+    def _check_item_comparability(self) -> None:
+        kinds = {type(item) for txn in self._transactions for item in txn.items}
+        if len(kinds) > 1:
+            # bool is a subclass of int and compares fine; allow that pair.
+            if not all(issubclass(kind, (int, bool)) for kind in kinds):
+                names = sorted(kind.__name__ for kind in kinds)
+                raise TypeError(
+                    "items must be mutually comparable; found mixed types: "
+                    + ", ".join(names)
+                )
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> Transaction:
+        return self._transactions[index]
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, TransactionDatabase):
+            return NotImplemented
+        return self._transactions == other._transactions
+
+    def __hash__(self) -> int:  # immutable, so hashable
+        return hash(self._transactions)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionDatabase(num_transactions={self.num_transactions}, "
+            f"num_sales_rows={self.num_sales_rows}, "
+            f"num_items={len(self.distinct_items())})"
+        )
+
+    # -- statistics the paper's evaluation reports --------------------------------
+
+    @property
+    def num_transactions(self) -> int:
+        """Total number of customer transactions (the support denominator)."""
+        return len(self._transactions)
+
+    @property
+    def num_sales_rows(self) -> int:
+        """Number of rows of the ``SALES`` relation (``|R_1|`` in the paper)."""
+        return sum(len(txn) for txn in self._transactions)
+
+    def distinct_items(self) -> list[Item]:
+        """Sorted list of distinct items across all transactions."""
+        items: set[Item] = set()
+        for txn in self._transactions:
+            items.update(txn.items)
+        return sorted(items)
+
+    def average_transaction_length(self) -> float:
+        """Mean number of items per transaction (0.0 for an empty database)."""
+        if not self._transactions:
+            return 0.0
+        return self.num_sales_rows / self.num_transactions
+
+    def item_counts(self) -> dict[Item, int]:
+        """Transaction count per item (the unfiltered ``C_1`` of Figure 4)."""
+        counts: dict[Item, int] = {}
+        for txn in self._transactions:
+            for item in txn.items:
+                counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    # -- support handling ----------------------------------------------------------
+
+    def absolute_support(self, minimum_support: float) -> int:
+        """Convert a fractional minimum support into an absolute count.
+
+        The paper's worked example treats "minimum support of 30%" over 10
+        transactions as "3 transactions", i.e. ``ceil(fraction * N)``; a
+        pattern qualifies when ``count >= threshold``.  A threshold of at
+        least 1 is enforced so empty patterns never qualify vacuously.
+        """
+        if not 0.0 < minimum_support <= 1.0:
+            raise ValueError(
+                f"minimum_support must be in (0, 1], got {minimum_support!r}"
+            )
+        return max(1, math.ceil(minimum_support * self.num_transactions))
+
+    # -- relational view -----------------------------------------------------------
+
+    def sales_rows(self) -> Iterator[tuple[int, Item]]:
+        """Yield ``(trans_id, item)`` rows: the paper's ``SALES`` relation.
+
+        Rows are emitted ordered by ``(trans_id, item)``, i.e. the order a
+        clustered relational scan would produce after inserting whole
+        transactions — exactly the order SETM's first merge-scan needs.
+        """
+        for txn in self._transactions:
+            for item in txn.items:
+                yield (txn.trans_id, item)
+
+    def catalog(self, *, first_id: int = 1) -> ItemCatalog:
+        """Build an :class:`ItemCatalog` over this database's items."""
+        return ItemCatalog(self.distinct_items(), first_id=first_id)
+
+    def encoded(self) -> tuple["TransactionDatabase", ItemCatalog]:
+        """Return an integer-item copy of this database plus its catalog.
+
+        The paged storage engine stores 4-byte integer fields only
+        (Section 3.2); this is the bridge from labelled data to that world.
+        """
+        catalog = self.catalog()
+        encoded = TransactionDatabase(
+            (txn.trans_id, catalog.encode(txn.items)) for txn in self._transactions
+        )
+        return encoded, catalog
+
+    def filter_items(self, keep: Iterable[Item]) -> "TransactionDatabase":
+        """Project every transaction onto ``keep`` (dropping empty ones).
+
+        Used by the customer-class extension and by tests; not part of the
+        paper's algorithm (SETM deliberately does *not* pre-filter items).
+        """
+        keep_set = set(keep)
+        projected = []
+        for txn in self._transactions:
+            retained = tuple(item for item in txn.items if item in keep_set)
+            if retained:
+                projected.append((txn.trans_id, retained))
+        return TransactionDatabase(projected)
+
+
+def sales_rows_to_transactions(
+    rows: Iterable[tuple[int, Item]]
+) -> TransactionDatabase:
+    """Group ``(trans_id, item)`` rows into a :class:`TransactionDatabase`.
+
+    The inverse of :meth:`TransactionDatabase.sales_rows`.  Duplicate
+    ``(trans_id, item)`` rows collapse (the relation is a set).
+    """
+    grouped: dict[int, set[Item]] = {}
+    for trans_id, item in rows:
+        grouped.setdefault(trans_id, set()).add(item)
+    return TransactionDatabase(
+        (trans_id, tuple(items)) for trans_id, items in grouped.items()
+    )

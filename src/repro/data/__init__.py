@@ -1,0 +1,61 @@
+"""Data sets: the paper's example, calibrated retail data, Quest
+workloads, the hypothetical analysis database, and file I/O."""
+
+from repro.data.example import (
+    PAPER_C2_RULE_LINES,
+    PAPER_C3_RULE_LINES,
+    PAPER_EXAMPLE_TRANSACTIONS,
+    PAPER_MINIMUM_CONFIDENCE,
+    PAPER_MINIMUM_SUPPORT,
+    paper_example_database,
+)
+from repro.data.hypothetical import (
+    PAPER_HYPOTHETICAL,
+    HypotheticalConfig,
+    generate_hypothetical_database,
+)
+from repro.data.io import (
+    read_basket_file,
+    read_sales_csv,
+    write_basket_file,
+    write_sales_csv,
+)
+from repro.data.quest import (
+    QuestConfig,
+    generate_quest_dataset,
+    t5_i2_d10k,
+    t10_i4_d10k,
+    t10_i4_d100k,
+)
+from repro.data.retail import (
+    PAPER_NUM_ITEMS,
+    PAPER_NUM_SALES_ROWS,
+    PAPER_NUM_TRANSACTIONS,
+    RetailConfig,
+    generate_retail_dataset,
+)
+
+__all__ = [
+    "HypotheticalConfig",
+    "PAPER_C2_RULE_LINES",
+    "PAPER_C3_RULE_LINES",
+    "PAPER_EXAMPLE_TRANSACTIONS",
+    "PAPER_HYPOTHETICAL",
+    "PAPER_MINIMUM_CONFIDENCE",
+    "PAPER_MINIMUM_SUPPORT",
+    "PAPER_NUM_ITEMS",
+    "PAPER_NUM_SALES_ROWS",
+    "PAPER_NUM_TRANSACTIONS",
+    "QuestConfig",
+    "RetailConfig",
+    "generate_hypothetical_database",
+    "generate_quest_dataset",
+    "paper_example_database",
+    "read_basket_file",
+    "read_sales_csv",
+    "t10_i4_d100k",
+    "t10_i4_d10k",
+    "t5_i2_d10k",
+    "write_basket_file",
+    "write_sales_csv",
+]

@@ -1,0 +1,89 @@
+"""The hypothetical retailing database of the Section 3.2 analysis.
+
+    "There are 1000 different items that can be sold.  The data consists
+    of 200,000 customer transactions.  The average number of items sold
+    in a transaction is 10.  Thus, the relation SALES contains about
+    2 million tuples.  To make the analysis tractable, we assume that the
+    items have approximately equal probability of being sold."
+
+Both the nested-loop analysis (Section 3.2) and the sort-merge analysis
+(Section 4.3) are computed over this database.  The closed-form cost
+models in :mod:`repro.analysis.cost_model` take its parameters directly;
+:func:`generate_hypothetical_database` materializes actual transactions —
+items uniform, exactly ``items_per_transaction`` per basket — so the
+*empirical* disk experiments can validate the models on scaled-down
+instances (the full 2M-tuple instance exists too, for the patient).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.transactions import TransactionDatabase
+
+__all__ = [
+    "HypotheticalConfig",
+    "PAPER_HYPOTHETICAL",
+    "generate_hypothetical_database",
+]
+
+
+@dataclass(frozen=True)
+class HypotheticalConfig:
+    """Parameters of the Section 3.2 hypothetical database."""
+
+    num_items: int = 1_000
+    num_transactions: int = 200_000
+    items_per_transaction: int = 10
+    seed: int = 32  # section number
+
+    @property
+    def num_sales_rows(self) -> int:
+        """Tuples of SALES (the paper's "about 2 million")."""
+        return self.num_transactions * self.items_per_transaction
+
+    @property
+    def item_probability(self) -> float:
+        """Chance an item appears in a transaction ("1%" in the paper)."""
+        return self.items_per_transaction / self.num_items
+
+    def scaled(self, factor: float) -> "HypotheticalConfig":
+        """Shrink transactions and catalogue together.
+
+        Transaction length stays fixed at the paper's 10 items, so the
+        per-transaction candidate blow-up (``C(10, k)`` subsets) — the
+        quantity both analyses hinge on — is preserved at laptop size.
+        The catalogue never shrinks below twice the basket size so
+        transactions remain drawable without replacement.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return HypotheticalConfig(
+            num_items=max(
+                self.items_per_transaction * 2,
+                round(self.num_items * factor),
+            ),
+            num_transactions=max(1, round(self.num_transactions * factor)),
+            items_per_transaction=self.items_per_transaction,
+            seed=self.seed,
+        )
+
+
+#: The exact configuration the paper analyzes.
+PAPER_HYPOTHETICAL = HypotheticalConfig()
+
+
+def generate_hypothetical_database(
+    config: HypotheticalConfig | None = None, *, scale: float = 1.0
+) -> TransactionDatabase:
+    """Materialize the hypothetical database (uniform items, fixed size)."""
+    config = config or PAPER_HYPOTHETICAL
+    if scale != 1.0:
+        config = config.scaled(scale)
+    rng = random.Random(config.seed)
+    population = range(1, config.num_items + 1)
+    return TransactionDatabase(
+        (tid, tuple(rng.sample(population, config.items_per_transaction)))
+        for tid in range(1, config.num_transactions + 1)
+    )

@@ -1,0 +1,113 @@
+"""Reading and writing transaction data.
+
+Two interchange formats:
+
+* **basket files** — one transaction per line, ``trans_id: item item ...``
+  (the format the paper's main-memory implementation reads: "We
+  implemented the algorithm to run in main memory and read a file of
+  transactions");
+* **SALES CSV** — one ``trans_id,item`` row per line with a header,
+  mirroring the relational schema of Section 2, loadable straight into
+  sqlite3 or the bundled SQL engine.
+
+Items round-trip as strings unless they look like integers, in which case
+they come back as ``int`` — matching the generators, which use integer
+items throughout.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.transactions import (
+    Item,
+    TransactionDatabase,
+    sales_rows_to_transactions,
+)
+
+__all__ = [
+    "read_basket_file",
+    "read_sales_csv",
+    "write_basket_file",
+    "write_sales_csv",
+]
+
+
+def _parse_item(token: str) -> Item:
+    """Items that look like integers become integers; others stay strings."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_basket_file(database: TransactionDatabase, path: str | Path) -> None:
+    """Write ``trans_id: item item ...`` lines, one per transaction."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for txn in database:
+            items = " ".join(str(item) for item in txn.items)
+            handle.write(f"{txn.trans_id}: {items}\n")
+
+
+def read_basket_file(path: str | Path) -> TransactionDatabase:
+    """Read a file produced by :func:`write_basket_file`.
+
+    Blank lines and ``#`` comment lines are ignored; malformed lines raise
+    ``ValueError`` with the offending line number.
+    """
+    path = Path(path)
+    transactions = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            head, separator, tail = line.partition(":")
+            if not separator:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 'trans_id: items', got {line!r}"
+                )
+            try:
+                trans_id = int(head.strip())
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: bad trans_id {head.strip()!r}"
+                ) from exc
+            items = tuple(_parse_item(token) for token in tail.split())
+            transactions.append((trans_id, items))
+    return TransactionDatabase(transactions)
+
+
+def write_sales_csv(database: TransactionDatabase, path: str | Path) -> None:
+    """Write the ``SALES(trans_id, item)`` relation as CSV with a header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["trans_id", "item"])
+        for trans_id, item in database.sales_rows():
+            writer.writerow([trans_id, item])
+
+
+def read_sales_csv(path: str | Path) -> TransactionDatabase:
+    """Read a CSV produced by :func:`write_sales_csv` (header required)."""
+    path = Path(path)
+    rows: list[tuple[int, Item]] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [cell.strip() for cell in header[:2]] != [
+            "trans_id",
+            "item",
+        ]:
+            raise ValueError(
+                f"{path}: expected header 'trans_id,item', got {header!r}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) < 2:
+                raise ValueError(f"{path}:{line_no}: expected two columns")
+            rows.append((int(row[0]), _parse_item(row[1])))
+    return sales_rows_to_transactions(rows)

@@ -1,0 +1,238 @@
+"""Synthetic retail data calibrated to the paper's evaluation data set.
+
+Section 6 evaluates SETM on proprietary "sales data obtained from a large
+retailing company".  The data set itself is long gone, but the paper pins
+down its aggregate shape precisely, and those aggregates are the *only*
+properties its measurements depend on:
+
+* 46,873 customer transactions;
+* ``|R_1| = 115,568`` rows of ``SALES`` (mean basket ≈ 2.47 items);
+* ``|C_1| = 59`` distinct items;
+* the longest frequent pattern at 0.1% support has 3 items
+  ("the maximum size of the rules is 3, hence in all cases |R_4| = 0"),
+  while at 0.05% support 4-item patterns appear ("if the minimum support
+  is reduced to 0.05%, we obtain rules with 3 items in the antecedent");
+* ``|R_i|`` and ``|C_i|`` decay with iteration for large minimum support,
+  with the drop delayed (``|C_i|`` humped) for small minimum support.
+
+:func:`generate_retail_dataset` reproduces all of these with a seeded
+mixture model: Zipf-distributed single-item purchases plus a small
+catalogue of planted "bundles" (co-purchase patterns) whose target
+frequencies straddle the paper's support levels — including three-item
+bundles above 5% support (so ``C_3`` survives every measured minsup) and
+four-item bundles between 0.05% and 0.1% (frequent at the former, not the
+latter).  A final adjustment pass nudges the row count to exactly match
+``|R_1|`` and guarantees all 59 items occur.
+
+The defaults produce the paper-scale database in a few seconds;
+``scale`` shrinks everything proportionally for quick tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.transactions import TransactionDatabase
+
+__all__ = [
+    "PAPER_NUM_TRANSACTIONS",
+    "PAPER_NUM_SALES_ROWS",
+    "PAPER_NUM_ITEMS",
+    "RetailConfig",
+    "generate_retail_dataset",
+]
+
+#: "a total of 46,873 customer transactions" (Section 6).
+PAPER_NUM_TRANSACTIONS = 46_873
+
+#: "|R_1| = 115,568 in all cases" (Section 6.1).
+PAPER_NUM_SALES_ROWS = 115_568
+
+#: "|C_1| = 59" for every minimum support (Section 6.1).
+PAPER_NUM_ITEMS = 59
+
+#: Planted bundles: (items, target fraction of transactions).  Frequencies
+#: straddle the measured support grid {0.05, 0.1, 0.5, 1, 2, 5}%:
+#: three-item bundles above 5% keep C_3 non-empty at every measured
+#: minsup; the four-item bundles sit between 0.05% and 0.1%, so 4-patterns
+#: are frequent only below the paper's 0.1% floor.
+#: Bundle members live in the low-popularity half of the catalogue so that
+#: random co-purchases of *popular* items never push a 4-item set past the
+#: 0.1% threshold; shared members (31, 33, 42, 44, 49) give the overlap
+#: structure real co-purchase data exhibits.
+_BUNDLES: tuple[tuple[tuple[int, ...], float], ...] = (
+    ((30, 31), 0.060),
+    ((32, 33), 0.040),
+    ((34, 35), 0.025),
+    ((36, 37), 0.012),
+    ((38, 39), 0.006),
+    ((40, 41), 0.003),
+    ((31, 42, 43), 0.055),
+    ((44, 45, 46), 0.020),
+    ((33, 47, 48), 0.008),
+    ((49, 50, 51), 0.004),
+    ((52, 53, 54), 0.0015),
+    ((55, 56, 57, 58), 0.0008),
+    ((42, 44, 49, 59), 0.0007),
+)
+
+#: Basket-size distribution for non-bundle purchases: mean ≈ 2.48 with a
+#: tail to 8 items; combined with bundle insertions it lands the corpus
+#: mean on the paper's ≈ 2.47 without post-hoc padding.
+_LENGTH_WEIGHTS: tuple[tuple[int, float], ...] = (
+    (1, 0.33),
+    (2, 0.27),
+    (3, 0.18),
+    (4, 0.11),
+    (5, 0.06),
+    (6, 0.03),
+    (7, 0.015),
+    (8, 0.005),
+)
+
+
+@dataclass(frozen=True)
+class RetailConfig:
+    """Knobs of the retail generator (defaults reproduce the paper)."""
+
+    num_transactions: int = PAPER_NUM_TRANSACTIONS
+    target_sales_rows: int | None = PAPER_NUM_SALES_ROWS
+    num_items: int = PAPER_NUM_ITEMS
+    seed: int = 19950306  # ICDE'95 conference week
+    zipf_exponent: float = 0.70
+    bundles: tuple[tuple[tuple[int, ...], float], ...] = _BUNDLES
+    length_weights: tuple[tuple[int, float], ...] = _LENGTH_WEIGHTS
+
+    def scaled(self, scale: float) -> "RetailConfig":
+        """A proportionally smaller (or larger) configuration."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        rows = (
+            None
+            if self.target_sales_rows is None
+            else max(self.num_items, round(self.target_sales_rows * scale))
+        )
+        return RetailConfig(
+            num_transactions=max(1, round(self.num_transactions * scale)),
+            target_sales_rows=rows,
+            num_items=self.num_items,
+            seed=self.seed,
+            zipf_exponent=self.zipf_exponent,
+            bundles=self.bundles,
+            length_weights=self.length_weights,
+        )
+
+
+def _zipf_weights(num_items: int, exponent: float) -> list[float]:
+    return [1.0 / (rank**exponent) for rank in range(1, num_items + 1)]
+
+
+def generate_retail_dataset(
+    config: RetailConfig | None = None, *, scale: float = 1.0
+) -> TransactionDatabase:
+    """Generate the calibrated retail database (deterministic per seed).
+
+    Parameters
+    ----------
+    config:
+        Generator configuration; defaults to the paper-matched settings.
+    scale:
+        Convenience shrink factor applied to ``config`` (0.1 gives a
+        ~4,700-transaction database with the same structure).
+    """
+    config = config or RetailConfig()
+    if scale != 1.0:
+        config = config.scaled(scale)
+    rng = random.Random(config.seed)
+
+    items = list(range(1, config.num_items + 1))
+    weights = _zipf_weights(config.num_items, config.zipf_exponent)
+    lengths = [length for length, _ in config.length_weights]
+    length_weights = [weight for _, weight in config.length_weights]
+
+    bundle_items = [list(bundle) for bundle, _ in config.bundles]
+    bundle_probability = sum(freq for _, freq in config.bundles)
+    bundle_weights = [freq for _, freq in config.bundles]
+
+    transactions: list[set[int]] = []
+    for _ in range(config.num_transactions):
+        basket: set[int] = set()
+        if rng.random() < bundle_probability:
+            (chosen,) = rng.choices(bundle_items, weights=bundle_weights)
+            basket.update(chosen)
+            # A pair purchase occasionally carries an impulse extra; longer
+            # bundles stay pure so no 4-item pattern crosses 0.1% support.
+            if len(chosen) == 2 and rng.random() < 0.30:
+                basket.update(rng.choices(items, weights=weights))
+        else:
+            (length,) = rng.choices(lengths, weights=length_weights)
+            while len(basket) < length:
+                basket.update(rng.choices(items, weights=weights))
+        transactions.append(basket)
+
+    _ensure_all_items_present(transactions, items, rng)
+    if config.target_sales_rows is not None:
+        _adjust_row_count(
+            transactions, items, weights, config.target_sales_rows, rng
+        )
+
+    return TransactionDatabase(
+        (tid, tuple(basket))
+        for tid, basket in enumerate(transactions, start=1)
+    )
+
+
+def _ensure_all_items_present(
+    transactions: list[set[int]], items: list[int], rng: random.Random
+) -> None:
+    """Guarantee every catalogue item occurs at least once (|C_1| exact)."""
+    present = set().union(*transactions) if transactions else set()
+    for item in items:
+        if item not in present:
+            target = rng.randrange(len(transactions))
+            transactions[target].add(item)
+
+
+def _adjust_row_count(
+    transactions: list[set[int]],
+    items: list[int],
+    weights: list[float],
+    target_rows: int,
+    rng: random.Random,
+) -> None:
+    """Nudge total rows to exactly ``target_rows``.
+
+    Surplus rows are removed from multi-item baskets (never reducing an
+    item's transaction count to zero); deficits are filled by adding
+    popularity-weighted items to random baskets.  The perturbation is a
+    fraction of a percent of the corpus, far below anything the support
+    grid can detect.
+    """
+    item_support: dict[int, int] = {item: 0 for item in items}
+    total = 0
+    for basket in transactions:
+        total += len(basket)
+        for item in basket:
+            item_support[item] += 1
+
+    guard = 0
+    while total != target_rows and guard < 10 * target_rows:
+        guard += 1
+        if total < target_rows:
+            basket = transactions[rng.randrange(len(transactions))]
+            (item,) = rng.choices(items, weights=weights)
+            if item not in basket:
+                basket.add(item)
+                item_support[item] += 1
+                total += 1
+        else:
+            basket = transactions[rng.randrange(len(transactions))]
+            if len(basket) <= 1:
+                continue
+            item = rng.choice(sorted(basket))
+            if item_support[item] <= 1:
+                continue
+            basket.discard(item)
+            item_support[item] -= 1
+            total -= 1

@@ -1,0 +1,26 @@
+"""Extensions the paper proposes as future work (Section 7), plus
+standard pattern-set condensations."""
+
+from repro.extensions.customer_classes import (
+    ClassContrast,
+    ClassifiedDatabase,
+    class_contrast_rules,
+    mine_per_class,
+)
+from repro.extensions.multi_consequent import generate_multi_consequent_rules
+from repro.extensions.summaries import (
+    closed_patterns,
+    maximal_patterns,
+    summarize,
+)
+
+__all__ = [
+    "ClassContrast",
+    "ClassifiedDatabase",
+    "class_contrast_rules",
+    "closed_patterns",
+    "generate_multi_consequent_rules",
+    "maximal_patterns",
+    "mine_per_class",
+    "summarize",
+]

@@ -1,0 +1,77 @@
+"""Pattern-set summaries: maximal and closed frequent itemsets.
+
+SETM (like AIS and Apriori) reports *every* frequent pattern, and
+Figure 6 shows how quickly that set grows at small minimum supports.
+Two standard condensations — both later formalized by the
+frequent-pattern literature — summarize the result losslessly or nearly
+so:
+
+* a frequent pattern is **maximal** when no frequent superset exists;
+  the maximal family determines *which* patterns are frequent (but not
+  their counts);
+* a frequent pattern is **closed** when no superset has the same
+  support; the closed family determines every pattern's exact count.
+
+Both are post-processing over a :class:`~repro.core.result.MiningResult`,
+so they compose with any engine in this package — one more instance of
+the paper's "set-oriented results are easy to build on" argument.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import MiningResult, Pattern
+
+__all__ = [
+    "closed_patterns",
+    "maximal_patterns",
+    "summarize",
+]
+
+
+def maximal_patterns(result: MiningResult) -> dict[Pattern, int]:
+    """The frequent patterns with no frequent strict superset."""
+    all_patterns = result.all_patterns()
+    by_length: dict[int, list[Pattern]] = {}
+    for pattern in all_patterns:
+        by_length.setdefault(len(pattern), []).append(pattern)
+
+    maximal: dict[Pattern, int] = {}
+    lengths = sorted(by_length, reverse=True)
+    for length in lengths:
+        longer = [
+            set(candidate)
+            for other_length in lengths
+            if other_length > length
+            for candidate in by_length[other_length]
+        ]
+        for pattern in by_length[length]:
+            pattern_set = set(pattern)
+            if not any(pattern_set < superset for superset in longer):
+                maximal[pattern] = all_patterns[pattern]
+    return maximal
+
+
+def closed_patterns(result: MiningResult) -> dict[Pattern, int]:
+    """The frequent patterns whose every strict superset has lower support."""
+    all_patterns = result.all_patterns()
+    closed: dict[Pattern, int] = {}
+    for pattern, count in all_patterns.items():
+        pattern_set = set(pattern)
+        has_equal_superset = any(
+            count == other_count and pattern_set < set(other)
+            for other, other_count in all_patterns.items()
+            if len(other) == len(pattern) + 1
+        )
+        if not has_equal_superset:
+            closed[pattern] = count
+    return closed
+
+
+def summarize(result: MiningResult) -> dict[str, int]:
+    """Pattern-set size report: all vs closed vs maximal cardinalities."""
+    all_patterns = result.all_patterns()
+    return {
+        "frequent": len(all_patterns),
+        "closed": len(closed_patterns(result)),
+        "maximal": len(maximal_patterns(result)),
+    }

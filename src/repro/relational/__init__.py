@@ -1,0 +1,29 @@
+"""In-memory relational algebra: schemas, relations, operators."""
+
+from repro.relational.catalog import Catalog, CatalogError
+from repro.relational.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    ExpressionError,
+    Literal,
+    Parameter,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema, SchemaError
+
+__all__ = [
+    "And",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnRef",
+    "ColumnType",
+    "Comparison",
+    "ExpressionError",
+    "Literal",
+    "Parameter",
+    "Relation",
+    "Schema",
+    "SchemaError",
+]

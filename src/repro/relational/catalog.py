@@ -1,0 +1,52 @@
+"""Named-relation catalog: the engine's system tables, minus the ceremony."""
+
+from __future__ import annotations
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = ["Catalog", "CatalogError"]
+
+
+class CatalogError(Exception):
+    """Unknown, duplicate, or otherwise misused table names."""
+
+
+class Catalog:
+    """Case-insensitive mapping from table names to relations."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Relation] = {}
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.upper()
+
+    def create(self, name: str, schema: Schema) -> Relation:
+        """Create an empty table; duplicate names are an error."""
+        key = self._key(name)
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        relation = Relation(schema)
+        self._tables[key] = relation
+        return relation
+
+    def drop(self, name: str, *, if_exists: bool = False) -> None:
+        key = self._key(name)
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._tables[self._key(name)]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def exists(self, name: str) -> bool:
+        return self._key(name) in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)

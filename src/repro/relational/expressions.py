@@ -1,0 +1,154 @@
+"""Scalar expressions and predicates for the relational engine.
+
+The query subset the paper needs is conjunctions of comparisons between
+columns, constants and named parameters (``:minsupport``).  Expressions
+compile against a schema into plain Python closures over row tuples, so
+evaluation inside operator inner loops costs one function call — the
+engine's version of predicate compilation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.relational.schema import Schema
+
+__all__ = [
+    "And",
+    "ColumnRef",
+    "Comparison",
+    "CompiledPredicate",
+    "ExpressionError",
+    "Literal",
+    "Parameter",
+    "COMPARISON_OPS",
+]
+
+#: Row-level predicate produced by compilation.
+CompiledPredicate = Callable[[tuple], bool]
+
+#: Supported comparison operators and their Python semantics.
+COMPARISON_OPS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class ExpressionError(Exception):
+    """Unknown operator, unbound parameter, or unresolvable column."""
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """A (possibly qualified) column reference: ``r1.item`` or ``item``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def resolve(self, schema: Schema) -> int:
+        return schema.index_of(self.name, self.qualifier)
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A constant (int or string)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """A named query parameter, ``:name``, bound at execution time."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f":{self.name}"
+
+
+Operand = ColumnRef | Literal | Parameter
+
+
+def _compile_operand(
+    operand: Operand, schema: Schema, params: Mapping[str, object]
+) -> Callable[[tuple], object]:
+    if isinstance(operand, ColumnRef):
+        index = operand.resolve(schema)
+        return lambda row: row[index]
+    if isinstance(operand, Literal):
+        value = operand.value
+        return lambda row: value
+    if isinstance(operand, Parameter):
+        if operand.name not in params:
+            raise ExpressionError(f"unbound parameter :{operand.name}")
+        bound = params[operand.name]
+        return lambda row: bound
+    raise ExpressionError(f"unsupported operand {operand!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """``left <op> right`` over columns, literals and parameters."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ExpressionError(f"unsupported operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    def compile(
+        self, schema: Schema, params: Mapping[str, object] | None = None
+    ) -> CompiledPredicate:
+        params = params or {}
+        compare = COMPARISON_OPS[self.op]
+        left = _compile_operand(self.left, schema, params)
+        right = _compile_operand(self.right, schema, params)
+        return lambda row: compare(left(row), right(row))
+
+    def references(self) -> set[str | None]:
+        """Qualifiers mentioned (None for bare refs and constants)."""
+        out: set[str | None] = set()
+        for operand in (self.left, self.right):
+            if isinstance(operand, ColumnRef):
+                out.add(operand.qualifier)
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    """A conjunction of comparisons — the only connective the subset needs."""
+
+    conjuncts: tuple[Comparison, ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(str(conjunct) for conjunct in self.conjuncts)
+
+    def compile(
+        self, schema: Schema, params: Mapping[str, object] | None = None
+    ) -> CompiledPredicate:
+        compiled = [
+            conjunct.compile(schema, params) for conjunct in self.conjuncts
+        ]
+        if not compiled:
+            return lambda row: True
+        if len(compiled) == 1:
+            return compiled[0]
+        return lambda row: all(predicate(row) for predicate in compiled)

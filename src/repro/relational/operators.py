@@ -1,0 +1,156 @@
+"""Physical operators of the in-memory relational engine.
+
+Volcano-style: every operator is a generator over row tuples, composed by
+the planner into a pipeline.  The operator set is exactly what the paper's
+two formulations need:
+
+* :func:`scan`, :func:`select`, :func:`project`
+* :func:`nested_loop_join` — the Section 3 strategy's join
+* :func:`merge_join` — the Section 4 strategy's join (equi-join on sort
+  keys with optional residual predicate, e.g. ``q.item > p.item_{k-1}``)
+* :func:`sort_rows` — in-memory sort standing in for the external sort
+* :func:`group_count` — sort-based ``GROUP BY`` + ``COUNT(*)`` with an
+  optional ``HAVING COUNT(*) >= threshold``
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+__all__ = [
+    "group_count",
+    "merge_join",
+    "nested_loop_join",
+    "project",
+    "scan",
+    "select",
+    "sort_rows",
+]
+
+Row = tuple
+Predicate = Callable[[Row], bool]
+KeyFunction = Callable[[Row], tuple]
+
+
+def scan(rows: Iterable[Row]) -> Iterator[Row]:
+    """Base-table access."""
+    yield from rows
+
+
+def select(rows: Iterable[Row], predicate: Predicate) -> Iterator[Row]:
+    """Filter by a compiled predicate."""
+    for row in rows:
+        if predicate(row):
+            yield row
+
+
+def project(
+    rows: Iterable[Row], indexes: list[int]
+) -> Iterator[Row]:
+    """Column projection by position."""
+    for row in rows:
+        yield tuple(row[index] for index in indexes)
+
+
+def sort_rows(rows: Iterable[Row], key: KeyFunction) -> Iterator[Row]:
+    """Full sort (materializes; the disk engine does this externally)."""
+    yield from sorted(rows, key=key)
+
+
+def nested_loop_join(
+    outer: Iterable[Row],
+    inner_factory: Callable[[], Iterable[Row]],
+    predicate: Predicate | None = None,
+) -> Iterator[Row]:
+    """Tuple-at-a-time nested-loop join.
+
+    ``inner_factory`` re-produces the inner input per outer row (rescans —
+    the behaviour whose cost Section 3.2 demolishes).  ``predicate``
+    applies to the concatenated row.
+    """
+    for outer_row in outer:
+        for inner_row in inner_factory():
+            combined = outer_row + inner_row
+            if predicate is None or predicate(combined):
+                yield combined
+
+
+def merge_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    left_key: KeyFunction,
+    right_key: KeyFunction,
+    residual: Predicate | None = None,
+) -> Iterator[Row]:
+    """Sort-merge equi-join with an optional residual predicate.
+
+    Both inputs must arrive sorted on their join keys.  Duplicate keys on
+    both sides produce the full cross product of the matching groups
+    (required: every transaction joins each ``R_{k-1}`` instance with each
+    ``SALES`` row).  The residual predicate — the paper's band condition
+    ``q.item > p.item_{k-1}`` — filters the concatenated rows.
+    """
+    left_iter = iter(left)
+    right_iter = iter(right)
+    left_row = next(left_iter, None)
+    right_row = next(right_iter, None)
+    while left_row is not None and right_row is not None:
+        lkey = left_key(left_row)
+        rkey = right_key(right_row)
+        if lkey < rkey:
+            left_row = next(left_iter, None)
+        elif lkey > rkey:
+            right_row = next(right_iter, None)
+        else:
+            # Gather both duplicate groups for this key.
+            left_group = [left_row]
+            left_row = next(left_iter, None)
+            while left_row is not None and left_key(left_row) == lkey:
+                left_group.append(left_row)
+                left_row = next(left_iter, None)
+            right_group = [right_row]
+            right_row = next(right_iter, None)
+            while right_row is not None and right_key(right_row) == rkey:
+                right_group.append(right_row)
+                right_row = next(right_iter, None)
+            for lrow in left_group:
+                for rrow in right_group:
+                    combined = lrow + rrow
+                    if residual is None or residual(combined):
+                        yield combined
+
+
+def group_count(
+    rows: Iterable[Row],
+    group_indexes: list[int],
+    *,
+    having_min_count: int | None = None,
+    presorted: bool = False,
+) -> Iterator[Row]:
+    """``GROUP BY`` + ``COUNT(*)`` (+ optional ``HAVING COUNT(*) >= n``).
+
+    Emits ``group_columns + (count,)`` rows in group order.  Sort-based,
+    like the paper's "sort R'_k then a single sequential scan"; pass
+    ``presorted=True`` when the input is already ordered on the group
+    columns.
+    """
+    def key(row: Row) -> tuple:
+        return tuple(row[index] for index in group_indexes)
+
+    ordered = rows if presorted else sorted(rows, key=key)
+    current: tuple | None = None
+    count = 0
+    for row in ordered:
+        group = key(row)
+        if group == current:
+            count += 1
+        else:
+            if current is not None and (
+                having_min_count is None or count >= having_min_count
+            ):
+                yield current + (count,)
+            current, count = group, 1
+    if current is not None and (
+        having_min_count is None or count >= having_min_count
+    ):
+        yield current + (count,)

@@ -1,0 +1,71 @@
+"""In-memory relations (bags of tuples with a schema).
+
+Relations in this engine are *bags*, matching SQL semantics: the ``R'_k``
+relation of the paper legitimately contains one row per pattern instance,
+and ``SELECT`` without ``DISTINCT`` preserves duplicates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.relational.schema import Schema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A schema plus a list of rows (tuples)."""
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple] = ()) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = [tuple(row) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema!r}, {len(self.rows)} rows)"
+
+    def append(self, row: tuple, *, validate: bool = True) -> None:
+        """Add one row, type-checked against the schema by default."""
+        row = tuple(row)
+        if validate:
+            self.schema.validate_row(row)
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[tuple], *, validate: bool = True) -> None:
+        for row in rows:
+            self.append(row, validate=validate)
+
+    def as_set(self) -> set[tuple]:
+        """The rows as a set (order- and duplicate-insensitive comparison)."""
+        return set(self.rows)
+
+    def as_sorted_list(self) -> list[tuple]:
+        """Rows sorted — canonical form for equality in tests."""
+        return sorted(self.rows)
+
+    def pretty(self, *, limit: int | None = 20) -> str:
+        """Human-readable rendering (for examples and debugging)."""
+        headers = [column.qualified_name for column in self.schema]
+        shown = self.rows if limit is None else self.rows[:limit]
+        widths = [len(header) for header in headers]
+        rendered = [[str(value) for value in row] for row in shown]
+        for row in rendered:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+            "-+-".join("-" * width for width in widths),
+        ]
+        lines.extend(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            for row in rendered
+        )
+        if limit is not None and len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)

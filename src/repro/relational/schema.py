@@ -1,0 +1,135 @@
+"""Schemas for the in-memory relational engine.
+
+A :class:`Schema` is an ordered list of typed columns.  Column references
+in queries may be *qualified* (``r1.item``) or bare (``item``); the schema
+resolves both, rejecting ambiguous bare names — the behaviour the paper's
+multi-way self-joins rely on (``SALES r1, SALES r2`` exposes ``r1.item``
+and ``r2.item`` as distinct columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Column", "ColumnType", "Schema", "SchemaError"]
+
+
+class SchemaError(Exception):
+    """Unknown or ambiguous column reference, or malformed schema."""
+
+
+class ColumnType(Enum):
+    """Supported column types (the paper needs exactly these two)."""
+
+    INTEGER = "INTEGER"
+    TEXT = "TEXT"
+
+    def validate(self, value: object) -> bool:
+        """True when ``value`` is acceptable for this type (NULL never is —
+        the mining schemas are NOT NULL throughout)."""
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One column: an optional table qualifier, a name, and a type."""
+
+    name: str
+    type: ColumnType = ColumnType.INTEGER
+    qualifier: str | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+class Schema:
+    """An ordered, resolvable collection of columns."""
+
+    def __init__(self, columns: list[Column] | tuple[Column, ...]) -> None:
+        self.columns: tuple[Column, ...] = tuple(columns)
+        seen: set[str] = set()
+        for column in self.columns:
+            key = column.qualified_name
+            if key in seen:
+                raise SchemaError(f"duplicate column {key!r}")
+            seen.add(key)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{column.qualified_name} {column.type.value}"
+            for column in self.columns
+        )
+        return f"Schema({inner})"
+
+    def names(self) -> list[str]:
+        """Bare column names in order."""
+        return [column.name for column in self.columns]
+
+    def index_of(self, name: str, qualifier: str | None = None) -> int:
+        """Position of a column; bare names must be unambiguous."""
+        matches = [
+            index
+            for index, column in enumerate(self.columns)
+            if column.name == name
+            and (qualifier is None or column.qualifier == qualifier)
+        ]
+        if not matches:
+            target = f"{qualifier}.{name}" if qualifier else name
+            raise SchemaError(f"unknown column {target!r}")
+        if len(matches) > 1:
+            raise SchemaError(
+                f"ambiguous column {name!r}: qualify it (candidates: "
+                + ", ".join(
+                    self.columns[index].qualified_name for index in matches
+                )
+                + ")"
+            )
+        return matches[0]
+
+    def with_qualifier(self, qualifier: str) -> "Schema":
+        """A copy of this schema with every column re-qualified.
+
+        Used when a base table enters a query under an alias: ``SALES r1``
+        exposes columns ``r1.trans_id`` and ``r1.item``.
+        """
+        return Schema(
+            [
+                Column(column.name, column.type, qualifier)
+                for column in self.columns
+            ]
+        )
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a join result: this schema followed by ``other``."""
+        return Schema([*self.columns, *other.columns])
+
+    def validate_row(self, row: tuple) -> None:
+        """Type-check one row against the schema (raises ``SchemaError``)."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self.columns)} "
+                "columns"
+            )
+        for value, column in zip(row, self.columns):
+            if not column.type.validate(value):
+                raise SchemaError(
+                    f"value {value!r} is not valid for column "
+                    f"{column.qualified_name} of type {column.type.value}"
+                )

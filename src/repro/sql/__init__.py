@@ -1,0 +1,14 @@
+"""SQL subset engine: lexer, parser, planner, executor, and the paper's
+query generator."""
+
+from repro.sql.database import SQLDatabase
+from repro.sql.parser import ParserError, parse_script, parse_statement
+from repro.sql.planner import PlannerError
+
+__all__ = [
+    "ParserError",
+    "PlannerError",
+    "SQLDatabase",
+    "parse_script",
+    "parse_statement",
+]

@@ -1,0 +1,142 @@
+"""Abstract syntax for the SQL subset.
+
+The grammar covers exactly what the paper's Sections 3.1 and 4.1 write —
+multi-table ``SELECT`` with conjunctive ``WHERE``, ``COUNT(*)`` with
+``GROUP BY`` / ``HAVING``, ``ORDER BY``, ``INSERT INTO ... SELECT``,
+``INSERT INTO ... VALUES``, ``CREATE TABLE``, ``DROP TABLE`` and
+``DELETE FROM`` — nothing more.  Reusing the expression nodes of
+:mod:`repro.relational.expressions` keeps one comparison semantics across
+the parser and the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.expressions import ColumnRef, Comparison, Literal, Parameter
+from repro.relational.schema import ColumnType
+
+__all__ = [
+    "CountStar",
+    "CreateTable",
+    "DeleteFrom",
+    "DropTable",
+    "InsertSelect",
+    "InsertValues",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "Star",
+    "Statement",
+    "TableRef",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CountStar:
+    """The ``COUNT(*)`` aggregate (the only one the subset needs)."""
+
+    def __str__(self) -> str:
+        return "COUNT(*)"
+
+
+@dataclass(frozen=True, slots=True)
+class Star:
+    """``SELECT *`` (optionally ``alias.*``)."""
+
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.*" if self.qualifier else "*"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One projection item: a column reference, ``COUNT(*)`` or ``*``,
+    with an optional output alias."""
+
+    expression: ColumnRef | CountStar | Star
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        if isinstance(self.expression, Star):
+            return "*"
+        return "count"
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """A FROM-list entry: table name plus optional alias (``SALES r1``)."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name columns are qualified with inside the query."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True, slots=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SelectStatement:
+    select_items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    where: tuple[Comparison, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    having: tuple[Comparison, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    distinct: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class InsertSelect:
+    table: str
+    select: SelectStatement
+
+
+@dataclass(frozen=True, slots=True)
+class InsertValues:
+    table: str
+    rows: tuple[tuple[Literal | Parameter, ...], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CreateTable:
+    table: str
+    columns: tuple[tuple[str, ColumnType], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DropTable:
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteFrom:
+    """``DELETE FROM t`` (whole-table delete; the loop drops R'_k this way)."""
+
+    table: str
+
+
+Statement = (
+    SelectStatement
+    | InsertSelect
+    | InsertValues
+    | CreateTable
+    | DropTable
+    | DeleteFrom
+)

@@ -1,0 +1,203 @@
+"""Generation of the paper's SQL statements for any pattern length ``k``.
+
+Sections 3.1 and 4.1 write their queries with ``...`` ellipses over the
+``k`` item columns; this module expands them into concrete SQL text —
+portable across the bundled engine and sqlite3 — so the mining loop of
+:mod:`repro.core.setm_sql` can execute the *literal* formulation of the
+paper at every iteration.
+
+Naming: ``R'_k`` becomes ``RP{k}`` (SQL identifiers cannot carry primes),
+``R_k`` → ``R{k}``, ``C_k`` → ``C{k}``; the count column is ``cnt``
+(``count`` is reserved in many dialects).  Item columns are
+``item1 .. itemk``; ``R1`` is a renamed copy of ``SALES`` so every
+iteration sees the same uniform schema.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SQLNames",
+    "create_c_table",
+    "create_r_table",
+    "create_sales_table",
+    "insert_c1_query",
+    "insert_ck_nested_loop_query",
+    "insert_ck_query",
+    "insert_r1_query",
+    "insert_rk_filter_query",
+    "insert_rk_prime_query",
+    "item_columns",
+]
+
+
+class SQLNames:
+    """Table-name scheme (override for concurrent runs in one database)."""
+
+    sales = "SALES"
+
+    @staticmethod
+    def r(k: int) -> str:
+        return f"R{k}"
+
+    @staticmethod
+    def r_prime(k: int) -> str:
+        return f"RP{k}"
+
+    @staticmethod
+    def c(k: int) -> str:
+        return f"C{k}"
+
+
+def item_columns(k: int, *, prefix: str = "") -> list[str]:
+    """``item1 .. itemk``, optionally qualified (``p.item1``)."""
+    dotted = f"{prefix}." if prefix else ""
+    return [f"{dotted}item{i}" for i in range(1, k + 1)]
+
+
+def create_sales_table(item_type: str = "INTEGER") -> str:
+    """DDL for ``SALES(trans_id, item)`` (Section 2's schema)."""
+    return f"CREATE TABLE SALES (trans_id INTEGER, item {item_type})"
+
+
+def create_r_table(k: int, item_type: str = "INTEGER", *, prime: bool = False) -> str:
+    """DDL for ``R_k`` / ``R'_k``: ``(trans_id, item1, ..., itemk)``."""
+    name = SQLNames.r_prime(k) if prime else SQLNames.r(k)
+    columns = ", ".join(
+        f"{column} {item_type}" for column in item_columns(k)
+    )
+    return f"CREATE TABLE {name} (trans_id INTEGER, {columns})"
+
+
+def create_c_table(k: int, item_type: str = "INTEGER") -> str:
+    """DDL for ``C_k``: ``(item1, ..., itemk, cnt)``."""
+    columns = ", ".join(
+        f"{column} {item_type}" for column in item_columns(k)
+    )
+    return f"CREATE TABLE {SQLNames.c(k)} ({columns}, cnt INTEGER)"
+
+
+def insert_r1_query() -> str:
+    """``R_1`` := ``SALES`` under the uniform ``item1`` column name."""
+    return (
+        f"INSERT INTO {SQLNames.r(1)} "
+        "SELECT s.trans_id, s.item FROM SALES s"
+    )
+
+
+def insert_c1_query(*, filtered: bool = True) -> str:
+    """The Section 3.1 ``C_1`` query (HAVING optional, per Figure 4)."""
+    having = " HAVING COUNT(*) >= :minsupport" if filtered else ""
+    return (
+        f"INSERT INTO {SQLNames.c(1)} "
+        f"SELECT r1.item1, COUNT(*) FROM {SQLNames.r(1)} r1 "
+        f"GROUP BY r1.item1{having}"
+    )
+
+
+def insert_rk_prime_query(k: int) -> str:
+    """The Section 4.1 merge-scan query: ``R'_k`` from ``R_{k-1}`` × SALES.
+
+    .. code-block:: sql
+
+        INSERT INTO R'_k
+        SELECT p.trans_id, p.item1, ..., p.item{k-1}, q.item
+        FROM R_{k-1} p, SALES q
+        WHERE q.trans_id = p.trans_id AND q.item > p.item{k-1}
+    """
+    if k < 2:
+        raise ValueError(f"R'_k exists for k >= 2, got {k}")
+    carried = ", ".join(item_columns(k - 1, prefix="p"))
+    return (
+        f"INSERT INTO {SQLNames.r_prime(k)} "
+        f"SELECT p.trans_id, {carried}, q.item "
+        f"FROM {SQLNames.r(k - 1)} p, SALES q "
+        f"WHERE q.trans_id = p.trans_id AND q.item > p.item{k - 1}"
+    )
+
+
+def insert_ck_query(k: int) -> str:
+    """The Section 4.1 counting query: ``C_k`` from ``R'_k``.
+
+    .. code-block:: sql
+
+        INSERT INTO C_k
+        SELECT p.item1, ..., p.itemk, COUNT(*)
+        FROM R'_k p
+        GROUP BY p.item1, ..., p.itemk
+        HAVING COUNT(*) >= :minsupport
+    """
+    if k < 2:
+        raise ValueError(f"the C_k query applies for k >= 2, got {k}")
+    columns = ", ".join(item_columns(k, prefix="p"))
+    return (
+        f"INSERT INTO {SQLNames.c(k)} "
+        f"SELECT {columns}, COUNT(*) "
+        f"FROM {SQLNames.r_prime(k)} p "
+        f"GROUP BY {columns} "
+        f"HAVING COUNT(*) >= :minsupport"
+    )
+
+
+def insert_rk_filter_query(k: int) -> str:
+    """The Section 4.1 filter query: ``R_k`` = supported rows of ``R'_k``.
+
+    .. code-block:: sql
+
+        INSERT INTO R_k
+        SELECT p.trans_id, p.item1, ..., p.itemk
+        FROM R'_k p, C_k q
+        WHERE p.item1 = q.item1 AND ... AND p.itemk = q.itemk
+        ORDER BY p.trans_id, p.item1, ..., p.itemk
+    """
+    if k < 2:
+        raise ValueError(f"the R_k filter applies for k >= 2, got {k}")
+    carried = ", ".join(item_columns(k, prefix="p"))
+    conditions = " AND ".join(
+        f"p.item{i} = q.item{i}" for i in range(1, k + 1)
+    )
+    return (
+        f"INSERT INTO {SQLNames.r(k)} "
+        f"SELECT p.trans_id, {carried} "
+        f"FROM {SQLNames.r_prime(k)} p, {SQLNames.c(k)} q "
+        f"WHERE {conditions} "
+        f"ORDER BY p.trans_id, {carried}"
+    )
+
+
+def insert_ck_nested_loop_query(k: int) -> str:
+    """The Section 3.1 query: ``C_k`` by joining ``C_{k-1}`` with ``SALES^k``.
+
+    .. code-block:: sql
+
+        INSERT INTO C_k
+        SELECT r1.item, ..., rk.item, COUNT(*)
+        FROM C_{k-1} c, SALES r1, ..., SALES rk
+        WHERE r1.trans_id = ... = rk.trans_id
+          AND r1.item = c.item1 AND ... AND r{k-1}.item = c.item{k-1}
+          AND rk.item > r{k-1}.item
+        GROUP BY r1.item, ..., rk.item
+        HAVING COUNT(*) >= :minsupport
+
+    The chained trans_id equality is expanded pairwise, as SQL requires.
+    """
+    if k < 2:
+        raise ValueError(f"the nested-loop C_k query applies for k >= 2, got {k}")
+    selected = ", ".join(f"r{i}.item" for i in range(1, k + 1))
+    tables = ", ".join(
+        [f"{SQLNames.c(k - 1)} c"]
+        + [f"SALES r{i}" for i in range(1, k + 1)]
+    )
+    conditions = [
+        f"r{i}.trans_id = r{i + 1}.trans_id" for i in range(1, k)
+    ]
+    conditions += [f"r{i}.item = c.item{i}" for i in range(1, k)]
+    conditions.append(f"r{k}.item > r{k - 1}.item")
+    group = ", ".join(f"r{i}.item" for i in range(1, k + 1))
+    return (
+        f"INSERT INTO {SQLNames.c(k)} "
+        f"SELECT {selected}, COUNT(*) "
+        f"FROM {tables} "
+        f"WHERE {' AND '.join(conditions)} "
+        f"GROUP BY {group} "
+        f"HAVING COUNT(*) >= :minsupport"
+    )

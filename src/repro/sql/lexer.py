@@ -1,0 +1,210 @@
+"""Tokenizer for the SQL subset.
+
+Token kinds: keywords (case-insensitive), identifiers, integer literals,
+single-quoted string literals (with ``''`` escaping), named parameters
+(``:minsupport``), comparison operators, punctuation.  Line/column info is
+kept on every token so parse errors point at the offending character —
+table stakes for an engine whose whole point is "you can write this in
+SQL".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Lexer", "LexerError", "Token", "TokenType", "KEYWORDS", "tokenize"]
+
+
+class LexerError(Exception):
+    """Unexpected character or unterminated literal."""
+
+
+class TokenType(Enum):
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    INTEGER = "INTEGER"
+    STRING = "STRING"
+    PARAMETER = "PARAMETER"
+    OPERATOR = "OPERATOR"  # = <> < <= > >=
+    COMMA = "COMMA"
+    DOT = "DOT"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    STAR = "STAR"
+    SEMICOLON = "SEMICOLON"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "GROUP",
+        "ORDER",
+        "BY",
+        "HAVING",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "CREATE",
+        "DROP",
+        "TABLE",
+        "IF",
+        "EXISTS",
+        "NOT",
+        "AS",
+        "COUNT",
+        "ASC",
+        "DESC",
+        "DELETE",
+        "INTEGER",
+        "INT",
+        "TEXT",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.value!r} at line {self.line}, column {self.column}"
+
+
+class Lexer:
+    """Single-pass tokenizer; call :meth:`tokens` once."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        for char in chunk:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return chunk
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(f"line {self.line}, column {self.column}: {message}")
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char.isspace():
+                self._advance()
+                continue
+            if char == "-" and self._peek(1) == "-":  # SQL line comment
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+                continue
+            line, column = self.line, self.column
+            if char.isalpha() or char == "_":
+                out.append(self._word(line, column))
+            elif char.isdigit():
+                out.append(self._number(line, column))
+            elif char == "'":
+                out.append(self._string(line, column))
+            elif char == ":":
+                out.append(self._parameter(line, column))
+            elif char in "=<>":
+                out.append(self._operator(line, column))
+            elif char == ",":
+                self._advance()
+                out.append(Token(TokenType.COMMA, ",", line, column))
+            elif char == ".":
+                self._advance()
+                out.append(Token(TokenType.DOT, ".", line, column))
+            elif char == "(":
+                self._advance()
+                out.append(Token(TokenType.LPAREN, "(", line, column))
+            elif char == ")":
+                self._advance()
+                out.append(Token(TokenType.RPAREN, ")", line, column))
+            elif char == "*":
+                self._advance()
+                out.append(Token(TokenType.STAR, "*", line, column))
+            elif char == ";":
+                self._advance()
+                out.append(Token(TokenType.SEMICOLON, ";", line, column))
+            else:
+                raise self._error(f"unexpected character {char!r}")
+        out.append(Token(TokenType.EOF, "", self.line, self.column))
+        return out
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        word = self.text[start : self.pos]
+        if word.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, word.upper(), line, column)
+        return Token(TokenType.IDENTIFIER, word, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek().isalpha():
+            raise self._error("identifiers may not start with a digit")
+        return Token(
+            TokenType.INTEGER, self.text[start : self.pos], line, column
+        )
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated string literal")
+            char = self._advance()
+            if char == "'":
+                if self._peek() == "'":  # escaped quote
+                    parts.append("'")
+                    self._advance()
+                else:
+                    break
+            else:
+                parts.append(char)
+        return Token(TokenType.STRING, "".join(parts), line, column)
+
+    def _parameter(self, line: int, column: int) -> Token:
+        self._advance()  # the colon
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        name = self.text[start : self.pos]
+        if not name:
+            raise self._error("':' must be followed by a parameter name")
+        return Token(TokenType.PARAMETER, name, line, column)
+
+    def _operator(self, line: int, column: int) -> Token:
+        two = self._peek() + self._peek(1)
+        if two in ("<>", "<=", ">="):
+            self._advance(2)
+            return Token(TokenType.OPERATOR, two, line, column)
+        return Token(TokenType.OPERATOR, self._advance(), line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` in one call."""
+    return Lexer(text).tokens()

@@ -1,0 +1,335 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informally):
+
+.. code-block:: text
+
+    statement   := select | insert | create | drop | delete
+    select      := SELECT [DISTINCT] item (',' item)*
+                   FROM table_ref (',' table_ref)*
+                   [WHERE comparison (AND comparison)*]
+                   [GROUP BY column (',' column)*]
+                   [HAVING comparison (AND comparison)*]
+                   [ORDER BY column [ASC|DESC] (',' ...)*]
+    item        := COUNT '(' '*' ')' [[AS] name] | column [[AS] name]
+    column      := name | name '.' name
+    table_ref   := name [[AS] name]
+    comparison  := operand op operand         op in {=, <>, <, <=, >, >=}
+    operand     := column | integer | string | ':'name | COUNT '(' '*' ')'
+    insert      := INSERT INTO name (select | VALUES '(' ... ')' , ...)
+    create      := CREATE TABLE name '(' name type (',' name type)* ')'
+    drop        := DROP TABLE [IF EXISTS] name
+    delete      := DELETE FROM name
+
+``COUNT(*)`` is accepted as a HAVING operand (the paper's
+``HAVING COUNT(*) >= :minsupport``); the planner resolves it against the
+grouped row.  Errors carry line/column from the offending token.
+"""
+
+from __future__ import annotations
+
+from repro.relational.expressions import ColumnRef, Comparison, Literal, Parameter
+from repro.relational.schema import ColumnType
+from repro.sql.ast_nodes import (
+    CountStar,
+    CreateTable,
+    DeleteFrom,
+    DropTable,
+    InsertSelect,
+    InsertValues,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    Statement,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+__all__ = ["ParserError", "parse_statement", "parse_script"]
+
+#: Marker used in HAVING comparisons for the COUNT(*) pseudo-column; the
+#: planner recognizes this exact reference.
+COUNT_STAR_REF = ColumnRef("count(*)", None)
+
+
+class ParserError(Exception):
+    """Syntax error with token position."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token utilities ------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParserError:
+        token = token or self._peek()
+        return ParserError(f"{message} (got {token})")
+
+    def _expect(self, type_: TokenType, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.type is not type_ or (value is not None and token.value != value):
+            expected = value or type_.value
+            raise self._error(f"expected {expected}", token)
+        return self._advance()
+
+    def _accept(self, type_: TokenType, value: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.type is type_ and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    def _keyword(self, word: str) -> Token:
+        return self._expect(TokenType.KEYWORD, word)
+
+    def _accept_keyword(self, word: str) -> bool:
+        return self._accept(TokenType.KEYWORD, word) is not None
+
+    # -- statements -----------------------------------------------------------------
+
+    def statement(self) -> Statement:
+        token = self._peek()
+        if token.type is not TokenType.KEYWORD:
+            raise self._error("expected a statement keyword")
+        if token.value == "SELECT":
+            return self.select()
+        if token.value == "INSERT":
+            return self.insert()
+        if token.value == "CREATE":
+            return self.create()
+        if token.value == "DROP":
+            return self.drop()
+        if token.value == "DELETE":
+            return self.delete()
+        raise self._error(f"unsupported statement {token.value}")
+
+    def select(self) -> SelectStatement:
+        self._keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        items = [self.select_item()]
+        while self._accept(TokenType.COMMA):
+            items.append(self.select_item())
+        self._keyword("FROM")
+        tables = [self.table_ref()]
+        while self._accept(TokenType.COMMA):
+            tables.append(self.table_ref())
+        where: list[Comparison] = []
+        if self._accept_keyword("WHERE"):
+            where.append(self.comparison())
+            while self._accept_keyword("AND"):
+                where.append(self.comparison())
+        group_by: list[ColumnRef] = []
+        if self._accept_keyword("GROUP"):
+            self._keyword("BY")
+            group_by.append(self.column_ref())
+            while self._accept(TokenType.COMMA):
+                group_by.append(self.column_ref())
+        having: list[Comparison] = []
+        if self._accept_keyword("HAVING"):
+            having.append(self.comparison())
+            while self._accept_keyword("AND"):
+                having.append(self.comparison())
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._keyword("BY")
+            order_by.append(self.order_item())
+            while self._accept(TokenType.COMMA):
+                order_by.append(self.order_item())
+        return SelectStatement(
+            select_items=tuple(items),
+            from_tables=tuple(tables),
+            where=tuple(where),
+            group_by=tuple(group_by),
+            having=tuple(having),
+            order_by=tuple(order_by),
+            distinct=distinct,
+        )
+
+    def insert(self) -> InsertSelect | InsertValues:
+        self._keyword("INSERT")
+        self._keyword("INTO")
+        table = self._expect(TokenType.IDENTIFIER).value
+        if self._peek().type is TokenType.KEYWORD and self._peek().value == "VALUES":
+            self._advance()
+            rows = [self.value_row()]
+            while self._accept(TokenType.COMMA):
+                rows.append(self.value_row())
+            return InsertValues(table=table, rows=tuple(rows))
+        return InsertSelect(table=table, select=self.select())
+
+    def value_row(self) -> tuple[Literal | Parameter, ...]:
+        self._expect(TokenType.LPAREN)
+        values = [self.constant()]
+        while self._accept(TokenType.COMMA):
+            values.append(self.constant())
+        self._expect(TokenType.RPAREN)
+        return tuple(values)
+
+    def constant(self) -> Literal | Parameter:
+        token = self._peek()
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return Literal(int(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return Parameter(token.value)
+        raise self._error("expected a constant")
+
+    def create(self) -> CreateTable:
+        self._keyword("CREATE")
+        self._keyword("TABLE")
+        table = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.LPAREN)
+        columns = [self.column_def()]
+        while self._accept(TokenType.COMMA):
+            columns.append(self.column_def())
+        self._expect(TokenType.RPAREN)
+        return CreateTable(table=table, columns=tuple(columns))
+
+    def column_def(self) -> tuple[str, ColumnType]:
+        name = self._expect(TokenType.IDENTIFIER).value
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in (
+            "INTEGER",
+            "INT",
+        ):
+            self._advance()
+            return (name, ColumnType.INTEGER)
+        if token.type is TokenType.KEYWORD and token.value == "TEXT":
+            self._advance()
+            return (name, ColumnType.TEXT)
+        raise self._error("expected a column type (INTEGER or TEXT)")
+
+    def drop(self) -> DropTable:
+        self._keyword("DROP")
+        self._keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._keyword("EXISTS")
+            if_exists = True
+        table = self._expect(TokenType.IDENTIFIER).value
+        return DropTable(table=table, if_exists=if_exists)
+
+    def delete(self) -> DeleteFrom:
+        self._keyword("DELETE")
+        self._keyword("FROM")
+        table = self._expect(TokenType.IDENTIFIER).value
+        return DeleteFrom(table=table)
+
+    # -- select components -------------------------------------------------------------
+
+    def select_item(self) -> SelectItem:
+        if self._accept(TokenType.STAR):
+            return SelectItem(expression=Star())
+        if self._peek().type is TokenType.KEYWORD and self._peek().value == "COUNT":
+            expression: ColumnRef | CountStar | Star = self.count_star()
+        elif (
+            self._peek().type is TokenType.IDENTIFIER
+            and self.tokens[self.pos + 1].type is TokenType.DOT
+            and self.tokens[self.pos + 2].type is TokenType.STAR
+        ):
+            qualifier = self._advance().value
+            self._advance()  # dot
+            self._advance()  # star
+            return SelectItem(expression=Star(qualifier))
+        else:
+            expression = self.column_ref()
+        alias = self.optional_alias()
+        return SelectItem(expression=expression, alias=alias)
+
+    def count_star(self) -> CountStar:
+        self._keyword("COUNT")
+        self._expect(TokenType.LPAREN)
+        self._expect(TokenType.STAR)
+        self._expect(TokenType.RPAREN)
+        return CountStar()
+
+    def optional_alias(self) -> str | None:
+        if self._accept_keyword("AS"):
+            return self._expect(TokenType.IDENTIFIER).value
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            return self._advance().value
+        return None
+
+    def table_ref(self) -> TableRef:
+        table = self._expect(TokenType.IDENTIFIER).value
+        alias = self.optional_alias()
+        return TableRef(table=table, alias=alias)
+
+    def column_ref(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._accept(TokenType.DOT):
+            second = self._expect(TokenType.IDENTIFIER).value
+            return ColumnRef(second, first)
+        return ColumnRef(first, None)
+
+    def order_item(self) -> OrderItem:
+        column = self.column_ref()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(column=column, descending=descending)
+
+    def comparison(self) -> Comparison:
+        left = self.operand()
+        op_token = self._expect(TokenType.OPERATOR)
+        right = self.operand()
+        return Comparison(op_token.value, left, right)
+
+    def operand(self) -> ColumnRef | Literal | Parameter:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            return self.column_ref()
+        if token.type is TokenType.KEYWORD and token.value == "COUNT":
+            self.count_star()
+            return COUNT_STAR_REF
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return Literal(int(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return Parameter(token.value)
+        raise self._error("expected a column, constant, or parameter")
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse one statement (an optional trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.statement()
+    parser._accept(TokenType.SEMICOLON)
+    if parser._peek().type is not TokenType.EOF:
+        raise parser._error("unexpected trailing input")
+    return statement
+
+
+def parse_script(sql: str) -> list[Statement]:
+    """Parse a ``;``-separated sequence of statements."""
+    parser = _Parser(tokenize(sql))
+    statements: list[Statement] = []
+    while parser._peek().type is not TokenType.EOF:
+        statements.append(parser.statement())
+        if not parser._accept(TokenType.SEMICOLON):
+            break
+    if parser._peek().type is not TokenType.EOF:
+        raise parser._error("unexpected trailing input")
+    return statements

@@ -1,0 +1,5 @@
+"""sqlite3 execution of the generated mining SQL."""
+
+from repro.sqlbridge.sqlite_miner import SQLiteBackend, sqlite_mine
+
+__all__ = ["SQLiteBackend", "sqlite_mine"]

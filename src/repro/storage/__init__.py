@@ -1,0 +1,40 @@
+"""Paged storage engine: simulated disk, buffer pool, heap files,
+external sort, merge-scan join, B+-tree."""
+
+from repro.storage.btree import BPlusTree, BTreeError
+from repro.storage.bufferpool import BufferPool, BufferPoolError, BufferPoolStats
+from repro.storage.disk import (
+    PAGE_SIZE,
+    RANDOM_ACCESS_MS,
+    SEQUENTIAL_ACCESS_MS,
+    DiskError,
+    IOStatistics,
+    SimulatedDisk,
+)
+from repro.storage.heapfile import HeapFile
+from repro.storage.mergejoin import counting_scan, filter_scan, merge_scan_join
+from repro.storage.page import PAGE_HEADER_BYTES, Page, PageFormat
+from repro.storage.sort import SortResult, external_sort
+
+__all__ = [
+    "BPlusTree",
+    "BTreeError",
+    "BufferPool",
+    "BufferPoolError",
+    "BufferPoolStats",
+    "DiskError",
+    "HeapFile",
+    "IOStatistics",
+    "PAGE_HEADER_BYTES",
+    "PAGE_SIZE",
+    "Page",
+    "PageFormat",
+    "RANDOM_ACCESS_MS",
+    "SEQUENTIAL_ACCESS_MS",
+    "SimulatedDisk",
+    "SortResult",
+    "counting_scan",
+    "external_sort",
+    "filter_scan",
+    "merge_scan_join",
+]

@@ -1,0 +1,361 @@
+"""Page-backed B+-tree index, calibrated to the Section 3.2 arithmetic.
+
+The nested-loop strategy of Section 3 relies on two B+-tree indexes over
+``SALES``:
+
+* an index on ``(item, trans_id)`` — "all the data is contained in the
+  index", i.e. entries are the composite keys themselves (8 bytes → 500
+  per leaf page);
+* an index on ``(trans_id)`` — used to fetch the items of one transaction
+  (entries again carry ``(trans_id, item)``; leaves are keyed on the
+  4-byte ``trans_id`` alone, so non-leaf entries are 8 bytes → 500 per
+  page, reproducing the paper's "5 non-leaf pages for 2,000 leaves").
+
+This module implements a real page-backed B+-tree over the buffer pool:
+every node is a disk page fetched (and charged) through the pool, so the
+nested-loop experiment measures genuine page accesses.  Supported
+operations: :meth:`~BPlusTree.bulk_load` (build from sorted entries, the
+way a DBA would build the paper's indexes), :meth:`~BPlusTree.insert`
+(with leaf/internal splits and root growth), :meth:`~BPlusTree.search_prefix`
+(range scan of all entries matching a key prefix), and full iteration.
+
+Node bookkeeping (leaf/internal flags, sibling links, parent links) is kept
+in an in-memory directory; a production system would pack these into page
+headers, which the 96-byte header reserve of
+:mod:`repro.storage.page` accounts for.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.page import PageFormat
+
+__all__ = ["BPlusTree", "BTreeError"]
+
+#: Sentinel page number meaning "no sibling/parent".
+_NONE = -1
+
+
+class BTreeError(Exception):
+    """Raised on malformed keys or bulk-loading unsorted input."""
+
+
+@dataclass
+class _NodeInfo:
+    """In-memory directory entry for one tree page."""
+
+    is_leaf: bool
+    next_leaf: int = _NONE
+    parent: int = _NONE
+
+
+class BPlusTree:
+    """A B+-tree of fixed-width integer entries.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool for page access (all I/O is charged through it).
+    key_fields:
+        How many leading fields of an entry form the search key.  The
+        remaining fields ride along (non-key attributes stored in the
+        index).
+    entry_fields:
+        Total fields per leaf entry (>= ``key_fields``).
+    """
+
+    def __init__(
+        self, pool: BufferPool, *, key_fields: int, entry_fields: int
+    ) -> None:
+        if key_fields < 1 or entry_fields < key_fields:
+            raise BTreeError(
+                f"invalid key/entry fields: {key_fields}/{entry_fields}"
+            )
+        self.pool = pool
+        self.key_fields = key_fields
+        self.leaf_format = PageFormat(entry_fields)
+        # Internal entries: separator key + child page number.
+        self.internal_format = PageFormat(key_fields + 1)
+        self.file_id = pool.disk.allocate_file()
+        self._nodes: dict[int, _NodeInfo] = {}
+        self._root = self._new_node(is_leaf=True)
+        self._num_entries = 0
+
+    # -- node helpers ----------------------------------------------------------------
+
+    def _format_of(self, page_no: int) -> PageFormat:
+        return (
+            self.leaf_format
+            if self._nodes[page_no].is_leaf
+            else self.internal_format
+        )
+
+    def _new_node(self, *, is_leaf: bool) -> int:
+        page_no = self.pool.disk.file_length(self.file_id)
+        fmt = self.leaf_format if is_leaf else self.internal_format
+        self.pool.create(self.file_id, page_no, fmt)
+        self.pool.unpin(self.file_id, page_no, dirty=True)
+        self._nodes[page_no] = _NodeInfo(is_leaf=is_leaf)
+        return page_no
+
+    def _read(self, page_no: int) -> list[tuple[int, ...]]:
+        page = self.pool.fetch(self.file_id, page_no, self._format_of(page_no))
+        records = page.records()
+        self.pool.unpin(self.file_id, page_no)
+        return records
+
+    def _write(self, page_no: int, records: list[tuple[int, ...]]) -> None:
+        page = self.pool.fetch(self.file_id, page_no, self._format_of(page_no))
+        page.set_records(records)
+        self.pool.unpin(self.file_id, page_no, dirty=True)
+
+    def _key_of(self, entry: tuple[int, ...]) -> tuple[int, ...]:
+        return entry[: self.key_fields]
+
+    def _check_entry(self, entry: tuple[int, ...]) -> tuple[int, ...]:
+        entry = tuple(int(value) for value in entry)
+        if len(entry) != self.leaf_format.fields:
+            raise BTreeError(
+                f"entry has {len(entry)} fields, tree stores "
+                f"{self.leaf_format.fields}"
+            )
+        return entry
+
+    # -- geometry --------------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def height(self) -> int:
+        """Number of levels, 1 for a lone leaf root (paper's ``L``)."""
+        level = 1
+        node = self._root
+        while not self._nodes[node].is_leaf:
+            records = self._read(node)
+            node = records[0][-1]
+            level += 1
+        return level
+
+    @property
+    def num_leaf_pages(self) -> int:
+        return sum(1 for info in self._nodes.values() if info.is_leaf)
+
+    @property
+    def num_internal_pages(self) -> int:
+        return sum(1 for info in self._nodes.values() if not info.is_leaf)
+
+    # -- bulk loading ------------------------------------------------------------------
+
+    def bulk_load(self, entries: Iterable[tuple[int, ...]]) -> None:
+        """Build the tree bottom-up from entries sorted by key.
+
+        Replaces any existing contents.  Leaves are packed to capacity
+        (matching the paper's "upto 500 entries in each leaf page"), then
+        internal levels are built until a single root remains.
+        """
+        if self._num_entries:
+            raise BTreeError("bulk_load requires an empty tree")
+        # Reset to a clean file: drop the initial empty root's directory
+        # entry; pages already allocated are simply overwritten as we go.
+        self._nodes.clear()
+
+        leaf_cap = self.leaf_format.capacity
+        leaves: list[int] = []
+        batch: list[tuple[int, ...]] = []
+        previous_key: tuple[int, ...] | None = None
+
+        def flush_leaf() -> None:
+            if not batch:
+                return
+            page_no = self._new_node(is_leaf=True)
+            self._write(page_no, list(batch))
+            leaves.append(page_no)
+            batch.clear()
+
+        for raw in entries:
+            entry = self._check_entry(raw)
+            key = self._key_of(entry)
+            if previous_key is not None and key < previous_key:
+                raise BTreeError("bulk_load input is not sorted by key")
+            previous_key = key
+            batch.append(entry)
+            self._num_entries += 1
+            if len(batch) == leaf_cap:
+                flush_leaf()
+        flush_leaf()
+
+        if not leaves:
+            self._root = self._new_node(is_leaf=True)
+            return
+        for left, right in zip(leaves, leaves[1:]):
+            self._nodes[left].next_leaf = right
+
+        # Build internal levels.  Each internal entry is (first key of
+        # child, child page number).
+        level = leaves
+        internal_cap = self.internal_format.capacity
+        while len(level) > 1:
+            parents: list[int] = []
+            for start in range(0, len(level), internal_cap):
+                children = level[start : start + internal_cap]
+                page_no = self._new_node(is_leaf=False)
+                records = []
+                for child in children:
+                    child_records = self._read(child)
+                    first_key = self._key_of(child_records[0])
+                    records.append(first_key + (child,))
+                    self._nodes[child].parent = page_no
+                self._write(page_no, records)
+                parents.append(page_no)
+            level = parents
+        self._root = level[0]
+
+    # -- search ------------------------------------------------------------------------
+
+    def _descend_to_leaf(
+        self, key: tuple[int, ...], *, for_insert: bool = False
+    ) -> int:
+        """Walk root-to-leaf choosing the child responsible for ``key``.
+
+        For searches the descent targets the *first* leaf that can contain
+        a match: a child is entered only when its separator, truncated to
+        the key length, is strictly below the key — when the truncated
+        separator *equals* the key, earlier entries with the same prefix
+        (or duplicate keys) may still sit at the end of the previous child,
+        and the leaf chain is scanned forward from there.  Inserts may land
+        anywhere among duplicates, so they use the conventional ``<=``.
+        """
+        node = self._root
+        while not self._nodes[node].is_leaf:
+            records = self._read(node)
+            chosen = records[0][-1]
+            for record in records:
+                separator = record[:-1]
+                if for_insert:
+                    descend = separator <= key
+                else:
+                    descend = separator[: len(key)] < key
+                if descend:
+                    chosen = record[-1]
+                else:
+                    break
+            node = chosen
+        return node
+
+    def search_prefix(
+        self, prefix: tuple[int, ...]
+    ) -> Iterator[tuple[int, ...]]:
+        """Yield all entries whose key starts with ``prefix``, in key order.
+
+        For the ``(item, trans_id)`` index, ``search_prefix((item,))`` is
+        exactly the access path of Section 3.2's step 1: descend once, then
+        scan sibling leaves while the prefix matches.
+        """
+        prefix = tuple(int(value) for value in prefix)
+        if not 1 <= len(prefix) <= self.key_fields:
+            raise BTreeError(
+                f"prefix length must be in [1, {self.key_fields}], "
+                f"got {len(prefix)}"
+            )
+        node = self._descend_to_leaf(prefix)
+        width = len(prefix)
+        while node != _NONE:
+            emitted_any = False
+            exhausted = False
+            for entry in self._read(node):
+                head = entry[:width]
+                if head < prefix:
+                    continue
+                if head > prefix:
+                    exhausted = True
+                    break
+                emitted_any = True
+                yield entry
+            if exhausted:
+                return
+            if not emitted_any and self._nodes[node].next_leaf == _NONE:
+                return
+            node = self._nodes[node].next_leaf
+
+    def search(self, key: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        """Yield entries matching the full key exactly."""
+        if len(key) != self.key_fields:
+            raise BTreeError(
+                f"search key must have {self.key_fields} fields, "
+                f"got {len(key)}"
+            )
+        yield from self.search_prefix(key)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        """All entries in key order (leaf chain scan)."""
+        node = self._root
+        while not self._nodes[node].is_leaf:
+            records = self._read(node)
+            node = records[0][-1]
+        while node != _NONE:
+            yield from self._read(node)
+            node = self._nodes[node].next_leaf
+
+    # -- insertion ----------------------------------------------------------------------
+
+    def insert(self, entry: tuple[int, ...]) -> None:
+        """Insert one entry, splitting nodes as needed (duplicates allowed)."""
+        entry = self._check_entry(entry)
+        leaf = self._descend_to_leaf(self._key_of(entry), for_insert=True)
+        records = self._read(leaf)
+        records.append(entry)
+        records.sort(key=self._key_of)
+        self._num_entries += 1
+        if len(records) <= self.leaf_format.capacity:
+            self._write(leaf, records)
+            return
+        self._split(leaf, records)
+
+    def _split(self, node: int, overflow: list[tuple[int, ...]]) -> None:
+        """Split ``node`` holding ``overflow`` (one-over-capacity) records."""
+        info = self._nodes[node]
+        mid = len(overflow) // 2
+        left_records, right_records = overflow[:mid], overflow[mid:]
+        right = self._new_node(is_leaf=info.is_leaf)
+        self._write(node, left_records)
+        self._write(right, right_records)
+        right_info = self._nodes[right]
+        if info.is_leaf:
+            right_info.next_leaf = info.next_leaf
+            info.next_leaf = right
+        else:
+            for record in right_records:
+                self._nodes[record[-1]].parent = right
+
+        separator = (
+            self._key_of(right_records[0])
+            if info.is_leaf
+            else right_records[0][:-1]
+        )
+        parent = info.parent
+        if parent == _NONE:
+            new_root = self._new_node(is_leaf=False)
+            left_first = self._read(node)[0]
+            left_key = (
+                self._key_of(left_first) if info.is_leaf else left_first[:-1]
+            )
+            self._write(
+                new_root, [left_key + (node,), separator + (right,)]
+            )
+            info.parent = new_root
+            right_info.parent = new_root
+            self._root = new_root
+            return
+        right_info.parent = parent
+        parent_records = self._read(parent)
+        parent_records.append(separator + (right,))
+        parent_records.sort(key=lambda record: record[:-1])
+        if len(parent_records) <= self.internal_format.capacity:
+            self._write(parent, parent_records)
+            return
+        self._split(parent, parent_records)

@@ -1,0 +1,164 @@
+"""LRU buffer pool between the access methods and the simulated disk.
+
+The paper's analyses assume a buffer pool implicitly: Section 3.2 keeps
+B+-tree non-leaf pages "in memory" because "the number of non-leaf pages is
+small", and Section 4.3 assumes the ``C_k`` relations stay resident.  This
+pool makes those assumptions executable: hot pages (index internals, small
+relations) stop generating disk accesses once cached, exactly as the paper
+argues, while large sequential scans still pay one access per page.
+
+The pool caches *decoded* :class:`~repro.storage.page.Page` objects with
+pin counts, dirty tracking and LRU eviction (write-back).  Capacity is in
+pages; eviction of a dirty page writes it to disk (charged at the disk's
+sequential/random rates like any other access).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageFormat
+
+__all__ = ["BufferPool", "BufferPoolError", "BufferPoolStats"]
+
+
+class BufferPoolError(Exception):
+    """Raised on pin-count misuse or pool exhaustion."""
+
+
+@dataclass
+class BufferPoolStats:
+    """Hit/miss/eviction counters for cache-behaviour assertions in tests."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Frame:
+    __slots__ = ("page", "pin_count", "dirty")
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """A fixed-capacity write-back page cache over a :class:`SimulatedDisk`."""
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: "OrderedDict[tuple[int, int], _Frame]" = OrderedDict()
+        self.stats = BufferPoolStats()
+
+    # -- core operations -----------------------------------------------------------
+
+    def fetch(self, file_id: int, page_no: int, fmt: PageFormat) -> Page:
+        """Return the page, pinned.  Callers must :meth:`unpin` when done."""
+        key = (file_id, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(key)
+        else:
+            self.stats.misses += 1
+            self._make_room()
+            raw = self.disk.read_page(file_id, page_no)
+            frame = _Frame(Page.from_bytes(raw, fmt))
+            self._frames[key] = frame
+        frame.pin_count += 1
+        return frame.page
+
+    def create(self, file_id: int, page_no: int, fmt: PageFormat) -> Page:
+        """Materialize a brand-new page, pinned and dirty, without a read.
+
+        The page must be the next page of its file (dense allocation); it
+        reaches disk when flushed or evicted.
+        """
+        key = (file_id, page_no)
+        if key in self._frames:
+            raise BufferPoolError(f"page {key} already buffered")
+        expected = self.disk.file_length(file_id)
+        if page_no != expected:
+            raise BufferPoolError(
+                f"new page must be page {expected} of file {file_id}, "
+                f"got {page_no}"
+            )
+        # Reserve the slot on disk (a free metadata operation) so subsequent
+        # appends see a consistent file length; the payload write is charged
+        # when the page is flushed or evicted.
+        self.disk.reserve_page(file_id, Page(fmt).to_bytes())
+        self._make_room()
+        frame = _Frame(Page(fmt))
+        frame.pin_count = 1
+        frame.dirty = True
+        self._frames[key] = frame
+        return frame.page
+
+    def unpin(self, file_id: int, page_no: int, *, dirty: bool = False) -> None:
+        """Release one pin; mark the frame dirty when the caller wrote it."""
+        frame = self._frames.get((file_id, page_no))
+        if frame is None:
+            raise BufferPoolError(f"unpin of non-resident page {(file_id, page_no)}")
+        if frame.pin_count <= 0:
+            raise BufferPoolError(f"unpin of unpinned page {(file_id, page_no)}")
+        frame.pin_count -= 1
+        frame.dirty = frame.dirty or dirty
+
+    def flush_all(self) -> None:
+        """Write every dirty frame back to disk (frames stay cached)."""
+        for (file_id, page_no), frame in self._frames.items():
+            if frame.dirty:
+                self.disk.write_page(file_id, page_no, frame.page.to_bytes())
+                frame.dirty = False
+
+    def drop_file(self, file_id: int) -> None:
+        """Discard all frames of a file without write-back, then delete it."""
+        doomed = [key for key in self._frames if key[0] == file_id]
+        for key in doomed:
+            if self._frames[key].pin_count > 0:
+                raise BufferPoolError(f"dropping pinned page {key}")
+            del self._frames[key]
+        self.disk.delete_file(file_id)
+
+    # -- eviction ------------------------------------------------------------------
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for key in list(self._frames):
+            frame = self._frames[key]
+            if frame.pin_count > 0:
+                continue
+            if frame.dirty:
+                self.disk.write_page(key[0], key[1], frame.page.to_bytes())
+            del self._frames[key]
+            self.stats.evictions += 1
+            return
+        raise BufferPoolError(
+            f"buffer pool exhausted: all {self.capacity} frames are pinned"
+        )
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def num_resident(self) -> int:
+        return len(self._frames)
+
+    def pinned_pages(self) -> list[tuple[int, int]]:
+        """Keys of currently pinned frames (should be empty between ops)."""
+        return [key for key, frame in self._frames.items() if frame.pin_count > 0]

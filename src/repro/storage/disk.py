@@ -1,0 +1,220 @@
+"""Simulated disk with the paper's I/O cost model.
+
+Sections 3.2 and 4.3 of the paper cost their strategies in *page accesses*,
+priced at:
+
+* **20 ms** for a random page fetch ("A random page fetch costs about
+  20 ms"), and
+* **10 ms** for a sequential page access ("Reading and writing all the R_i
+  relations can be done in a sequential fashion.  We estimate the time for
+  each page access as 10 ms").
+
+:class:`SimulatedDisk` stores 4 KB pages in memory, keyed by
+``(file_id, page_no)``, and classifies every access as sequential or
+random: an access is *sequential* when it touches the page immediately
+following the previously accessed page of the same file, otherwise it is
+*random*.  Counters accumulate in an :class:`IOStatistics` that experiments
+read to reproduce the paper's page-access numbers, and
+:meth:`IOStatistics.estimated_seconds` converts counts to the paper's
+modelled wall-clock time.
+
+The disk is deliberately simple — no sector layout, no controller queue —
+because the paper's model is exactly "count pages, multiply by latency".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PAGE_SIZE",
+    "RANDOM_ACCESS_MS",
+    "SEQUENTIAL_ACCESS_MS",
+    "DiskError",
+    "IOStatistics",
+    "SimulatedDisk",
+]
+
+#: "Page size is 4 Kbytes" (Section 3.2).
+PAGE_SIZE = 4096
+
+#: Milliseconds per random page fetch (Section 3.2).
+RANDOM_ACCESS_MS = 20.0
+
+#: Milliseconds per sequential page access (Section 4.3).
+SEQUENTIAL_ACCESS_MS = 10.0
+
+
+class DiskError(Exception):
+    """Raised for invalid disk operations (e.g. reading an unwritten page)."""
+
+
+@dataclass
+class IOStatistics:
+    """Counters of page accesses, split by kind and direction."""
+
+    sequential_reads: int = 0
+    random_reads: int = 0
+    sequential_writes: int = 0
+    random_writes: int = 0
+
+    @property
+    def reads(self) -> int:
+        """Total page reads."""
+        return self.sequential_reads + self.random_reads
+
+    @property
+    def writes(self) -> int:
+        """Total page writes."""
+        return self.sequential_writes + self.random_writes
+
+    @property
+    def total_accesses(self) -> int:
+        """Total page accesses — the unit of the paper's formulas."""
+        return self.reads + self.writes
+
+    def estimated_seconds(
+        self,
+        *,
+        random_ms: float = RANDOM_ACCESS_MS,
+        sequential_ms: float = SEQUENTIAL_ACCESS_MS,
+    ) -> float:
+        """Modelled elapsed time under the paper's latency constants."""
+        random = self.random_reads + self.random_writes
+        sequential = self.sequential_reads + self.sequential_writes
+        return (random * random_ms + sequential * sequential_ms) / 1000.0
+
+    def snapshot(self) -> "IOStatistics":
+        """An independent copy (for before/after deltas in experiments)."""
+        return IOStatistics(
+            self.sequential_reads,
+            self.random_reads,
+            self.sequential_writes,
+            self.random_writes,
+        )
+
+    def delta_since(self, earlier: "IOStatistics") -> "IOStatistics":
+        """Accesses accumulated since ``earlier`` was snapshotted."""
+        return IOStatistics(
+            self.sequential_reads - earlier.sequential_reads,
+            self.random_reads - earlier.random_reads,
+            self.sequential_writes - earlier.sequential_writes,
+            self.random_writes - earlier.random_writes,
+        )
+
+
+class SimulatedDisk:
+    """In-memory page store with sequential/random access classification.
+
+    Pages belong to *files* identified by integer ids allocated with
+    :meth:`allocate_file`; page numbers within a file are dense from 0.
+    """
+
+    def __init__(self) -> None:
+        self._pages: dict[tuple[int, int], bytes] = {}
+        self._file_lengths: dict[int, int] = {}
+        self._next_file_id = 0
+        self._last_page_of_file: dict[int, int] = {}
+        self.stats = IOStatistics()
+
+    # -- file management -----------------------------------------------------------
+
+    def allocate_file(self) -> int:
+        """Create a new empty file and return its id."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        self._file_lengths[file_id] = 0
+        return file_id
+
+    def delete_file(self, file_id: int) -> None:
+        """Drop a file and all its pages (no I/O is charged for deletion)."""
+        length = self._file_lengths.pop(file_id, 0)
+        for page_no in range(length):
+            self._pages.pop((file_id, page_no), None)
+        self._last_page_of_file.pop(file_id, None)
+
+    def file_length(self, file_id: int) -> int:
+        """Number of pages currently in ``file_id``."""
+        try:
+            return self._file_lengths[file_id]
+        except KeyError:
+            raise DiskError(f"unknown file id {file_id}") from None
+
+    def reserve_page(self, file_id: int, data: bytes) -> int:
+        """Extend a file by one (empty) page without charging any I/O.
+
+        Page allocation is a metadata operation; the payload write is
+        charged when the buffer pool flushes or evicts the page.  Returns
+        the new page number.
+        """
+        page_no = self.file_length(file_id)
+        self._pages[(file_id, page_no)] = bytes(data)
+        self._file_lengths[file_id] = page_no + 1
+        return page_no
+
+    # -- page I/O ------------------------------------------------------------------
+
+    def _classify(self, file_id: int, page_no: int) -> bool:
+        """True when the access continues a forward scan of its file.
+
+        Classification is *per file*: an access is sequential when it
+        touches the page right after the previously accessed page of the
+        same file, even when scans of several files interleave.  This
+        models per-file readahead, which is what lets the paper say
+        "reading and writing all the R_i relations can be done in a
+        sequential fashion" for the merge-scan join's two concurrent
+        input scans.
+        """
+        previous = self._last_page_of_file.get(file_id)
+        self._last_page_of_file[file_id] = page_no
+        return previous is not None and previous == page_no - 1
+
+    def read_page(self, file_id: int, page_no: int) -> bytes:
+        """Fetch a page's bytes, charging one sequential or random read."""
+        key = (file_id, page_no)
+        if key not in self._pages:
+            raise DiskError(f"read of unwritten page {key}")
+        if self._classify(file_id, page_no):
+            self.stats.sequential_reads += 1
+        else:
+            self.stats.random_reads += 1
+        return self._pages[key]
+
+    def write_page(self, file_id: int, page_no: int, data: bytes) -> None:
+        """Store a page, charging one sequential or random write.
+
+        Pages may only be written densely: ``page_no`` must be at most the
+        file's current length (append or overwrite).
+        """
+        if len(data) > PAGE_SIZE:
+            raise DiskError(
+                f"page data of {len(data)} bytes exceeds page size {PAGE_SIZE}"
+            )
+        length = self.file_length(file_id)
+        if page_no > length:
+            raise DiskError(
+                f"write to page {page_no} of file {file_id} would leave a "
+                f"hole (file has {length} pages)"
+            )
+        if self._classify(file_id, page_no):
+            self.stats.sequential_writes += 1
+        else:
+            self.stats.random_writes += 1
+        self._pages[(file_id, page_no)] = bytes(data)
+        if page_no == length:
+            self._file_lengths[file_id] = length + 1
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def num_files(self) -> int:
+        return len(self._file_lengths)
+
+    @property
+    def total_pages(self) -> int:
+        return len(self._pages)
+
+    def reset_stats(self) -> None:
+        """Zero the access counters (file contents are untouched)."""
+        self.stats = IOStatistics()
+        self._last_page_of_file.clear()

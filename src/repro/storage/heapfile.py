@@ -1,0 +1,119 @@
+"""Heap files: unordered sequences of fixed-width records on disk pages.
+
+The ``SALES`` relation and every intermediate ``R_k`` / ``R'_k`` relation
+of the disk-based SETM live in heap files.  A heap file is a dense run of
+pages of one :class:`~repro.storage.page.PageFormat`; records append at the
+tail and scans read pages in order, which the simulated disk accounts as
+sequential accesses — the access pattern Section 4.3's cost formula
+assumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.page import PageFormat
+
+__all__ = ["HeapFile"]
+
+
+class HeapFile:
+    """An append-only record file over a :class:`BufferPool`.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool providing cached page access.
+    fmt:
+        Record shape for every page of this file.
+    file_id:
+        Existing disk file to attach to; a fresh file is allocated when
+        omitted.
+    """
+
+    def __init__(
+        self, pool: BufferPool, fmt: PageFormat, *, file_id: int | None = None
+    ) -> None:
+        self.pool = pool
+        self.format = fmt
+        self.file_id = pool.disk.allocate_file() if file_id is None else file_id
+        self._num_records = 0
+        if file_id is not None:
+            # Attaching to an existing file: count its records by scanning
+            # page headers (cheap in the simulator; done once).
+            self._num_records = sum(
+                len(self._page_records(page_no))
+                for page_no in range(self.num_pages)
+            )
+
+    # -- geometry ------------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Pages currently allocated — ‖R_k‖ in the paper's notation."""
+        return self.pool.disk.file_length(self.file_id)
+
+    @property
+    def num_records(self) -> int:
+        """Records currently stored — |R_k| in the paper's notation."""
+        return self._num_records
+
+    # -- writing -------------------------------------------------------------------
+
+    def append(self, record: tuple[int, ...]) -> None:
+        """Append one record, opening a new tail page when needed."""
+        last_page = self.num_pages - 1
+        if last_page >= 0:
+            page = self.pool.fetch(self.file_id, last_page, self.format)
+            if not page.is_full:
+                page.append(record)
+                self.pool.unpin(self.file_id, last_page, dirty=True)
+                self._num_records += 1
+                return
+            self.pool.unpin(self.file_id, last_page)
+        page_no = self.num_pages
+        page = self.pool.create(self.file_id, page_no, self.format)
+        page.append(record)
+        self.pool.unpin(self.file_id, page_no, dirty=True)
+        self._num_records += 1
+
+    def extend(self, records: Iterable[tuple[int, ...]]) -> None:
+        """Bulk append; identical layout to repeated :meth:`append`."""
+        for record in records:
+            self.append(record)
+
+    # -- reading -------------------------------------------------------------------
+
+    def _page_records(self, page_no: int) -> list[tuple[int, ...]]:
+        page = self.pool.fetch(self.file_id, page_no, self.format)
+        records = page.records()
+        self.pool.unpin(self.file_id, page_no)
+        return records
+
+    def scan(self) -> Iterator[tuple[int, ...]]:
+        """Yield every record in storage order (a sequential page scan)."""
+        for page_no in range(self.num_pages):
+            yield from self._page_records(page_no)
+
+    def scan_pages(self) -> Iterator[list[tuple[int, ...]]]:
+        """Yield records one page at a time (used by the external sort)."""
+        for page_no in range(self.num_pages):
+            yield self._page_records(page_no)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force dirty pages of the pool to disk (pool-wide flush)."""
+        self.pool.flush_all()
+
+    def drop(self) -> None:
+        """Delete the file and its buffered pages."""
+        self.pool.drop_file(self.file_id)
+        self._num_records = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HeapFile(file_id={self.file_id}, records={self.num_records}, "
+            f"pages={self.num_pages}, fields={self.format.fields})"
+        )

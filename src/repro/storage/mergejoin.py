@@ -1,0 +1,122 @@
+"""Merge-scan join and sequential-scan counting over sorted heap files.
+
+These are the two scan-shaped primitives of Figure 4's loop body:
+
+* :func:`merge_scan_join` — ``R'_k := merge-scan(R_{k-1}, R_1)``: a single
+  forward pass over both sorted files, pairing rows with equal ``trans_id``
+  and extending each ``R_{k-1}`` row with every strictly greater item of
+  the same transaction (the ``q.item > p.item_{k-1}`` band predicate).
+
+* :func:`counting_scan` — "generating the counts involves a simple
+  sequential scan over R'_k": one pass over a file sorted on its item
+  columns, emitting ``(pattern, count)`` per group.
+
+* :func:`filter_scan` — "deleting the tuples from R'_k that do not meet the
+  minimum support involves simple table look-ups on relation C_k": one more
+  sequential pass, writing qualifying rows to a fresh file.
+
+All three touch pages strictly in file order, so the simulated disk books
+them as sequential accesses — the premise of the Section 4.3 cost formula.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import PageFormat
+
+__all__ = ["counting_scan", "filter_scan", "merge_scan_join"]
+
+
+def _grouped_by_tid(
+    file: HeapFile,
+) -> Iterator[tuple[int, list[tuple[int, ...]]]]:
+    """Yield ``(trans_id, rows)`` groups from a file sorted by trans_id."""
+    group: list[tuple[int, ...]] = []
+    current: int | None = None
+    for record in file.scan():
+        tid = record[0]
+        if tid != current:
+            if group:
+                yield current, group  # type: ignore[misc]
+            group = []
+            current = tid
+        group.append(record)
+    if group:
+        yield current, group  # type: ignore[misc]
+
+
+def merge_scan_join(r_prev: HeapFile, sales: HeapFile) -> HeapFile:
+    """Produce ``R'_k`` from ``R_{k-1}`` and ``R_1`` (both trans_id-sorted).
+
+    ``r_prev`` holds ``(trans_id, item_1..item_{k-1})`` rows sorted on
+    ``(trans_id, item_1, ..., item_{k-1})``; ``sales`` holds
+    ``(trans_id, item)`` rows sorted on ``(trans_id, item)``.  The output
+    file has ``k + 1`` fields and inherits both sort orders' consequence:
+    rows come out ordered by ``(trans_id, item_1, ..., item_k)``.
+    """
+    out_fmt = PageFormat(r_prev.format.fields + 1)
+    output = HeapFile(r_prev.pool, out_fmt)
+
+    left = _grouped_by_tid(r_prev)
+    right = _grouped_by_tid(sales)
+    left_entry = next(left, None)
+    right_entry = next(right, None)
+    while left_entry is not None and right_entry is not None:
+        left_tid, left_rows = left_entry
+        right_tid, right_rows = right_entry
+        if left_tid < right_tid:
+            left_entry = next(left, None)
+        elif left_tid > right_tid:
+            right_entry = next(right, None)
+        else:
+            for row in left_rows:
+                last_item = row[-1]
+                for sales_row in right_rows:
+                    item = sales_row[1]
+                    if item > last_item:
+                        output.append(row + (item,))
+            left_entry = next(left, None)
+            right_entry = next(right, None)
+    return output
+
+
+def counting_scan(r_prime: HeapFile) -> list[tuple[tuple[int, ...], int]]:
+    """Group counts from a file sorted on its item columns.
+
+    Returns ``(pattern, count)`` pairs in pattern order.  The result is the
+    (unfiltered) ``C_k`` relation; the paper keeps it in memory ("it is
+    usually small enough to be kept in memory being the result of an
+    aggregation query"), and so do we — no pages are charged for ``C_k``.
+    """
+    counts: list[tuple[tuple[int, ...], int]] = []
+    current: tuple[int, ...] | None = None
+    run = 0
+    for record in r_prime.scan():
+        pattern = record[1:]
+        if pattern == current:
+            run += 1
+        else:
+            if current is not None:
+                counts.append((current, run))
+            current, run = pattern, 1
+    if current is not None:
+        counts.append((current, run))
+    return counts
+
+
+def filter_scan(
+    r_prime: HeapFile, supported: set[tuple[int, ...]]
+) -> HeapFile:
+    """Copy rows whose pattern is in ``supported`` into a new file (``R_k``).
+
+    The input order is preserved, so a file sorted on its item columns
+    stays sorted — which Figure 4 exploits: ``R_k`` needs re-sorting only
+    on ``trans_id`` before the next merge-scan.
+    """
+    output = HeapFile(r_prime.pool, r_prime.format)
+    for record in r_prime.scan():
+        if record[1:] in supported:
+            output.append(record)
+    return output

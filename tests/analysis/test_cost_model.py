@@ -1,0 +1,127 @@
+"""The Sections 3.2 / 4.3 analyses must reproduce every published number."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.btree_model import size_btree
+from repro.analysis.cost_model import (
+    nested_loop_c2_cost,
+    sort_merge_page_accesses,
+    sort_merge_relation_pages,
+    strategy_speedup,
+)
+from repro.data.hypothetical import HypotheticalConfig
+
+
+class TestBTreeModel:
+    def test_item_transid_index_matches_paper(self):
+        # "The number of leaf pages in the B+-tree index on (item,
+        #  trans-id) is 2,000,000/500 ~ 4,000 ... L = 3 ... the number of
+        #  non-leaf pages in this index is (1 + 4,000/333) = 14."
+        sizing = size_btree(2_000_000, leaf_entry_fields=2, key_fields=2)
+        assert sizing.leaf_capacity == 500
+        assert sizing.nonleaf_capacity == 333
+        assert sizing.leaf_pages == 4000
+        assert sizing.nonleaf_pages == 14
+        assert sizing.levels == 3
+
+    def test_transid_index_matches_paper(self):
+        # "the number of leaf pages is 2,000 and the number of non-leaf
+        #  pages is 5."
+        sizing = size_btree(2_000_000, leaf_entry_fields=1, key_fields=1)
+        assert sizing.leaf_pages == 2000
+        assert sizing.nonleaf_pages == 5
+
+    def test_empty_tree(self):
+        sizing = size_btree(0, leaf_entry_fields=2, key_fields=2)
+        assert sizing.leaf_pages == 1
+        assert sizing.levels == 1
+        assert sizing.nonleaf_pages == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            size_btree(-1, leaf_entry_fields=2, key_fields=2)
+
+    def test_total_pages(self):
+        sizing = size_btree(2_000_000, leaf_entry_fields=2, key_fields=2)
+        assert sizing.total_pages == 4014
+
+
+class TestNestedLoopCost:
+    def test_per_item_costs_match_paper(self):
+        # "This requires 1% x 4,000 leaf page fetches, i.e., ~40 page
+        #  fetches.  The result consists of about 2,000 transaction-ids."
+        cost = nested_loop_c2_cost()
+        assert cost.leaf_fetches_per_item == 40
+        assert cost.matching_tids_per_item == 2000
+
+    def test_total_page_fetches_about_two_million(self):
+        # "the first step alone will require about 1000 x (40 + 2000 x 1)
+        #  ~ 2,000,000 page fetches"
+        cost = nested_loop_c2_cost()
+        assert cost.page_fetches == 1000 * (40 + 2000)
+        assert cost.page_fetches == pytest.approx(2_000_000, rel=0.03)
+
+    def test_time_is_more_than_eleven_hours(self):
+        # "the time for the first step alone is ~ 40,000 seconds, which is
+        #  more than 11 hours!"
+        cost = nested_loop_c2_cost()
+        assert cost.seconds == pytest.approx(40_000, rel=0.03)
+        assert cost.hours > 11
+
+    def test_scales_with_configuration(self):
+        small = nested_loop_c2_cost(
+            HypotheticalConfig(num_items=100, num_transactions=20_000)
+        )
+        assert small.page_fetches < nested_loop_c2_cost().page_fetches
+
+
+class TestSortMergeCost:
+    def test_relation_pages_match_paper(self):
+        # "||R_1|| = 4,000 and ||R_2|| = 27,000" (we keep the exact 27,028;
+        #  the paper rounds).
+        pages = sort_merge_relation_pages()
+        assert pages[1] == 4000
+        assert pages[2] == pytest.approx(27_000, rel=0.01)
+
+    def test_total_accesses_formula(self):
+        # "3 x 4,000 + 4 x 27,000 = 120,000"
+        pages = {1: 4000, 2: 27_000}
+        cost = sort_merge_page_accesses(pages, 3)
+        assert cost.page_accesses == 3 * 4000 + 4 * 27_000 == 120_000
+
+    def test_decomposition_sums_to_total(self):
+        pages = sort_merge_relation_pages()
+        cost = sort_merge_page_accesses(pages, 3)
+        assert (
+            cost.merge_scan_reads + cost.result_writes + cost.sort_accesses
+            == cost.page_accesses
+        )
+
+    def test_modelled_time_is_twelve_hundred_seconds(self):
+        # "the total time spent on I/O operations is 1200 seconds".  (The
+        #  paper calls this "10 minutes"; 1,200 s is 20 — we reproduce the
+        #  seconds figure and record the slip in EXPERIMENTS.md.)
+        cost = sort_merge_page_accesses({1: 4000, 2: 27_000}, 3)
+        assert cost.seconds == pytest.approx(1200.0)
+
+    def test_longer_runs_accumulate(self):
+        pages = {1: 100, 2: 50, 3: 20}
+        cost = sort_merge_page_accesses(pages, 4)
+        # merge reads: 3*100 + (100+50+20); writes: 50+20+0; sort: 2*(50+20)
+        assert cost.merge_scan_reads == 3 * 100 + 170
+        assert cost.result_writes == 70
+        assert cost.sort_accesses == 140
+
+    def test_terminal_iteration_validated(self):
+        with pytest.raises(ValueError):
+            sort_merge_page_accesses({1: 10}, 1)
+
+
+class TestSpeedup:
+    def test_paper_scale_gap(self):
+        # 40,000 s vs 1,200 s: the sort-merge strategy wins by ~34x.
+        nested = nested_loop_c2_cost()
+        merged = sort_merge_page_accesses(sort_merge_relation_pages(), 3)
+        assert strategy_speedup(nested, merged) == pytest.approx(34, rel=0.03)

@@ -1,0 +1,73 @@
+"""Tests for the report formatting helpers."""
+
+from __future__ import annotations
+
+from repro.analysis.report import (
+    format_figure_series,
+    format_kv_block,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(
+            ["Minimum Support (%)", "Execution Time (s)"],
+            [(0.1, 6.90), (5, 3.97)],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # All rows equally wide.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["a"], [(1,)], title="Table 6.2")
+        assert text.splitlines()[0] == "Table 6.2"
+
+    def test_number_formatting(self):
+        text = format_table(["n"], [(1234567,)])
+        assert "1,234,567" in text
+
+    def test_float_formatting(self):
+        assert "3.14" in format_table(["x"], [(3.14159,)])
+
+
+class TestFormatFigureSeries:
+    def test_curves_align_on_x(self):
+        text = format_figure_series(
+            {
+                "0.1%": [(1, 10), (2, 20), (3, 5)],
+                "5%": [(1, 10), (2, 2)],
+            },
+            x_label="iteration",
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["iteration", "0.1%", "5%"]
+        assert len(lines) == 2 + 3  # header + rule + three x values
+
+    def test_missing_points_render_blank(self):
+        text = format_figure_series(
+            {"a": [(1, 1)], "b": [(2, 2)]},
+        )
+        # x=2 row has no 'a' value: two columns, one blank cell.
+        row = text.splitlines()[-1]
+        assert "2" in row
+
+    def test_empty_series(self):
+        text = format_figure_series({"a": []})
+        assert "a" in text
+
+
+class TestFormatKvBlock:
+    def test_aligned_keys(self):
+        text = format_kv_block(
+            {"leaf pages": 4000, "levels": 3}, title="Index"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Index"
+        colons = [line.index(":") for line in lines[1:]]
+        assert len(set(colons)) == 1
+
+    def test_empty(self):
+        assert format_kv_block({}) == ""

@@ -1,0 +1,82 @@
+"""Tests for the AIS baseline and the brute-force oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ais import ais
+from repro.baselines.apriori import apriori
+from repro.baselines.bruteforce import bruteforce
+from repro.core.setm import setm
+from repro.core.transactions import TransactionDatabase
+
+databases = st.lists(
+    st.frozensets(st.integers(min_value=1, max_value=10), min_size=1, max_size=5),
+    min_size=1,
+    max_size=20,
+).map(
+    lambda baskets: TransactionDatabase(
+        (tid, tuple(basket)) for tid, basket in enumerate(baskets, start=1)
+    )
+)
+
+
+class TestBruteForce:
+    def test_counts_every_subset(self):
+        db = TransactionDatabase([(1, ["A", "B"]), (2, ["A"])])
+        result = bruteforce(db, 0.5)
+        assert result.all_patterns() == {
+            ("A",): 2,
+            ("B",): 1,
+            ("A", "B"): 1,
+        }
+
+    def test_max_length_caps_enumeration(self):
+        db = TransactionDatabase([(1, ["A", "B", "C"])])
+        result = bruteforce(db, 1.0, max_length=2)
+        assert result.max_pattern_length == 2
+
+    def test_empty_database(self):
+        result = bruteforce(TransactionDatabase([]), 0.5)
+        assert result.all_patterns() == {}
+
+
+class TestAIS:
+    def test_matches_setm_on_example(self, example_db):
+        assert ais(example_db, 0.30).same_patterns_as(setm(example_db, 0.30))
+
+    @settings(max_examples=30, deadline=None)
+    @given(db=databases, threshold=st.sampled_from([0.15, 0.4, 0.8]))
+    def test_matches_oracle(self, db, threshold):
+        assert ais(db, threshold).same_patterns_as(bruteforce(db, threshold))
+
+    def test_max_length(self, make_random_db):
+        assert ais(make_random_db(3), 0.05, max_length=2).max_pattern_length <= 2
+
+    def test_algorithm_name(self, example_db):
+        assert ais(example_db, 0.3).algorithm == "ais"
+
+    def test_ais_counts_at_least_as_many_candidates_as_apriori(
+        self, small_retail_db
+    ):
+        """AIS extends with arbitrary transaction items (like SETM); its
+        candidate space therefore contains Apriori's pruned one."""
+        a = ais(small_retail_db, 0.01)
+        b = apriori(small_retail_db, 0.01)
+        for stats_ais, stats_apriori in zip(a.iterations, b.iterations):
+            if stats_ais.k < 2:
+                continue
+            assert (
+                stats_ais.candidate_patterns >= stats_apriori.supported_patterns
+            )
+
+
+class TestCrossAlgorithm:
+    @settings(max_examples=25, deadline=None)
+    @given(db=databases)
+    def test_all_in_memory_engines_agree(self, db):
+        reference = bruteforce(db, 0.25)
+        for engine in (setm, ais, apriori):
+            assert engine(db, 0.25).same_patterns_as(reference)

@@ -1,0 +1,128 @@
+"""Tests for the Apriori hash tree."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.apriori import apriori
+from repro.baselines.hashtree import HashTree
+from repro.core.setm import setm
+from repro.core.transactions import TransactionDatabase
+
+
+def reference_counts(candidates, transactions):
+    counts = {tuple(c): 0 for c in candidates}
+    for items in transactions:
+        item_set = set(items)
+        for candidate in counts:
+            if all(item in item_set for item in candidate):
+                counts[candidate] += 1
+    return counts
+
+
+class TestConstruction:
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(ValueError, match="mixed"):
+            HashTree([(1, 2), (1, 2, 3)])
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            HashTree([()])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HashTree([(1, 2)], fanout=1)
+        with pytest.raises(ValueError):
+            HashTree([(1, 2)], leaf_capacity=0)
+
+    def test_duplicate_candidates_collapse(self):
+        tree = HashTree([(1, 2), (1, 2)])
+        assert len(tree) == 1
+
+    def test_empty_tree(self):
+        tree = HashTree([])
+        tree.count_transaction((1, 2, 3))
+        assert tree.counts() == {}
+
+    def test_splitting_under_pressure(self):
+        # Many candidates with tiny leaves force deep splits.
+        candidates = list(combinations(range(20), 3))
+        tree = HashTree(candidates, fanout=4, leaf_capacity=2)
+        assert len(tree) == len(candidates)
+        tree.count_transaction(tuple(range(20)))
+        assert all(count == 1 for count in tree.counts().values())
+
+    def test_shared_full_prefix_cannot_split(self):
+        # Candidates identical in all hashed positions stay in one leaf.
+        candidates = [(1, 2, i) for i in range(3, 13)]
+        tree = HashTree(candidates, fanout=2, leaf_capacity=2)
+        tree.count_transaction((1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11))
+        counts = tree.counts()
+        assert sum(counts.values()) == 9  # third items 3..11 present
+
+
+class TestCounting:
+    def test_exact_containment_required(self):
+        tree = HashTree([(1, 3)])
+        tree.count_transaction((1, 2))
+        tree.count_transaction((1, 3))
+        tree.count_transaction((3, 4))
+        assert tree.counts() == {(1, 3): 1}
+
+    def test_short_transactions_skipped(self):
+        tree = HashTree([(1, 2, 3)])
+        tree.count_transaction((1, 2))
+        assert tree.counts() == {(1, 2, 3): 0}
+
+    def test_no_double_counting_within_transaction(self):
+        # One transaction may reach the same leaf via many hash paths.
+        candidates = list(combinations(range(8), 2))
+        tree = HashTree(candidates, fanout=2, leaf_capacity=1)
+        tree.count_transaction(tuple(range(8)))
+        assert all(count == 1 for count in tree.counts().values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        candidates=st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),
+                st.integers(min_value=0, max_value=12),
+                st.integers(min_value=0, max_value=12),
+            ).map(lambda t: tuple(sorted(set(t)))).filter(lambda t: len(t) == 3),
+            max_size=40,
+        ),
+        transactions=st.lists(
+            st.frozensets(
+                st.integers(min_value=0, max_value=12), min_size=1, max_size=9
+            ).map(lambda s: tuple(sorted(s))),
+            max_size=25,
+        ),
+        fanout=st.sampled_from([2, 4, 8]),
+        leaf_capacity=st.sampled_from([1, 3, 16]),
+    )
+    def test_matches_reference_counts(
+        self, candidates, transactions, fanout, leaf_capacity
+    ):
+        tree = HashTree(
+            candidates, fanout=fanout, leaf_capacity=leaf_capacity
+        )
+        for items in transactions:
+            tree.count_transaction(items)
+        assert tree.counts() == reference_counts(candidates, transactions)
+
+
+class TestAprioriIntegration:
+    def test_hashtree_and_scan_agree(self, make_random_db):
+        db = make_random_db(21)
+        via_tree = apriori(db, 0.05, counting="hashtree")
+        via_scan = apriori(db, 0.05, counting="scan")
+        assert via_tree.same_patterns_as(via_scan)
+
+    def test_hashtree_matches_setm(self, small_retail_db):
+        result = apriori(small_retail_db, 0.01)
+        assert result.extra["counting"] == "hashtree"
+        assert result.same_patterns_as(setm(small_retail_db, 0.01))

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.transactions import TransactionDatabase
+from repro.data.example import paper_example_database
+from repro.data.retail import generate_retail_dataset
+
+
+@pytest.fixture(scope="session")
+def example_db() -> TransactionDatabase:
+    """The 10-transaction worked example of Section 4.2 (Figure 1)."""
+    return paper_example_database()
+
+
+@pytest.fixture(scope="session")
+def small_retail_db() -> TransactionDatabase:
+    """A 1/20-scale calibrated retail database (~2,300 transactions)."""
+    return generate_retail_dataset(scale=0.05)
+
+
+def random_database(
+    seed: int,
+    *,
+    num_transactions: int = 80,
+    num_items: int = 20,
+    max_basket: int = 7,
+) -> TransactionDatabase:
+    """A reproducible random database for differential tests."""
+    rng = random.Random(seed)
+    return TransactionDatabase(
+        (tid, rng.sample(range(1, num_items + 1), rng.randint(1, max_basket)))
+        for tid in range(1, num_transactions + 1)
+    )
+
+
+@pytest.fixture
+def make_random_db():
+    """Factory fixture: ``make_random_db(seed, **kwargs)``."""
+    return random_database

@@ -1,0 +1,82 @@
+"""Unit tests for the front-door API (repro.api)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import ALGORITHMS, mine_association_rules, mine_frequent_itemsets
+
+
+class TestRegistry:
+    def test_expected_engines_registered(self):
+        assert {
+            "setm",
+            "setm-disk",
+            "setm-sql",
+            "setm-sqlite",
+            "nested-loop",
+            "apriori",
+            "ais",
+            "bruteforce",
+        } == set(ALGORITHMS)
+
+    def test_default_algorithm_is_setm(self, example_db):
+        result = mine_frequent_itemsets(example_db, 0.30)
+        assert result.algorithm == "setm"
+
+    def test_unknown_algorithm_message_lists_registry(self, example_db):
+        with pytest.raises(ValueError) as excinfo:
+            mine_frequent_itemsets(example_db, 0.3, algorithm="fpgrowth")
+        message = str(excinfo.value)
+        assert "fpgrowth" in message
+        assert "setm" in message
+
+    def test_every_engine_callable_through_api(self, example_db):
+        for algorithm in ALGORITHMS:
+            result = mine_frequent_itemsets(
+                example_db, 0.30, algorithm=algorithm
+            )
+            assert result.count_relations[2], algorithm
+
+
+class TestRules:
+    def test_returns_result_and_rules(self, example_db):
+        result, rules = mine_association_rules(example_db, 0.30, 0.70)
+        assert result.max_pattern_length == 3
+        assert len(rules) == 11
+
+    def test_bad_support_propagates(self, example_db):
+        with pytest.raises(ValueError, match="minimum_support"):
+            mine_association_rules(example_db, 0.0, 0.7)
+
+    def test_bad_confidence_propagates(self, example_db):
+        with pytest.raises(ValueError, match="minimum_confidence"):
+            mine_association_rules(example_db, 0.3, 1.5)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_quickstart_snippet(self):
+        """The exact code shown in README.md must work."""
+        from repro import TransactionDatabase, mine_association_rules
+
+        db = TransactionDatabase(
+            [
+                (1, ["bread", "butter", "milk"]),
+                (2, ["bread", "butter"]),
+                (3, ["beer", "chips"]),
+            ]
+        )
+        result, rules = mine_association_rules(
+            db, minimum_support=0.5, minimum_confidence=0.9
+        )
+        assert "butter ==> bread, [100.0%, 66.7%]" in [
+            str(rule) for rule in rules
+        ]

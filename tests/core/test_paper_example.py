@@ -1,0 +1,129 @@
+"""The Section 4.2 worked example, end to end, against the paper's text.
+
+Every number asserted here appears in the paper (Figures 1-3 and the
+Section 5 rule listings).  This is the ground-truth test: if it fails, the
+reproduction is wrong, full stop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import generate_rules, rules_as_paper_lines
+from repro.core.setm import setm
+from repro.data.example import (
+    PAPER_C2_RULE_LINES,
+    PAPER_C3_RULE_LINES,
+    PAPER_MINIMUM_CONFIDENCE,
+    PAPER_MINIMUM_SUPPORT,
+)
+
+
+@pytest.fixture(scope="module")
+def result(example_db):
+    return setm(example_db, PAPER_MINIMUM_SUPPORT)
+
+
+class TestExampleDatabase:
+    def test_ten_transactions_of_three_items(self, example_db):
+        assert example_db.num_transactions == 10
+        assert all(len(txn) == 3 for txn in example_db)
+
+    def test_c1_counts_match_figure_1(self, example_db):
+        # Section 5 uses |A| = 6 and |B| = 4 explicitly; the rest follow
+        # from the reconstructed Figure 1.
+        assert example_db.item_counts() == {
+            "A": 6, "B": 4, "C": 4, "D": 6,
+            "E": 4, "F": 3, "G": 2, "H": 1,
+        }
+
+    def test_support_threshold_is_three_transactions(self, example_db):
+        assert example_db.absolute_support(PAPER_MINIMUM_SUPPORT) == 3
+
+
+class TestCountRelations:
+    def test_c1_filtered(self, result):
+        assert result.count_relations[1] == {
+            ("A",): 6, ("B",): 4, ("C",): 4,
+            ("D",): 6, ("E",): 4, ("F",): 3,
+        }
+
+    def test_c2_matches_figure_2(self, result):
+        assert result.count_relations[2] == {
+            ("A", "B"): 3, ("A", "C"): 3, ("B", "C"): 3,
+            ("D", "E"): 3, ("D", "F"): 3, ("E", "F"): 3,
+        }
+
+    def test_c3_matches_figure_3(self, result):
+        assert result.count_relations[3] == {("D", "E", "F"): 3}
+
+    def test_no_c4(self, result):
+        assert 4 not in result.count_relations
+        assert result.max_pattern_length == 3
+
+
+class TestRelationSizes:
+    """Instance counts through the iterations (Figures 1-3)."""
+
+    def test_r1_is_thirty_rows(self, result):
+        assert result.iterations[0].candidate_instances == 30
+
+    def test_r2_prime_and_r2(self, result):
+        stats = result.iterations[1]
+        assert stats.k == 2
+        # Each 3-item transaction yields C(3,2) = 3 ordered pairs.
+        assert stats.candidate_instances == 30
+        # Six supported pairs x three transactions each.
+        assert stats.supported_instances == 18
+
+    def test_r3_prime_and_r3(self, result):
+        stats = result.iterations[2]
+        assert stats.k == 3
+        assert stats.candidate_instances == 8
+        assert stats.supported_instances == 3  # DEF in three transactions
+
+    def test_terminates_with_empty_r4(self, result):
+        stats = result.iterations[3]
+        assert stats.k == 4
+        assert stats.candidate_instances == 0
+        assert stats.supported_patterns == 0
+
+
+class TestPaperRules:
+    def test_c2_rules_verbatim(self, result):
+        rules = [
+            rule
+            for rule in generate_rules(result, PAPER_MINIMUM_CONFIDENCE)
+            if len(rule.pattern) == 2
+        ]
+        assert set(rules_as_paper_lines(rules)) == set(PAPER_C2_RULE_LINES)
+
+    def test_c3_rules_verbatim(self, result):
+        rules = [
+            rule
+            for rule in generate_rules(result, PAPER_MINIMUM_CONFIDENCE)
+            if len(rule.pattern) == 3
+        ]
+        assert set(rules_as_paper_lines(rules)) == set(PAPER_C3_RULE_LINES)
+
+    def test_a_implies_b_is_rejected(self, result):
+        # Section 5 works through this rejection: |AB|/|A| = 3/6 = 50% < 70%.
+        rules = generate_rules(result, PAPER_MINIMUM_CONFIDENCE)
+        assert not any(
+            rule.antecedent == ("A",) and rule.consequent == ("B",)
+            for rule in rules
+        )
+
+    def test_b_implies_a_confidence_is_75_percent(self, result):
+        rules = generate_rules(result, PAPER_MINIMUM_CONFIDENCE)
+        (rule,) = [
+            rule
+            for rule in rules
+            if rule.antecedent == ("B",) and rule.consequent == ("A",)
+        ]
+        assert rule.confidence == pytest.approx(0.75)
+        assert rule.support == pytest.approx(0.30)
+
+    def test_rule_count_totals(self, result):
+        rules = generate_rules(result, PAPER_MINIMUM_CONFIDENCE)
+        assert len(rules) == len(PAPER_C2_RULE_LINES) + len(PAPER_C3_RULE_LINES)

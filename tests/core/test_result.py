@@ -1,0 +1,124 @@
+"""Unit tests for MiningResult and IterationStats containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import (
+    BYTES_PER_FIELD,
+    IterationStats,
+    MiningResult,
+    pattern_bytes,
+)
+from repro.core.setm import setm
+
+
+def make_result(**overrides) -> MiningResult:
+    base = dict(
+        algorithm="test",
+        num_transactions=100,
+        minimum_support=0.1,
+        support_threshold=10,
+        count_relations={
+            1: {("A",): 50, ("B",): 40},
+            2: {("A", "B"): 30},
+        },
+        unfiltered_item_counts={"A": 50, "B": 40, "Z": 1},
+    )
+    base.update(overrides)
+    return MiningResult(**base)
+
+
+class TestPatternBytes:
+    def test_paper_layout(self):
+        # R_2 tuple: (trans_id, item1, item2) = 3 fields x 4 bytes.
+        assert pattern_bytes(2, 1) == 3 * BYTES_PER_FIELD
+
+    def test_scales_with_cardinality(self):
+        assert pattern_bytes(1, 1000) == 8000
+
+    def test_section_43_tuple_sizes(self):
+        # "The size of a tuple from R_i is (i + 1) x 4 bytes."
+        for i in range(1, 6):
+            assert pattern_bytes(i, 1) == (i + 1) * 4
+
+
+class TestIterationStats:
+    def test_r_kbytes(self):
+        stats = IterationStats(2, 100, 50, 20, 10)
+        assert stats.r_bytes == 50 * 3 * 4
+        assert stats.r_kbytes == pytest.approx(600 / 1024)
+
+    def test_r_prime_bytes(self):
+        stats = IterationStats(2, 100, 50, 20, 10)
+        assert stats.r_prime_bytes == 100 * 3 * 4
+
+
+class TestPatternAccess:
+    def test_patterns_of_length(self):
+        result = make_result()
+        assert result.patterns_of_length(2) == {("A", "B"): 30}
+        assert result.patterns_of_length(9) == {}
+
+    def test_all_patterns_merges_lengths(self):
+        result = make_result()
+        assert len(result.all_patterns()) == 3
+
+    def test_iter_patterns_ordered(self):
+        result = make_result()
+        patterns = [pattern for pattern, _ in result.iter_patterns()]
+        assert patterns == [("A",), ("B",), ("A", "B")]
+
+    def test_support_count_canonicalizes_order(self):
+        result = make_result()
+        assert result.support_count(("B", "A")) == 30
+
+    def test_support_count_unknown_is_none(self):
+        result = make_result()
+        assert result.support_count(("Z",)) is None
+        assert result.support_count(("A", "B", "C")) is None
+
+    def test_support_fraction(self):
+        result = make_result()
+        assert result.support_fraction(("A", "B")) == pytest.approx(0.30)
+        assert result.support_fraction(("Z", "Q")) is None
+
+    def test_max_pattern_length(self):
+        assert make_result().max_pattern_length == 2
+        assert make_result(count_relations={}).max_pattern_length == 0
+
+
+class TestFigureAccessors:
+    def test_c_cardinalities_use_unfiltered_c1(self, example_db):
+        result = setm(example_db, 0.30)
+        series = dict(result.c_cardinalities())
+        # Figure 6: |C_1| counts *all* items (8 here), not just supported.
+        assert series[1] == 8
+        assert series[2] == 6
+        assert series[3] == 1
+        assert series[4] == 0
+
+    def test_r_sizes_kbytes_series(self, example_db):
+        result = setm(example_db, 0.30)
+        series = dict(result.r_sizes_kbytes())
+        # |R_1| = 30 rows x 8 bytes.
+        assert series[1] == pytest.approx(30 * 8 / 1024)
+        # |R_2| = 18 rows x 12 bytes.
+        assert series[2] == pytest.approx(18 * 12 / 1024)
+
+
+class TestComparison:
+    def test_same_patterns_ignores_algorithm_and_timing(self):
+        a = make_result(algorithm="x", elapsed_seconds=1.0)
+        b = make_result(algorithm="y", elapsed_seconds=9.0)
+        assert a.same_patterns_as(b)
+
+    def test_different_counts_differ(self):
+        a = make_result()
+        b = make_result(count_relations={1: {("A",): 51}})
+        assert not a.same_patterns_as(b)
+
+    def test_repr_is_informative(self):
+        text = repr(make_result())
+        assert "algorithm='test'" in text
+        assert "patterns=3" in text

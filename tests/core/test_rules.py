@@ -1,0 +1,163 @@
+"""Unit tests for rule generation (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import MiningResult
+from repro.core.rules import Rule, generate_rules, rules_as_paper_lines
+from repro.core.setm import setm
+from repro.core.transactions import TransactionDatabase
+
+
+def make_result(count_relations, n=10, unfiltered=None) -> MiningResult:
+    return MiningResult(
+        algorithm="test",
+        num_transactions=n,
+        minimum_support=0.1,
+        support_threshold=1,
+        count_relations=count_relations,
+        unfiltered_item_counts=unfiltered or {},
+    )
+
+
+class TestConfidence:
+    def test_confidence_is_pattern_over_antecedent(self):
+        result = make_result({1: {("A",): 4}, 2: {("A", "B"): 3}})
+        (rule,) = [
+            rule
+            for rule in generate_rules(result, 0.5)
+            if rule.antecedent == ("A",)
+        ]
+        assert rule.confidence == pytest.approx(0.75)
+
+    def test_meets_or_exceeds_threshold(self):
+        # Exactly at the bar qualifies ("meets or exceeds", Section 5).
+        result = make_result({1: {("A",): 4, ("B",): 3}, 2: {("A", "B"): 3}})
+        rules = generate_rules(result, 0.75)
+        assert any(rule.antecedent == ("A",) for rule in rules)
+
+    def test_below_threshold_rejected(self):
+        result = make_result({1: {("A",): 4, ("B",): 3}, 2: {("A", "B"): 3}})
+        rules = generate_rules(result, 0.76)
+        assert not any(rule.antecedent == ("A",) for rule in rules)
+
+    def test_lift_computation(self):
+        # supp(B) = 5/10; conf(A=>B) = 0.75 ; lift = 1.5
+        result = make_result({1: {("A",): 4, ("B",): 5}, 2: {("A", "B"): 3}})
+        (rule,) = [
+            rule
+            for rule in generate_rules(result, 0.5)
+            if rule.antecedent == ("A",)
+        ]
+        assert rule.lift == pytest.approx(1.5)
+
+
+class TestRuleShapes:
+    def test_every_item_takes_a_turn_as_consequent(self):
+        result = make_result(
+            {
+                2: {("A", "B"): 5, ("A", "C"): 5, ("B", "C"): 5},
+                3: {("A", "B", "C"): 5},
+            },
+            unfiltered={"A": 5, "B": 5, "C": 5},
+        )
+        # For ABC: antecedents AB, AC, BC.
+        rules = generate_rules(result, 0.01)
+        antecedents = {
+            rule.antecedent for rule in rules if len(rule.pattern) == 3
+        }
+        assert antecedents == {("A", "B"), ("A", "C"), ("B", "C")}
+
+    def test_consequent_is_single_item(self):
+        result = make_result(
+            {1: {("A",): 5, ("B",): 5}, 2: {("A", "B"): 5}}
+        )
+        for rule in generate_rules(result, 0.1):
+            assert len(rule.consequent) == 1
+
+    def test_rules_sorted_by_length_then_antecedent(self, example_db):
+        rules = generate_rules(setm(example_db, 0.30), 0.70)
+        keys = [
+            (len(rule.pattern), rule.antecedent, rule.consequent)
+            for rule in rules
+        ]
+        assert keys == sorted(keys)
+
+    def test_pattern_property_reassembles(self):
+        rule = Rule(("B",), ("A",), 3, 0.3, 0.75, 1.25)
+        assert rule.pattern == ("A", "B")
+
+
+class TestAntecedentLookup:
+    def test_falls_back_to_unfiltered_c1(self):
+        # C_1 absent entirely (e.g. a partial backend); unfiltered saves it.
+        result = make_result(
+            {2: {("A", "B"): 3}}, unfiltered={"A": 4, "B": 6}
+        )
+        rules = generate_rules(result, 0.6)
+        assert {rule.antecedent for rule in rules} == {("A",)}
+        (rule,) = rules
+        assert rule.confidence == pytest.approx(0.75)  # 3/4 from unfiltered
+
+    def test_missing_antecedent_skipped_silently(self):
+        result = make_result({2: {("A", "B"): 3}})  # no C_1 at all
+        assert generate_rules(result, 0.5) == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.01])
+    def test_confidence_range_enforced(self, bad, example_db):
+        result = setm(example_db, 0.30)
+        with pytest.raises(ValueError, match="minimum_confidence"):
+            generate_rules(result, bad)
+
+    def test_min_pattern_length_enforced(self, example_db):
+        result = setm(example_db, 0.30)
+        with pytest.raises(ValueError, match="min_pattern_length"):
+            generate_rules(result, 0.5, min_pattern_length=1)
+
+    def test_min_pattern_length_three_skips_pair_rules(self, example_db):
+        result = setm(example_db, 0.30)
+        rules = generate_rules(result, 0.70, min_pattern_length=3)
+        assert all(len(rule.pattern) >= 3 for rule in rules)
+
+
+class TestFormatting:
+    def test_paper_line_format(self):
+        rule = Rule(("B",), ("A",), 3, 0.30, 0.75, 1.25)
+        assert rule.as_paper_line() == "B ==> A, [75.0%, 30.0%]"
+
+    def test_multi_item_antecedent_format(self):
+        rule = Rule(("D", "E"), ("F",), 3, 0.30, 1.0, 3.33)
+        assert rule.as_paper_line() == "D E ==> F, [100.0%, 30.0%]"
+
+    def test_str_is_paper_line(self):
+        rule = Rule(("B",), ("A",), 3, 0.30, 0.75, 1.25)
+        assert str(rule) == rule.as_paper_line()
+
+    def test_rules_as_paper_lines(self):
+        rules = [
+            Rule(("B",), ("A",), 3, 0.30, 0.75, 1.25),
+            Rule(("C",), ("A",), 3, 0.30, 0.75, 1.25),
+        ]
+        assert rules_as_paper_lines(rules) == [
+            "B ==> A, [75.0%, 30.0%]",
+            "C ==> A, [75.0%, 30.0%]",
+        ]
+
+
+class TestEndToEnd:
+    def test_confidence_bounds(self, make_random_db):
+        db = make_random_db(5)
+        result = setm(db, 0.05)
+        for rule in generate_rules(result, 0.4):
+            assert 0.4 <= rule.confidence <= 1.0
+            assert 0.0 < rule.support <= 1.0
+
+    def test_rule_support_counts_are_true(self, make_random_db):
+        db = make_random_db(6)
+        result = setm(db, 0.05)
+        for rule in generate_rules(result, 0.4):
+            actual = sum(1 for txn in db if txn.contains_all(rule.pattern))
+            assert rule.support_count == actual

@@ -1,0 +1,136 @@
+"""Tests for the disk-based SETM (repro.core.setm_disk)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import pattern_bytes
+from repro.core.setm import setm
+from repro.core.setm_disk import setm_disk
+from repro.storage.disk import IOStatistics
+from repro.storage.page import PageFormat
+
+
+class TestCorrectness:
+    def test_matches_in_memory_setm_on_example(self, example_db):
+        disk_result = setm_disk(example_db, 0.30)
+        assert disk_result.same_patterns_as(setm(example_db, 0.30))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_in_memory_setm_on_random_dbs(self, make_random_db, seed):
+        db = make_random_db(seed)
+        assert setm_disk(db, 0.05).same_patterns_as(setm(db, 0.05))
+
+    def test_iteration_stats_match_in_memory(self, make_random_db):
+        db = make_random_db(7)
+        mem = setm(db, 0.05)
+        disk = setm_disk(db, 0.05)
+        for mem_stats, disk_stats in zip(mem.iterations, disk.iterations):
+            assert mem_stats.k == disk_stats.k
+            assert (
+                mem_stats.supported_instances
+                == disk_stats.supported_instances
+            )
+            assert (
+                mem_stats.supported_patterns == disk_stats.supported_patterns
+            )
+
+    def test_string_items_round_trip_through_encoding(self, example_db):
+        result = setm_disk(example_db, 0.30)
+        assert ("D", "E", "F") in result.count_relations[3]
+
+    def test_max_length(self, make_random_db):
+        result = setm_disk(make_random_db(4), 0.05, max_length=2)
+        assert result.max_pattern_length <= 2
+
+
+class TestIOAccounting:
+    def test_io_statistics_present(self, make_random_db):
+        result = setm_disk(make_random_db(5), 0.05, buffer_pages=8)
+        io = result.extra["io"]
+        assert isinstance(io, IOStatistics)
+        assert io.total_accesses > 0
+
+    def test_small_pool_costs_more_than_large_pool(self, make_random_db):
+        db = make_random_db(6, num_transactions=200, max_basket=6)
+        small = setm_disk(db, 0.02, buffer_pages=4)
+        large = setm_disk(db, 0.02, buffer_pages=4096)
+        assert (
+            small.extra["io"].total_accesses
+            >= large.extra["io"].total_accesses
+        )
+
+    def test_per_iteration_io_sums_to_total(self, make_random_db):
+        result = setm_disk(make_random_db(8), 0.05, buffer_pages=8)
+        per_iteration = result.extra["per_iteration_io"]
+        total = result.extra["io"]
+        assert (
+            sum(stats.total_accesses for stats in per_iteration.values())
+            == total.total_accesses
+        )
+
+    def test_page_counts_match_record_counts(self, make_random_db):
+        db = make_random_db(9)
+        result = setm_disk(db, 0.05)
+        for stats in result.iterations:
+            pages = result.extra["page_counts"][stats.k]
+            fmt = PageFormat(stats.k + 1)
+            assert pages == fmt.pages_needed(stats.supported_instances)
+
+    def test_modelled_seconds_consistent_with_io(self, make_random_db):
+        result = setm_disk(make_random_db(10), 0.05, buffer_pages=8)
+        io = result.extra["io"]
+        assert result.extra["modelled_seconds"] == pytest.approx(
+            io.estimated_seconds()
+        )
+
+    def test_r1_kbytes_match_paper_layout(self, example_db):
+        result = setm_disk(example_db, 0.30)
+        stats = result.iterations[0]
+        assert stats.r_bytes == pattern_bytes(1, example_db.num_sales_rows)
+
+
+class TestValidation:
+    def test_bad_support_rejected(self, example_db):
+        with pytest.raises(ValueError):
+            setm_disk(example_db, 0.0)
+
+    def test_algorithm_name(self, example_db):
+        assert setm_disk(example_db, 0.3).algorithm == "setm-disk"
+
+
+class TestTrackSortOrder:
+    """The Section 4.1 fused filter+sort plan (track_sort_order=True)."""
+
+    def test_same_patterns_as_figure4_plan(self, example_db):
+        plain = setm_disk(example_db, 0.30)
+        tracked = setm_disk(example_db, 0.30, track_sort_order=True)
+        assert tracked.same_patterns_as(plain)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_in_memory_on_random_dbs(self, make_random_db, seed):
+        db = make_random_db(seed)
+        tracked = setm_disk(db, 0.05, track_sort_order=True)
+        assert tracked.same_patterns_as(setm(db, 0.05))
+
+    def test_option_recorded_in_extra(self, example_db):
+        tracked = setm_disk(example_db, 0.30, track_sort_order=True)
+        assert tracked.extra["track_sort_order"] is True
+        plain = setm_disk(example_db, 0.30)
+        assert plain.extra["track_sort_order"] is False
+
+    def test_saves_io_at_low_support(self):
+        """Where the filter retains most of R'_k, fusing it with the
+        re-sort must reduce page accesses."""
+        from repro.data.retail import generate_retail_dataset
+
+        db = generate_retail_dataset(scale=0.03)
+        plain = setm_disk(db, 0.001, buffer_pages=8, sort_memory_pages=8)
+        tracked = setm_disk(
+            db, 0.001, buffer_pages=8, sort_memory_pages=8,
+            track_sort_order=True,
+        )
+        assert (
+            tracked.extra["io"].total_accesses
+            < plain.extra["io"].total_accesses
+        )

@@ -1,0 +1,90 @@
+"""Tests for SQL-driven SETM (repro.core.setm_sql, native backend).
+
+The sqlite3 backend is exercised in tests/integration; here we pin the
+behaviour of the loop itself and of the bundled engine backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.setm import setm
+from repro.core.setm_sql import NativeBackend, setm_sql
+
+
+class TestSortMergeStrategy:
+    def test_matches_in_memory_on_example(self, example_db):
+        assert setm_sql(example_db, 0.30).same_patterns_as(
+            setm(example_db, 0.30)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_in_memory_on_random_dbs(self, make_random_db, seed):
+        db = make_random_db(seed, num_transactions=50)
+        assert setm_sql(db, 0.06).same_patterns_as(setm(db, 0.06))
+
+    def test_statements_are_recorded_and_replayable(self, example_db):
+        result = setm_sql(example_db, 0.30)
+        statements = result.extra["statements"]
+        assert statements[0].startswith("CREATE TABLE R1")
+        assert any("INSERT INTO RP2" in sql for sql in statements)
+        # Replaying the script on a fresh backend reproduces the result.
+        backend = NativeBackend(example_db)
+        threshold = example_db.absolute_support(0.30)
+        for sql in statements:
+            backend.execute(sql, {"minsupport": threshold})
+        rows = backend.execute("SELECT * FROM C3 t")
+        assert rows == [("D", "E", "F", 3)]
+
+    def test_iteration_stats_cardinalities(self, example_db):
+        result = setm_sql(example_db, 0.30)
+        by_k = {stats.k: stats for stats in result.iterations}
+        assert by_k[2].candidate_instances == 30  # |R'_2|
+        assert by_k[2].supported_instances == 18  # |R_2|
+        assert by_k[3].candidate_instances == 8
+        assert by_k[3].supported_instances == 3
+
+    def test_max_length(self, example_db):
+        result = setm_sql(example_db, 0.30, max_length=2)
+        assert result.max_pattern_length == 2
+
+
+class TestNestedLoopStrategy:
+    def test_matches_in_memory_on_example(self, example_db):
+        result = setm_sql(example_db, 0.30, strategy="nested-loop")
+        assert result.same_patterns_as(setm(example_db, 0.30))
+        assert result.algorithm == "setm-sql-nested-loop"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_in_memory_on_random_dbs(self, make_random_db, seed):
+        db = make_random_db(seed, num_transactions=40)
+        result = setm_sql(db, 0.08, strategy="nested-loop")
+        assert result.same_patterns_as(setm(db, 0.08))
+
+    def test_generates_multiway_join_sql(self, example_db):
+        result = setm_sql(example_db, 0.30, strategy="nested-loop")
+        joins = [
+            sql
+            for sql in result.extra["statements"]
+            if "SALES r1, SALES r2" in sql
+        ]
+        assert joins, "the Section 3.1 query must join SALES with itself"
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, example_db):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            setm_sql(example_db, 0.30, strategy="hash-join")
+
+    def test_integer_items_use_integer_columns(self, make_random_db):
+        db = make_random_db(0)
+        backend = NativeBackend(db)
+        assert backend.item_type() == "INTEGER"
+
+    def test_string_items_use_text_columns(self, example_db):
+        backend = NativeBackend(example_db)
+        assert backend.item_type() == "TEXT"
+
+    def test_unfiltered_counts_exposed(self, example_db):
+        result = setm_sql(example_db, 0.30)
+        assert result.unfiltered_item_counts["H"] == 1

@@ -1,0 +1,190 @@
+"""Unit tests for the transaction model (repro.core.transactions)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.transactions import (
+    ItemCatalog,
+    Transaction,
+    TransactionDatabase,
+    sales_rows_to_transactions,
+)
+
+
+class TestTransaction:
+    def test_items_are_sorted_and_deduplicated(self):
+        txn = Transaction(1, ("C", "A", "B", "A"))
+        assert txn.items == ("A", "B", "C")
+
+    def test_len_counts_distinct_items(self):
+        assert len(Transaction(1, ("A", "A", "B"))) == 2
+
+    def test_contains(self):
+        txn = Transaction(1, ("A", "B"))
+        assert "A" in txn
+        assert "Z" not in txn
+
+    def test_contains_all(self):
+        txn = Transaction(1, ("A", "B", "C"))
+        assert txn.contains_all(("A", "C"))
+        assert not txn.contains_all(("A", "Z"))
+        assert txn.contains_all(())  # vacuous
+
+    def test_transactions_are_hashable_and_equal_by_value(self):
+        assert Transaction(1, ("B", "A")) == Transaction(1, ("A", "B"))
+        assert hash(Transaction(1, ("B", "A"))) == hash(
+            Transaction(1, ("A", "B"))
+        )
+
+
+class TestTransactionDatabase:
+    def test_accepts_pairs_and_transactions(self):
+        db = TransactionDatabase([(2, ["X"]), Transaction(1, ("A", "B"))])
+        assert [txn.trans_id for txn in db] == [1, 2]
+
+    def test_duplicate_trans_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate trans_id"):
+            TransactionDatabase([(1, ["A"]), (1, ["B"])])
+
+    def test_mixed_item_types_rejected(self):
+        with pytest.raises(TypeError, match="mixed types"):
+            TransactionDatabase([(1, ["A", 2])])
+
+    def test_num_sales_rows_counts_distinct_items_per_transaction(self):
+        db = TransactionDatabase([(1, ["A", "B", "B"]), (2, ["C"])])
+        assert db.num_sales_rows == 3
+
+    def test_average_transaction_length(self):
+        db = TransactionDatabase([(1, ["A", "B"]), (2, ["C", "D", "E", "F"])])
+        assert db.average_transaction_length() == 3.0
+
+    def test_average_transaction_length_empty(self):
+        assert TransactionDatabase([]).average_transaction_length() == 0.0
+
+    def test_distinct_items_sorted(self):
+        db = TransactionDatabase([(1, ["B"]), (2, ["A", "C"])])
+        assert db.distinct_items() == ["A", "B", "C"]
+
+    def test_item_counts_is_unfiltered_c1(self):
+        db = TransactionDatabase([(1, ["A", "B"]), (2, ["A"]), (3, ["A"])])
+        assert db.item_counts() == {"A": 3, "B": 1}
+
+    def test_sales_rows_ordered_by_tid_then_item(self):
+        db = TransactionDatabase([(2, ["B", "A"]), (1, ["Z", "Y"])])
+        assert list(db.sales_rows()) == [
+            (1, "Y"),
+            (1, "Z"),
+            (2, "A"),
+            (2, "B"),
+        ]
+
+    def test_equality_and_hash(self):
+        a = TransactionDatabase([(1, ["A", "B"])])
+        b = TransactionDatabase([(1, ["B", "A"])])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_counts(self):
+        db = TransactionDatabase([(1, ["A", "B"])])
+        assert "num_transactions=1" in repr(db)
+
+    def test_filter_items_drops_empty_transactions(self):
+        db = TransactionDatabase([(1, ["A", "B"]), (2, ["C"])])
+        filtered = db.filter_items(["A"])
+        assert filtered.num_transactions == 1
+        assert filtered[0].items == ("A",)
+
+
+class TestAbsoluteSupport:
+    def test_paper_example_thirty_percent_of_ten_is_three(self):
+        db = TransactionDatabase([(i, ["A"]) for i in range(10)])
+        assert db.absolute_support(0.30) == 3
+
+    def test_rounds_up(self):
+        db = TransactionDatabase([(i, ["A"]) for i in range(7)])
+        assert db.absolute_support(0.5) == 4  # ceil(3.5)
+
+    def test_minimum_is_one(self):
+        db = TransactionDatabase([(1, ["A"])])
+        assert db.absolute_support(0.0001) == 1
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_out_of_range_rejected(self, bad):
+        db = TransactionDatabase([(1, ["A"])])
+        with pytest.raises(ValueError, match="minimum_support"):
+            db.absolute_support(bad)
+
+
+class TestItemCatalog:
+    def test_ids_follow_label_order(self):
+        catalog = ItemCatalog(["banana", "apple", "cherry"])
+        assert catalog.id_of("apple") == 1
+        assert catalog.id_of("banana") == 2
+        assert catalog.id_of("cherry") == 3
+
+    def test_round_trip(self):
+        catalog = ItemCatalog(["x", "y"])
+        assert catalog.decode(catalog.encode(["y", "x"])) == ("y", "x")
+
+    def test_unknown_label_raises(self):
+        catalog = ItemCatalog(["a"])
+        with pytest.raises(KeyError):
+            catalog.id_of("zzz")
+
+    def test_contains_and_len(self):
+        catalog = ItemCatalog(["a", "b", "a"])
+        assert len(catalog) == 2
+        assert "a" in catalog and "c" not in catalog
+
+    def test_first_id_offset(self):
+        catalog = ItemCatalog(["a"], first_id=100)
+        assert catalog.id_of("a") == 100
+
+    @given(st.sets(st.text(min_size=1, max_size=5), min_size=1, max_size=30))
+    def test_encoding_preserves_order_relation(self, labels):
+        catalog = ItemCatalog(labels)
+        ordered = sorted(labels)
+        ids = [catalog.id_of(label) for label in ordered]
+        assert ids == sorted(ids), "label order must equal id order"
+
+
+class TestEncoded:
+    def test_encoded_database_has_integer_items(self, example_db):
+        encoded, catalog = example_db.encoded()
+        assert encoded.num_transactions == example_db.num_transactions
+        assert all(
+            isinstance(item, int)
+            for txn in encoded
+            for item in txn.items
+        )
+        # Decoding restores the original transactions.
+        restored = TransactionDatabase(
+            (txn.trans_id, catalog.decode(txn.items)) for txn in encoded
+        )
+        assert restored == example_db
+
+
+class TestSalesRowsRoundTrip:
+    def test_round_trip(self, example_db):
+        rebuilt = sales_rows_to_transactions(example_db.sales_rows())
+        assert rebuilt == example_db
+
+    def test_duplicate_rows_collapse(self):
+        db = sales_rows_to_transactions([(1, "A"), (1, "A"), (1, "B")])
+        assert db[0].items == ("A", "B")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=20),
+                st.integers(min_value=1, max_value=10),
+            ),
+            max_size=60,
+        )
+    )
+    def test_round_trip_property(self, rows):
+        db = sales_rows_to_transactions(rows)
+        assert set(db.sales_rows()) == set(rows)

@@ -1,0 +1,99 @@
+"""Tests for transaction file I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transactions import TransactionDatabase
+from repro.data.io import (
+    read_basket_file,
+    read_sales_csv,
+    write_basket_file,
+    write_sales_csv,
+)
+
+
+@pytest.fixture
+def string_db() -> TransactionDatabase:
+    return TransactionDatabase([(1, ["A", "B"]), (2, ["C"])])
+
+
+@pytest.fixture
+def int_db() -> TransactionDatabase:
+    return TransactionDatabase([(10, [5, 7]), (20, [5])])
+
+
+class TestBasketFiles:
+    def test_round_trip_strings(self, tmp_path, string_db):
+        path = tmp_path / "t.basket"
+        write_basket_file(string_db, path)
+        assert read_basket_file(path) == string_db
+
+    def test_round_trip_integers(self, tmp_path, int_db):
+        path = tmp_path / "t.basket"
+        write_basket_file(int_db, path)
+        assert read_basket_file(path) == int_db
+
+    def test_format(self, tmp_path, string_db):
+        path = tmp_path / "t.basket"
+        write_basket_file(string_db, path)
+        assert path.read_text() == "1: A B\n2: C\n"
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.basket"
+        path.write_text("# header\n\n1: A\n")
+        db = read_basket_file(path)
+        assert db.num_transactions == 1
+
+    def test_missing_colon_rejected(self, tmp_path):
+        path = tmp_path / "bad.basket"
+        path.write_text("1 A B\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_basket_file(path)
+
+    def test_bad_trans_id_rejected(self, tmp_path):
+        path = tmp_path / "bad.basket"
+        path.write_text("one: A\n")
+        with pytest.raises(ValueError, match="bad trans_id"):
+            read_basket_file(path)
+
+    def test_error_includes_line_number(self, tmp_path):
+        path = tmp_path / "bad.basket"
+        path.write_text("1: A\nbroken\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_basket_file(path)
+
+
+class TestSalesCsv:
+    def test_round_trip_strings(self, tmp_path, string_db):
+        path = tmp_path / "sales.csv"
+        write_sales_csv(string_db, path)
+        assert read_sales_csv(path) == string_db
+
+    def test_round_trip_integers(self, tmp_path, int_db):
+        path = tmp_path / "sales.csv"
+        write_sales_csv(int_db, path)
+        assert read_sales_csv(path) == int_db
+
+    def test_header_written(self, tmp_path, string_db):
+        path = tmp_path / "sales.csv"
+        write_sales_csv(string_db, path)
+        assert path.read_text().splitlines()[0] == "trans_id,item"
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,A\n")
+        with pytest.raises(ValueError, match="header"):
+            read_sales_csv(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("trans_id,item\n1\n")
+        with pytest.raises(ValueError, match="two columns"):
+            read_sales_csv(path)
+
+    def test_numeric_looking_items_become_ints(self, tmp_path):
+        path = tmp_path / "sales.csv"
+        path.write_text("trans_id,item\n1,42\n")
+        db = read_sales_csv(path)
+        assert db[0].items == (42,)

@@ -1,0 +1,117 @@
+"""Tests for the customer-class mining extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.transactions import TransactionDatabase
+from repro.extensions.customer_classes import (
+    ClassifiedDatabase,
+    class_contrast_rules,
+    mine_per_class,
+)
+
+
+def classified_fixture() -> ClassifiedDatabase:
+    """Families buy cereal+cards together; singles buy cereal alone."""
+    rng = random.Random(42)
+    transactions = []
+    classes = {}
+    tid = 0
+    for _ in range(60):
+        tid += 1
+        basket = ["cereal", "cards"] if rng.random() < 0.8 else ["cereal"]
+        basket += ["milk"] if rng.random() < 0.5 else []
+        transactions.append((tid, basket))
+        classes[tid] = "family"
+    for _ in range(60):
+        tid += 1
+        basket = ["cereal"] if rng.random() < 0.7 else ["beer"]
+        if rng.random() < 0.1:
+            basket.append("cards")
+        transactions.append((tid, basket))
+        classes[tid] = "single"
+    return ClassifiedDatabase(TransactionDatabase(transactions), classes)
+
+
+class TestClassifiedDatabase:
+    def test_missing_labels_rejected(self):
+        db = TransactionDatabase([(1, ["A"]), (2, ["B"])])
+        with pytest.raises(ValueError, match="lack a class label"):
+            ClassifiedDatabase(db, {1: "x"})
+
+    def test_class_labels_sorted(self):
+        classified = classified_fixture()
+        assert classified.class_labels() == ["family", "single"]
+
+    def test_restrict_to(self):
+        classified = classified_fixture()
+        family = classified.restrict_to("family")
+        assert family.num_transactions == 60
+        assert all(
+            classified.classes[txn.trans_id] == "family" for txn in family
+        )
+
+    def test_class_sizes(self):
+        assert classified_fixture().class_sizes() == {
+            "family": 60,
+            "single": 60,
+        }
+
+
+class TestMinePerClass:
+    def test_one_result_per_class(self):
+        results = mine_per_class(classified_fixture(), 0.2)
+        assert set(results) == {"family", "single"}
+
+    def test_support_is_within_class(self):
+        results = mine_per_class(classified_fixture(), 0.2)
+        # cereal+cards is frequent among families only.
+        assert results["family"].support_count(("cards", "cereal"))
+        assert (
+            results["single"].support_count(("cards", "cereal")) is None
+        )
+
+
+class TestContrastRules:
+    def test_detects_planted_class_pattern(self):
+        contrasts = class_contrast_rules(
+            classified_fixture(), 0.2, 0.6, min_lift=1.2
+        )
+        family_rules = [
+            contrast
+            for contrast in contrasts
+            if contrast.class_label == "family"
+        ]
+        assert any(
+            set(contrast.rule.pattern) == {"cereal", "cards"}
+            for contrast in family_rules
+        )
+
+    def test_lift_ordering(self):
+        contrasts = class_contrast_rules(
+            classified_fixture(), 0.2, 0.6, min_lift=1.0
+        )
+        lifts = [contrast.confidence_lift for contrast in contrasts]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_min_lift_filters(self):
+        loose = class_contrast_rules(
+            classified_fixture(), 0.2, 0.6, min_lift=1.0
+        )
+        strict = class_contrast_rules(
+            classified_fixture(), 0.2, 0.6, min_lift=2.0
+        )
+        assert len(strict) <= len(loose)
+        assert all(c.confidence_lift >= 2.0 for c in strict)
+
+    def test_population_confidence_present_for_shared_rules(self):
+        contrasts = class_contrast_rules(
+            classified_fixture(), 0.2, 0.6, min_lift=1.0
+        )
+        assert any(
+            contrast.population_confidence is not None
+            for contrast in contrasts
+        )

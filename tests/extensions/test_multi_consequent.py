@@ -1,0 +1,123 @@
+"""Tests for multi-item-consequent rule generation."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rules import generate_rules
+from repro.core.setm import setm
+from repro.core.transactions import TransactionDatabase
+from repro.extensions.multi_consequent import generate_multi_consequent_rules
+
+databases = st.lists(
+    st.frozensets(st.integers(min_value=1, max_value=8), min_size=1, max_size=5),
+    min_size=1,
+    max_size=20,
+).map(
+    lambda baskets: TransactionDatabase(
+        (tid, tuple(basket)) for tid, basket in enumerate(baskets, start=1)
+    )
+)
+
+
+def brute_force_rules(result, minconf):
+    """Reference enumeration without pruning."""
+    out = set()
+    for k, relation in result.count_relations.items():
+        if k < 2:
+            continue
+        for pattern, count in relation.items():
+            for size in range(1, len(pattern)):
+                for consequent in combinations(pattern, size):
+                    antecedent = tuple(
+                        item for item in pattern if item not in consequent
+                    )
+                    antecedent_count = result.support_count(antecedent)
+                    if antecedent_count is None and len(antecedent) == 1:
+                        antecedent_count = result.unfiltered_item_counts.get(
+                            antecedent[0]
+                        )
+                    if not antecedent_count:
+                        continue
+                    if count / antecedent_count >= minconf:
+                        out.add((antecedent, tuple(sorted(consequent))))
+    return out
+
+
+class TestAgainstPaperExample:
+    def test_includes_all_single_consequent_rules(self, example_db):
+        result = setm(example_db, 0.30)
+        single = {
+            (rule.antecedent, rule.consequent)
+            for rule in generate_rules(result, 0.70)
+        }
+        multi = {
+            (rule.antecedent, rule.consequent)
+            for rule in generate_multi_consequent_rules(result, 0.70)
+        }
+        assert single <= multi
+
+    def test_finds_genuinely_multi_item_consequents(self, example_db):
+        result = setm(example_db, 0.30)
+        rules = generate_multi_consequent_rules(result, 0.70)
+        multi = [rule for rule in rules if len(rule.consequent) > 1]
+        # F => D E holds with confidence 3/3 = 100%.
+        assert any(
+            rule.antecedent == ("F",) and rule.consequent == ("D", "E")
+            for rule in multi
+        )
+
+    def test_consequent_cap_of_one_equals_section5_rules(self, example_db):
+        result = setm(example_db, 0.30)
+        capped = {
+            (rule.antecedent, rule.consequent)
+            for rule in generate_multi_consequent_rules(
+                result, 0.70, max_consequent_size=1
+            )
+        }
+        single = {
+            (rule.antecedent, rule.consequent)
+            for rule in generate_rules(result, 0.70)
+        }
+        assert capped == single
+
+
+class TestPruningCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(db=databases, minconf=st.sampled_from([0.4, 0.6, 0.9]))
+    def test_matches_unpruned_enumeration(self, db, minconf):
+        """Anti-monotone pruning must not lose any qualifying rule."""
+        result = setm(db, 0.2)
+        pruned = {
+            (rule.antecedent, rule.consequent)
+            for rule in generate_multi_consequent_rules(result, minconf)
+        }
+        assert pruned == brute_force_rules(result, minconf)
+
+    @settings(max_examples=20, deadline=None)
+    @given(db=databases)
+    def test_all_rules_meet_confidence(self, db):
+        result = setm(db, 0.2)
+        for rule in generate_multi_consequent_rules(result, 0.7):
+            assert rule.confidence >= 0.7
+            assert set(rule.antecedent).isdisjoint(rule.consequent)
+
+
+class TestValidation:
+    def test_confidence_range(self, example_db):
+        result = setm(example_db, 0.3)
+        with pytest.raises(ValueError):
+            generate_multi_consequent_rules(result, 0.0)
+
+    def test_sorted_output(self, example_db):
+        result = setm(example_db, 0.3)
+        rules = generate_multi_consequent_rules(result, 0.7)
+        keys = [
+            (len(rule.pattern), rule.antecedent, rule.consequent)
+            for rule in rules
+        ]
+        assert keys == sorted(keys)

@@ -1,0 +1,90 @@
+"""Tests for maximal/closed pattern summaries."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.setm import setm
+from repro.core.transactions import TransactionDatabase
+from repro.extensions.summaries import (
+    closed_patterns,
+    maximal_patterns,
+    summarize,
+)
+
+databases = st.lists(
+    st.frozensets(st.integers(min_value=1, max_value=9), min_size=1, max_size=5),
+    min_size=1,
+    max_size=18,
+).map(
+    lambda baskets: TransactionDatabase(
+        (tid, tuple(basket)) for tid, basket in enumerate(baskets, start=1)
+    )
+)
+
+
+class TestOnPaperExample:
+    def test_maximal_patterns(self, example_db):
+        result = setm(example_db, 0.30)
+        maximal = maximal_patterns(result)
+        # DEF subsumes all its subsets; the pair patterns AB/AC/BC are
+        # maximal (ABC has support 2 < 3).
+        assert ("D", "E", "F") in maximal
+        assert ("D", "E") not in maximal
+        assert ("A", "B") in maximal
+
+    def test_closed_patterns(self, example_db):
+        result = setm(example_db, 0.30)
+        closed = closed_patterns(result)
+        # |DE| = |DEF| = 3, so DE is not closed; |A| = 6 > any superset.
+        assert ("D", "E") not in closed
+        assert ("A",) in closed
+        assert ("D", "E", "F") in closed
+
+    def test_summarize_counts(self, example_db):
+        result = setm(example_db, 0.30)
+        summary = summarize(result)
+        assert summary["maximal"] <= summary["closed"] <= summary["frequent"]
+        assert summary["frequent"] == 13
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(db=databases)
+    def test_maximal_is_antichain(self, db):
+        maximal = maximal_patterns(setm(db, 0.25))
+        patterns = [set(p) for p in maximal]
+        for i, a in enumerate(patterns):
+            for b in patterns[i + 1 :]:
+                assert not (a < b or b < a)
+
+    @settings(max_examples=25, deadline=None)
+    @given(db=databases)
+    def test_every_frequent_pattern_has_maximal_superset(self, db):
+        result = setm(db, 0.25)
+        maximal = [set(p) for p in maximal_patterns(result)]
+        for pattern in result.all_patterns():
+            assert any(set(pattern) <= m for m in maximal)
+
+    @settings(max_examples=25, deadline=None)
+    @given(db=databases)
+    def test_closed_preserve_all_supports(self, db):
+        """Every pattern's support equals the minimum-size closed
+        superset's support — closedness is lossless."""
+        result = setm(db, 0.25)
+        closed = closed_patterns(result)
+        for pattern, count in result.all_patterns().items():
+            pattern_set = set(pattern)
+            supersets = [
+                c_count
+                for c_pattern, c_count in closed.items()
+                if pattern_set <= set(c_pattern)
+            ]
+            assert supersets and max(supersets) == count
+
+    @settings(max_examples=20, deadline=None)
+    @given(db=databases)
+    def test_maximal_subset_of_closed(self, db):
+        result = setm(db, 0.25)
+        assert set(maximal_patterns(result)) <= set(closed_patterns(result))

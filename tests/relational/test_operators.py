@@ -1,0 +1,188 @@
+"""Tests for the physical operators and expression compilation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    ExpressionError,
+    Literal,
+    Parameter,
+)
+from repro.relational.operators import (
+    group_count,
+    merge_join,
+    nested_loop_join,
+    project,
+    select,
+    sort_rows,
+)
+from repro.relational.schema import Column, ColumnType, Schema
+
+schema_ab = Schema(
+    [Column("a", ColumnType.INTEGER), Column("b", ColumnType.INTEGER)]
+)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+    ),
+    max_size=40,
+)
+
+
+class TestExpressions:
+    def test_column_vs_literal(self):
+        predicate = Comparison("=", ColumnRef("a"), Literal(3)).compile(schema_ab)
+        assert predicate((3, 0))
+        assert not predicate((4, 0))
+
+    def test_column_vs_column(self):
+        predicate = Comparison(">", ColumnRef("b"), ColumnRef("a")).compile(
+            schema_ab
+        )
+        assert predicate((1, 2))
+        assert not predicate((2, 2))
+
+    def test_parameter_binding(self):
+        comparison = Comparison(">=", ColumnRef("a"), Parameter("minsupport"))
+        predicate = comparison.compile(schema_ab, {"minsupport": 5})
+        assert predicate((5, 0))
+        assert not predicate((4, 0))
+
+    def test_unbound_parameter_raises(self):
+        comparison = Comparison("=", ColumnRef("a"), Parameter("x"))
+        with pytest.raises(ExpressionError, match="unbound"):
+            comparison.compile(schema_ab, {})
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(ExpressionError, match="unsupported operator"):
+            Comparison("LIKE", ColumnRef("a"), Literal(1))
+
+    def test_and_conjunction(self):
+        conjunction = And(
+            (
+                Comparison(">", ColumnRef("a"), Literal(1)),
+                Comparison("<", ColumnRef("b"), Literal(5)),
+            )
+        )
+        predicate = conjunction.compile(schema_ab)
+        assert predicate((2, 4))
+        assert not predicate((2, 5))
+        assert not predicate((1, 4))
+
+    def test_empty_and_is_true(self):
+        assert And(()).compile(schema_ab)((0, 0))
+
+    def test_str_renderings(self):
+        comparison = Comparison("<>", ColumnRef("item", "r1"), Literal("A"))
+        assert str(comparison) == "r1.item <> 'A'"
+        assert str(Parameter("minsupport")) == ":minsupport"
+        assert str(Literal("o'clock")) == "'o''clock'"
+
+
+class TestBasicOperators:
+    def test_select(self):
+        out = list(select([(1,), (2,), (3,)], lambda row: row[0] > 1))
+        assert out == [(2,), (3,)]
+
+    def test_project(self):
+        out = list(project([(1, 2, 3)], [2, 0]))
+        assert out == [(3, 1)]
+
+    def test_sort_rows(self):
+        out = list(sort_rows([(2,), (1,)], key=lambda row: row))
+        assert out == [(1,), (2,)]
+
+
+class TestJoins:
+    @settings(max_examples=40, deadline=None)
+    @given(left=rows_strategy, right=rows_strategy)
+    def test_merge_join_equals_nested_loop(self, left, right):
+        """The two join algorithms must agree (as bags) on equi-joins."""
+        def key(row):
+            return (row[0],)
+
+        merged = merge_join(
+            sorted(left, key=key), sorted(right, key=key), key, key
+        )
+        nested = nested_loop_join(
+            left, lambda: right, lambda row: row[0] == row[2]
+        )
+        assert Counter(merged) == Counter(nested)
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=rows_strategy, right=rows_strategy)
+    def test_merge_join_with_band_residual(self, left, right):
+        """Residual predicates (q.item > p.item) filter identically."""
+        def key(row):
+            return (row[0],)
+
+        def band(row):
+            return row[3] > row[1]
+
+        merged = merge_join(
+            sorted(left, key=key), sorted(right, key=key), key, key, band
+        )
+        nested = nested_loop_join(
+            left, lambda: right, lambda row: row[0] == row[2] and band(row)
+        )
+        assert Counter(merged) == Counter(nested)
+
+    def test_duplicate_keys_produce_cross_product(self):
+        left = [(1, "x"), (1, "y")]
+        right = [(1, "p"), (1, "q")]
+        out = list(
+            merge_join(left, right, lambda r: (r[0],), lambda r: (r[0],))
+        )
+        assert len(out) == 4
+
+    def test_empty_inputs(self):
+        assert list(merge_join([], [(1,)], lambda r: r, lambda r: r)) == []
+        assert (
+            list(nested_loop_join([], lambda: [(1,)], None)) == []
+        )
+
+
+class TestGroupCount:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy)
+    def test_matches_counter(self, rows):
+        counted = dict(
+            (row[:-1], row[-1]) for row in group_count(rows, [0])
+        )
+        expected = Counter((row[0],) for row in rows)
+        assert counted == dict(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy, threshold=st.integers(min_value=1, max_value=5))
+    def test_having_filters(self, rows, threshold):
+        out = list(group_count(rows, [0], having_min_count=threshold))
+        assert all(row[-1] >= threshold for row in out)
+        expected = {
+            key: count
+            for key, count in Counter((row[0],) for row in rows).items()
+            if count >= threshold
+        }
+        assert dict((row[:-1], row[-1]) for row in out) == expected
+
+    def test_presorted_input(self):
+        rows = [(1, 0), (1, 1), (2, 0)]
+        out = list(group_count(rows, [0], presorted=True))
+        assert out == [(1, 2), (2, 1)]
+
+    def test_multi_column_groups(self):
+        rows = [(1, "A", 0), (1, "A", 1), (1, "B", 0)]
+        out = list(group_count(rows, [0, 1]))
+        assert out == [(1, "A", 2), (1, "B", 1)]
+
+    def test_empty_input(self):
+        assert list(group_count([], [0])) == []

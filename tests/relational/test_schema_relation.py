@@ -1,0 +1,130 @@
+"""Tests for schemas, relations and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.catalog import Catalog, CatalogError
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema, SchemaError
+
+
+def sales_schema() -> Schema:
+    return Schema(
+        [
+            Column("trans_id", ColumnType.INTEGER),
+            Column("item", ColumnType.TEXT),
+        ]
+    )
+
+
+class TestColumnType:
+    def test_integer_accepts_ints_only(self):
+        assert ColumnType.INTEGER.validate(5)
+        assert not ColumnType.INTEGER.validate("5")
+        assert not ColumnType.INTEGER.validate(True)  # bool is not data
+        assert not ColumnType.INTEGER.validate(None)
+
+    def test_text_accepts_strings_only(self):
+        assert ColumnType.TEXT.validate("x")
+        assert not ColumnType.TEXT.validate(1)
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("a"), Column("a")])
+
+    def test_same_name_different_qualifier_allowed(self):
+        schema = Schema([Column("item", qualifier="r1"), Column("item", qualifier="r2")])
+        assert len(schema) == 2
+
+    def test_index_of_bare_name(self):
+        schema = sales_schema()
+        assert schema.index_of("item") == 1
+
+    def test_index_of_qualified(self):
+        schema = sales_schema().with_qualifier("s")
+        assert schema.index_of("item", "s") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            sales_schema().index_of("nope")
+
+    def test_ambiguous_bare_name(self):
+        schema = Schema(
+            [Column("item", qualifier="r1"), Column("item", qualifier="r2")]
+        )
+        with pytest.raises(SchemaError, match="ambiguous"):
+            schema.index_of("item")
+
+    def test_concat(self):
+        left = sales_schema().with_qualifier("a")
+        right = sales_schema().with_qualifier("b")
+        combined = left.concat(right)
+        assert len(combined) == 4
+        assert combined.index_of("item", "b") == 3
+
+    def test_validate_row_arity(self):
+        with pytest.raises(SchemaError, match="values"):
+            sales_schema().validate_row((1,))
+
+    def test_validate_row_types(self):
+        with pytest.raises(SchemaError, match="not valid"):
+            sales_schema().validate_row(("x", "y"))
+        sales_schema().validate_row((1, "y"))  # fine
+
+
+class TestRelation:
+    def test_append_validates(self):
+        relation = Relation(sales_schema())
+        relation.append((1, "A"))
+        with pytest.raises(SchemaError):
+            relation.append(("bad", "A"))
+
+    def test_append_unvalidated_for_bulk_paths(self):
+        relation = Relation(sales_schema())
+        relation.append(("bad", 1), validate=False)
+        assert len(relation) == 1
+
+    def test_as_set_and_sorted(self):
+        relation = Relation(sales_schema(), [(2, "B"), (1, "A"), (2, "B")])
+        assert relation.as_set() == {(1, "A"), (2, "B")}
+        assert relation.as_sorted_list() == [(1, "A"), (2, "B"), (2, "B")]
+
+    def test_pretty_render(self):
+        relation = Relation(sales_schema(), [(1, "A")])
+        text = relation.pretty()
+        assert "trans_id" in text and "A" in text
+
+    def test_pretty_truncates(self):
+        relation = Relation(sales_schema(), [(i, "A") for i in range(30)])
+        assert "more rows" in relation.pretty(limit=5)
+
+
+class TestCatalog:
+    def test_create_get_drop(self):
+        catalog = Catalog()
+        catalog.create("T", sales_schema())
+        assert catalog.exists("t")  # case-insensitive
+        catalog.drop("T")
+        assert not catalog.exists("T")
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create("T", sales_schema())
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create("t", sales_schema())
+
+    def test_get_unknown(self):
+        with pytest.raises(CatalogError, match="does not exist"):
+            Catalog().get("nope")
+
+    def test_drop_if_exists(self):
+        Catalog().drop("nope", if_exists=True)  # no error
+
+    def test_names_sorted(self):
+        catalog = Catalog()
+        catalog.create("B", sales_schema())
+        catalog.create("A", sales_schema())
+        assert catalog.names() == ["A", "B"]

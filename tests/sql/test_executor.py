@@ -1,0 +1,218 @@
+"""End-to-end tests of the SQL engine (parser + planner + executor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.catalog import CatalogError
+from repro.relational.schema import SchemaError
+from repro.sql.database import SQLDatabase
+from repro.sql.planner import PlannerError
+
+
+@pytest.fixture
+def db() -> SQLDatabase:
+    database = SQLDatabase()
+    database.execute("CREATE TABLE SALES (trans_id INTEGER, item TEXT)")
+    database.execute(
+        "INSERT INTO SALES VALUES "
+        "(1, 'A'), (1, 'B'), (1, 'C'), (2, 'A'), (2, 'B'), (3, 'A')"
+    )
+    return database
+
+
+class TestDDLAndInsert:
+    def test_create_insert_select(self, db):
+        result = db.execute("SELECT item FROM SALES WHERE trans_id = 2")
+        assert result.rows == [("A",), ("B",)]
+
+    def test_insert_returns_row_count(self, db):
+        assert db.execute("INSERT INTO SALES VALUES (4, 'Z')") == 1
+
+    def test_insert_select_returns_row_count(self, db):
+        db.execute("CREATE TABLE COPY (trans_id INTEGER, item TEXT)")
+        assert db.execute("INSERT INTO COPY SELECT s.trans_id, s.item FROM SALES s") == 6
+
+    def test_insert_arity_mismatch_rejected(self, db):
+        db.execute("CREATE TABLE ONECOL (x INTEGER)")
+        with pytest.raises(ValueError, match="columns"):
+            db.execute("INSERT INTO ONECOL SELECT s.trans_id, s.item FROM SALES s")
+
+    def test_insert_type_mismatch_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("INSERT INTO SALES VALUES ('one', 'A')")
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE SALES")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT item FROM SALES")
+
+    def test_delete_from_clears_rows(self, db):
+        db.execute("DELETE FROM SALES")
+        assert db.execute("SELECT COUNT(*) FROM SALES").rows == [(0,)]
+
+
+class TestSelectFeatures:
+    def test_projection_order(self, db):
+        result = db.execute("SELECT item, trans_id FROM SALES WHERE item = 'C'")
+        assert result.rows == [("C", 1)]
+
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM SALES WHERE trans_id = 3")
+        assert result.rows == [(3, "A")]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT item FROM SALES")
+        assert sorted(result.rows) == [("A",), ("B",), ("C",)]
+
+    def test_order_by_desc(self, db):
+        result = db.execute(
+            "SELECT DISTINCT item FROM SALES ORDER BY item DESC"
+        )
+        assert result.rows == [("C",), ("B",), ("A",)]
+
+    def test_order_by_source_columns_before_projection(self, db):
+        result = db.execute(
+            "SELECT s.item FROM SALES s ORDER BY s.trans_id DESC, s.item"
+        )
+        assert result.rows[0] == ("A",)  # trans_id 3
+
+    def test_scalar_count(self, db):
+        assert db.execute("SELECT COUNT(*) FROM SALES").rows == [(6,)]
+
+    def test_group_by_count(self, db):
+        result = db.execute(
+            "SELECT item, COUNT(*) FROM SALES GROUP BY item"
+        )
+        assert sorted(result.rows) == [("A", 3), ("B", 2), ("C", 1)]
+
+    def test_having_with_parameter(self, db):
+        result = db.execute(
+            "SELECT item, COUNT(*) FROM SALES GROUP BY item "
+            "HAVING COUNT(*) >= :minsupport",
+            {"minsupport": 2},
+        )
+        assert sorted(result.rows) == [("A", 3), ("B", 2)]
+
+    def test_having_with_literal(self, db):
+        result = db.execute(
+            "SELECT item, COUNT(*) FROM SALES GROUP BY item "
+            "HAVING COUNT(*) >= 3"
+        )
+        assert result.rows == [("A", 3)]
+
+    def test_self_join(self, db):
+        result = db.execute(
+            """
+            SELECT r1.item, r2.item FROM SALES r1, SALES r2
+            WHERE r1.trans_id = r2.trans_id AND r2.item > r1.item
+            """
+        )
+        assert sorted(result.rows) == [
+            ("A", "B"),
+            ("A", "B"),
+            ("A", "C"),
+            ("B", "C"),
+        ]
+
+    def test_three_way_join(self, db):
+        result = db.execute(
+            """
+            SELECT r1.item, r2.item, r3.item
+            FROM SALES r1, SALES r2, SALES r3
+            WHERE r1.trans_id = r2.trans_id AND r2.trans_id = r3.trans_id
+              AND r2.item > r1.item AND r3.item > r2.item
+            """
+        )
+        assert result.rows == [("A", "B", "C")]
+
+    def test_duplicate_output_names_allowed(self, db):
+        result = db.execute(
+            "SELECT r1.item, r2.item FROM SALES r1, SALES r2 "
+            "WHERE r1.trans_id = r2.trans_id"
+        )
+        assert len(result.schema) == 2
+
+
+class TestSemanticErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT x FROM NOPE")
+
+    def test_unknown_column(self, db):
+        with pytest.raises((PlannerError, SchemaError)):
+            db.execute("SELECT nope FROM SALES")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises((PlannerError, SchemaError), match="ambiguous"):
+            db.execute(
+                "SELECT item FROM SALES r1, SALES r2 "
+                "WHERE r1.trans_id = r2.trans_id"
+            )
+
+    def test_duplicate_alias(self, db):
+        with pytest.raises(PlannerError, match="duplicate table alias"):
+            db.execute("SELECT a.item FROM SALES a, SALES a")
+
+    def test_having_without_group_by(self, db):
+        with pytest.raises(PlannerError, match="HAVING"):
+            db.execute("SELECT item FROM SALES HAVING COUNT(*) >= 1")
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(PlannerError, match="GROUP BY"):
+            db.execute(
+                "SELECT trans_id, COUNT(*) FROM SALES GROUP BY item"
+            )
+
+    def test_unbound_parameter(self, db):
+        with pytest.raises(Exception, match="unbound"):
+            db.execute("SELECT item FROM SALES WHERE trans_id = :missing")
+
+
+class TestPlanner:
+    def test_equi_join_uses_merge_join(self, db):
+        plan = db.explain(
+            "SELECT r1.item FROM SALES r1, SALES r2 "
+            "WHERE r1.trans_id = r2.trans_id"
+        )
+        assert "MergeJoin" in plan
+
+    def test_cross_join_uses_nested_loop(self, db):
+        plan = db.explain("SELECT r1.item FROM SALES r1, SALES r2")
+        assert "NestedLoopJoin" in plan
+
+    def test_band_join_without_equi_uses_nested_loop(self, db):
+        plan = db.explain(
+            "SELECT r1.item FROM SALES r1, SALES r2 "
+            "WHERE r2.item > r1.item"
+        )
+        assert "NestedLoopJoin" in plan
+
+    def test_forced_nested_mode(self):
+        db = SQLDatabase(join_method="nested")
+        db.execute("CREATE TABLE T (x INTEGER)")
+        db.execute("INSERT INTO T VALUES (1), (2)")
+        plan = db.explain(
+            "SELECT a.x FROM T a, T b WHERE a.x = b.x"
+        )
+        assert "NestedLoopJoin" in plan and "MergeJoin" not in plan
+
+    def test_forced_merge_mode_requires_equi_join(self):
+        db = SQLDatabase(join_method="merge")
+        db.execute("CREATE TABLE T (x INTEGER)")
+        with pytest.raises(PlannerError, match="merge join impossible"):
+            db.execute("SELECT a.x FROM T a, T b")
+
+    def test_selection_pushdown_visible_in_plan(self, db):
+        plan = db.explain(
+            "SELECT r1.item FROM SALES r1, SALES r2 "
+            "WHERE r1.trans_id = r2.trans_id AND r2.item = 'A'"
+        )
+        assert "Scan r2 filter" in plan
+
+    def test_band_residual_on_merge_join(self, db):
+        plan = db.explain(
+            "SELECT r1.item FROM SALES r1, SALES r2 "
+            "WHERE r1.trans_id = r2.trans_id AND r2.item > r1.item"
+        )
+        assert "residual" in plan

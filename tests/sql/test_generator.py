@@ -1,0 +1,110 @@
+"""Tests for the paper-SQL generator, including sqlite3 portability."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.sql import generator as gen
+from repro.sql.parser import parse_statement
+
+
+class TestText:
+    def test_item_columns(self):
+        assert gen.item_columns(3) == ["item1", "item2", "item3"]
+        assert gen.item_columns(2, prefix="p") == ["p.item1", "p.item2"]
+
+    def test_rk_prime_query_k2(self):
+        sql = gen.insert_rk_prime_query(2)
+        assert "FROM R1 p, SALES q" in sql
+        assert "q.trans_id = p.trans_id" in sql
+        assert "q.item > p.item1" in sql
+
+    def test_rk_prime_query_k3_carries_two_items(self):
+        sql = gen.insert_rk_prime_query(3)
+        assert "p.item1, p.item2, q.item" in sql
+        assert "q.item > p.item2" in sql
+
+    def test_ck_query_groups_all_items(self):
+        sql = gen.insert_ck_query(3)
+        assert "GROUP BY p.item1, p.item2, p.item3" in sql
+        assert "HAVING COUNT(*) >= :minsupport" in sql
+
+    def test_rk_filter_query_orders_result(self):
+        sql = gen.insert_rk_filter_query(2)
+        assert "ORDER BY p.trans_id, p.item1, p.item2" in sql
+        assert "p.item1 = q.item1 AND p.item2 = q.item2" in sql
+
+    def test_nested_loop_query_k3(self):
+        sql = gen.insert_ck_nested_loop_query(3)
+        assert "FROM C2 c, SALES r1, SALES r2, SALES r3" in sql
+        assert "r1.trans_id = r2.trans_id" in sql
+        assert "r2.trans_id = r3.trans_id" in sql
+        assert "r1.item = c.item1" in sql
+        assert "r2.item = c.item2" in sql
+        assert "r3.item > r2.item" in sql
+
+    def test_c1_query_variants(self):
+        assert "HAVING" in gen.insert_c1_query(filtered=True)
+        assert "HAVING" not in gen.insert_c1_query(filtered=False)
+
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_small_k_rejected(self, k):
+        with pytest.raises(ValueError):
+            gen.insert_rk_prime_query(k)
+        with pytest.raises(ValueError):
+            gen.insert_ck_query(k)
+        with pytest.raises(ValueError):
+            gen.insert_rk_filter_query(k)
+        with pytest.raises(ValueError):
+            gen.insert_ck_nested_loop_query(k)
+
+
+class TestParseability:
+    """Every generated statement must parse in the bundled engine."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_generated_statements_parse(self, k):
+        for sql in (
+            gen.create_r_table(k),
+            gen.create_r_table(k, prime=True),
+            gen.create_c_table(k),
+            gen.insert_rk_prime_query(k),
+            gen.insert_ck_query(k),
+            gen.insert_rk_filter_query(k),
+            gen.insert_ck_nested_loop_query(k),
+        ):
+            parse_statement(sql)
+
+    def test_base_statements_parse(self):
+        for sql in (
+            gen.create_sales_table("TEXT"),
+            gen.create_r_table(1),
+            gen.create_c_table(1),
+            gen.insert_r1_query(),
+            gen.insert_c1_query(),
+        ):
+            parse_statement(sql)
+
+
+class TestSqlitePortability:
+    """The same text must be valid sqlite3 SQL."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_statements_prepare_in_sqlite(self, k):
+        connection = sqlite3.connect(":memory:")
+        connection.execute(gen.create_sales_table())
+        connection.execute(gen.create_r_table(k - 1))
+        connection.execute(gen.create_r_table(k))
+        connection.execute(gen.create_r_table(k, prime=True))
+        connection.execute(gen.create_c_table(k - 1))
+        connection.execute(gen.create_c_table(k))
+        for sql in (
+            gen.insert_rk_prime_query(k),
+            gen.insert_ck_query(k),
+            gen.insert_rk_filter_query(k),
+            gen.insert_ck_nested_loop_query(k),
+        ):
+            connection.execute(sql, {"minsupport": 1})
+        connection.close()

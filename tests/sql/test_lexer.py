@@ -1,0 +1,110 @@
+"""Tests for the SQL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.lexer import LexerError, TokenType, tokenize
+
+
+def kinds(sql: str) -> list[TokenType]:
+    return [token.type for token in tokenize(sql)]
+
+
+def values(sql: str) -> list[str]:
+    return [token.value for token in tokenize(sql)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_are_case_insensitive(self):
+        assert values("select FROM Where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        assert values("SALES r1") == ["SALES", "r1"]
+
+    def test_integers(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.INTEGER
+        assert tokens[0].value == "42"
+
+    def test_punctuation(self):
+        assert kinds("( ) , . * ;")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.STAR,
+            TokenType.SEMICOLON,
+        ]
+
+    def test_eof_always_last(self):
+        assert kinds("")[-1] is TokenType.EOF
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_each_operator(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].type is TokenType.OPERATOR
+        assert tokens[1].value == op
+
+    def test_adjacent_angle_brackets(self):
+        # "a<>b" must lex as one operator, not two.
+        assert values("a<>b") == ["a", "<>", "b"]
+
+
+class TestStringsAndParameters:
+    def test_string_literal(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'o''clock'")[0].value == "o'clock"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_parameter(self):
+        tokens = tokenize(":minsupport")
+        assert tokens[0].type is TokenType.PARAMETER
+        assert tokens[0].value == "minsupport"
+
+    def test_bare_colon_rejected(self):
+        with pytest.raises(LexerError, match="parameter name"):
+            tokenize(": foo")
+
+
+class TestErrorsAndPositions:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_identifier_starting_with_digit_rejected(self):
+        with pytest.raises(LexerError, match="may not start with a digit"):
+            tokenize("1abc")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  item")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_comments_skipped(self):
+        assert values("SELECT -- the projection\n item") == ["SELECT", "item"]
+
+
+class TestPaperQueries:
+    def test_section_31_query_lexes(self):
+        sql = """
+        SELECT r1.item, r2.item, COUNT(*)
+        FROM SALES r1, SALES r2
+        WHERE r1.trans_id = r2.trans_id AND
+              r1.item = 'A' AND
+              r2.item <> 'A'
+        GROUP BY r1.item, r2.item
+        HAVING COUNT(*) >= :minsupport
+        """
+        tokens = tokenize(sql)
+        assert tokens[-1].type is TokenType.EOF
+        assert sum(1 for token in tokens if token.value == "COUNT") == 2

@@ -1,0 +1,50 @@
+"""Tests for loading transaction databases into the SQL engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transactions import TransactionDatabase
+from repro.relational.schema import ColumnType
+from repro.sql.database import SQLDatabase
+
+
+class TestLoadSales:
+    def test_loads_paper_example(self, example_db):
+        db = SQLDatabase()
+        inserted = db.load_sales(example_db)
+        assert inserted == example_db.num_sales_rows
+        result = db.execute("SELECT COUNT(*) FROM SALES")
+        assert result.rows == [(30,)]
+
+    def test_string_items_get_text_column(self, example_db):
+        db = SQLDatabase()
+        db.load_sales(example_db)
+        schema = db.catalog.get("SALES").schema
+        assert schema.columns[1].type is ColumnType.TEXT
+
+    def test_integer_items_get_integer_column(self):
+        db = SQLDatabase()
+        db.load_sales(TransactionDatabase([(1, [5, 7])]))
+        schema = db.catalog.get("SALES").schema
+        assert schema.columns[1].type is ColumnType.INTEGER
+
+    def test_custom_table_name(self, example_db):
+        db = SQLDatabase()
+        db.load_sales(example_db, table="PURCHASES")
+        result = db.execute(
+            "SELECT DISTINCT item FROM PURCHASES ORDER BY item"
+        )
+        assert [row[0] for row in result.rows] == list("ABCDEFGH")
+
+    def test_rows_ordered_by_transaction(self, example_db):
+        db = SQLDatabase()
+        db.load_sales(example_db)
+        rows = db.execute("SELECT trans_id, item FROM SALES").rows
+        assert rows == list(example_db.sales_rows())
+
+    def test_duplicate_load_rejected(self, example_db):
+        db = SQLDatabase()
+        db.load_sales(example_db)
+        with pytest.raises(Exception, match="already exists"):
+            db.load_sales(example_db)

@@ -1,0 +1,217 @@
+"""Tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.expressions import ColumnRef, Literal, Parameter
+from repro.relational.schema import ColumnType
+from repro.sql.ast_nodes import (
+    CountStar,
+    CreateTable,
+    DeleteFrom,
+    DropTable,
+    InsertSelect,
+    InsertValues,
+    SelectStatement,
+    Star,
+)
+from repro.sql.parser import ParserError, parse_script, parse_statement
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT item FROM SALES")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.select_items[0].expression == ColumnRef("item", None)
+        assert stmt.from_tables[0].table == "SALES"
+
+    def test_qualified_columns_and_aliases(self):
+        stmt = parse_statement("SELECT r1.item FROM SALES r1")
+        assert stmt.select_items[0].expression == ColumnRef("item", "r1")
+        assert stmt.from_tables[0].alias == "r1"
+        assert stmt.from_tables[0].binding == "r1"
+
+    def test_as_alias(self):
+        stmt = parse_statement("SELECT item AS thing FROM SALES AS s")
+        assert stmt.select_items[0].alias == "thing"
+        assert stmt.from_tables[0].alias == "s"
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM SALES")
+        assert isinstance(stmt.select_items[0].expression, CountStar)
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM SALES")
+        assert isinstance(stmt.select_items[0].expression, Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT s.* FROM SALES s")
+        assert stmt.select_items[0].expression == Star("s")
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT item FROM SALES").distinct
+
+    def test_where_conjunction(self):
+        stmt = parse_statement(
+            "SELECT item FROM SALES WHERE trans_id = 1 AND item <> 'A'"
+        )
+        assert len(stmt.where) == 2
+        assert stmt.where[0].op == "="
+        assert stmt.where[1].right == Literal("A")
+
+    def test_parameter_in_where(self):
+        stmt = parse_statement(
+            "SELECT item FROM SALES WHERE trans_id >= :low"
+        )
+        assert stmt.where[0].right == Parameter("low")
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT item, COUNT(*) FROM SALES GROUP BY item "
+            "HAVING COUNT(*) >= :minsupport"
+        )
+        assert stmt.group_by == (ColumnRef("item", None),)
+        assert stmt.having[0].left.name == "count(*)"
+
+    def test_order_by_directions(self):
+        stmt = parse_statement(
+            "SELECT item FROM SALES ORDER BY item DESC, trans_id ASC, x"
+        )
+        assert [entry.descending for entry in stmt.order_by] == [
+            True,
+            False,
+            False,
+        ]
+
+    def test_multi_table_from(self):
+        stmt = parse_statement("SELECT a.x FROM T a, T b, U c")
+        assert [ref.binding for ref in stmt.from_tables] == ["a", "b", "c"]
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT item FROM SALES;")
+
+
+class TestOtherStatements:
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO C1 SELECT item FROM SALES")
+        assert isinstance(stmt, InsertSelect)
+        assert stmt.table == "C1"
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO T VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, InsertValues)
+        assert stmt.rows == (
+            (Literal(1), Literal("a")),
+            (Literal(2), Literal("b")),
+        )
+
+    def test_insert_values_with_parameter(self):
+        stmt = parse_statement("INSERT INTO T VALUES (:x)")
+        assert stmt.rows == ((Parameter("x"),),)
+
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE SALES (trans_id INTEGER, item TEXT)"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.columns == (
+            ("trans_id", ColumnType.INTEGER),
+            ("item", ColumnType.TEXT),
+        )
+
+    def test_int_is_integer_synonym(self):
+        stmt = parse_statement("CREATE TABLE T (x INT)")
+        assert stmt.columns[0][1] is ColumnType.INTEGER
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE T")
+        assert isinstance(stmt, DropTable) and not stmt.if_exists
+
+    def test_drop_table_if_exists(self):
+        assert parse_statement("DROP TABLE IF EXISTS T").if_exists
+
+    def test_delete_from(self):
+        stmt = parse_statement("DELETE FROM T")
+        assert isinstance(stmt, DeleteFrom)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT FROM SALES",
+            "SELECT item SALES",  # missing FROM
+            "SELECT item FROM",
+            "SELECT item FROM SALES WHERE",
+            "SELECT item FROM SALES GROUP item",
+            "CREATE TABLE T (x FLOAT)",
+            "INSERT C1 SELECT item FROM SALES",
+            "UPDATE T",  # unsupported statement
+            "SELECT item FROM SALES extra nonsense !",
+        ],
+    )
+    def test_syntax_errors_raise(self, bad):
+        with pytest.raises((ParserError, Exception)):
+            parse_statement(bad)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParserError, match="trailing"):
+            parse_statement("SELECT item FROM SALES SELECT")
+
+
+class TestScript:
+    def test_multiple_statements(self):
+        script = parse_script(
+            "CREATE TABLE T (x INTEGER); INSERT INTO T VALUES (1); "
+            "SELECT x FROM T;"
+        )
+        assert len(script) == 3
+
+    def test_empty_script(self):
+        assert parse_script("") == []
+
+
+class TestPaperQueries:
+    """The exact SQL texts of Sections 3.1 and 4.1 must parse."""
+
+    def test_c1_query(self):
+        parse_statement(
+            """
+            INSERT INTO C1
+            SELECT r1.item, COUNT(*)
+            FROM SALES r1
+            GROUP BY r1.item
+            HAVING COUNT(*) >= :minsupport
+            """
+        )
+
+    def test_two_item_pattern_query(self):
+        parse_statement(
+            """
+            SELECT r1.trans_id, r1.item, r2.item
+            FROM SALES r1, SALES r2
+            WHERE r1.trans_id = r2.trans_id AND r1.item <> r2.item
+            """
+        )
+
+    def test_rk_prime_query(self):
+        parse_statement(
+            """
+            INSERT INTO RP2
+            SELECT p.trans_id, p.item1, q.item
+            FROM R1 p, SALES q
+            WHERE q.trans_id = p.trans_id AND q.item > p.item1
+            """
+        )
+
+    def test_rk_filter_query_with_order_by(self):
+        parse_statement(
+            """
+            INSERT INTO R2
+            SELECT p.trans_id, p.item1, p.item2
+            FROM RP2 p, C2 q
+            WHERE p.item1 = q.item1 AND p.item2 = q.item2
+            ORDER BY p.trans_id, p.item1, p.item2
+            """
+        )

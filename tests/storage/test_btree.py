@@ -1,0 +1,188 @@
+"""Tests for the page-backed B+-tree, including hypothesis properties."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.btree_model import size_btree
+from repro.storage.btree import BPlusTree, BTreeError
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make_tree(key_fields=2, entry_fields=2, pool_pages=512) -> BPlusTree:
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity=pool_pages)
+    return BPlusTree(pool, key_fields=key_fields, entry_fields=entry_fields)
+
+
+class TestBulkLoad:
+    def test_round_trip(self):
+        entries = sorted((i % 50, i) for i in range(5000))
+        tree = make_tree()
+        tree.bulk_load(entries)
+        assert tree.num_entries == len(entries)
+        assert list(tree) == entries
+
+    def test_unsorted_input_rejected(self):
+        tree = make_tree()
+        with pytest.raises(BTreeError, match="not sorted"):
+            tree.bulk_load([(2, 0), (1, 0)])
+
+    def test_bulk_load_twice_rejected(self):
+        tree = make_tree()
+        tree.bulk_load([(1, 0)])
+        with pytest.raises(BTreeError, match="empty tree"):
+            tree.bulk_load([(2, 0)])
+
+    def test_empty_bulk_load(self):
+        tree = make_tree()
+        tree.bulk_load([])
+        assert list(tree) == []
+        assert tree.height == 1
+
+    def test_wrong_arity_rejected(self):
+        tree = make_tree()
+        with pytest.raises(BTreeError, match="fields"):
+            tree.bulk_load([(1,)])
+
+    def test_geometry_matches_analytical_model(self):
+        """The real tree must land on the paper's sizing arithmetic."""
+        num = 25_000
+        entries = sorted((i % 97, i) for i in range(num))
+        tree = make_tree()
+        tree.bulk_load(entries)
+        model = size_btree(num, leaf_entry_fields=2, key_fields=2)
+        assert tree.num_leaf_pages == model.leaf_pages
+        assert tree.num_internal_pages == model.nonleaf_pages
+        assert tree.height == model.levels
+
+
+class TestSearch:
+    def test_search_prefix_finds_all_occurrences(self):
+        entries = sorted((i % 10, i) for i in range(3000))
+        tree = make_tree()
+        tree.bulk_load(entries)
+        for item in range(10):
+            expected = [entry for entry in entries if entry[0] == item]
+            assert list(tree.search_prefix((item,))) == expected
+
+    def test_search_prefix_missing_key(self):
+        tree = make_tree()
+        tree.bulk_load([(1, 1), (3, 3)])
+        assert list(tree.search_prefix((2,))) == []
+
+    def test_search_full_key(self):
+        tree = make_tree()
+        tree.bulk_load([(1, 1), (1, 2), (2, 1)])
+        assert list(tree.search((1, 2))) == [(1, 2)]
+
+    def test_search_key_arity_checked(self):
+        tree = make_tree()
+        tree.bulk_load([(1, 1)])
+        with pytest.raises(BTreeError):
+            list(tree.search((1,)))
+        with pytest.raises(BTreeError):
+            list(tree.search_prefix(()))
+
+    def test_prefix_spanning_leaf_boundary(self):
+        # 600 duplicates of one key straddle two leaves (capacity 500).
+        entries = sorted([(5, i) for i in range(600)] + [(4, 0), (6, 0)])
+        tree = make_tree()
+        tree.bulk_load(entries)
+        assert len(list(tree.search_prefix((5,)))) == 600
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree = make_tree(key_fields=1)
+        tree.insert((5, 50))
+        assert list(tree) == [(5, 50)]
+
+    def test_random_inserts_sorted_iteration(self):
+        rng = random.Random(3)
+        tree = make_tree(key_fields=1)
+        entries = [(rng.randrange(100), i) for i in range(4000)]
+        for entry in entries:
+            tree.insert(entry)
+        result = list(tree)
+        assert sorted(result, key=lambda entry: entry[0]) == result
+        assert sorted(result) == sorted(entries)
+
+    def test_insert_then_search(self):
+        rng = random.Random(4)
+        tree = make_tree(key_fields=1)
+        entries = [(rng.randrange(50), i) for i in range(2000)]
+        for entry in entries:
+            tree.insert(entry)
+        for key in range(50):
+            expected = sorted(entry for entry in entries if entry[0] == key)
+            assert sorted(tree.search_prefix((key,))) == expected
+
+    def test_root_split_grows_height(self):
+        tree = make_tree(key_fields=1)
+        for i in range(501):  # leaf capacity is 500
+            tree.insert((i, i))
+        assert tree.height == 2
+        assert tree.num_leaf_pages == 2
+
+    def test_mixed_bulk_load_and_insert(self):
+        tree = make_tree(key_fields=1)
+        tree.bulk_load(sorted((i, i) for i in range(1000)))
+        tree.insert((1500, 0))
+        tree.insert((-5, 0))
+        entries = list(tree)
+        assert entries[0] == (-5, 0)
+        assert entries[-1] == (1500, 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=400
+        )
+    )
+    def test_insert_property(self, keys):
+        tree = make_tree(key_fields=1)
+        for position, key in enumerate(keys):
+            tree.insert((key, position))
+        assert sorted(tree) == sorted(
+            (key, position) for position, key in enumerate(keys)
+        )
+
+
+class TestIOAccounting:
+    def test_probes_charge_page_reads(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=2)  # too small to cache leaves
+        tree = BPlusTree(pool, key_fields=2, entry_fields=2)
+        tree.bulk_load(sorted((i % 200, i) for i in range(20_000)))
+        pool.flush_all()
+        disk.reset_stats()
+        list(tree.search_prefix((77,)))
+        assert disk.stats.reads > 0
+
+    def test_hot_internal_pages_cached_with_room(self):
+        """The paper assumes non-leaf pages stay in memory; with a pool
+        big enough for internals, repeated probes only fetch leaves."""
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=64)
+        tree = BPlusTree(pool, key_fields=2, entry_fields=2)
+        tree.bulk_load(sorted((i % 200, i) for i in range(20_000)))
+        pool.flush_all()
+        list(tree.search_prefix((10,)))  # warm the internals
+        disk.reset_stats()
+        for item in range(20, 40):
+            list(tree.search_prefix((item,)))
+        leaf_pages = tree.num_leaf_pages
+        # Far fewer reads than leaves+internals would cost uncached.
+        assert disk.stats.reads <= leaf_pages
+
+    def test_validation(self):
+        with pytest.raises(BTreeError):
+            make_tree(key_fields=0)
+        with pytest.raises(BTreeError):
+            make_tree(key_fields=3, entry_fields=2)

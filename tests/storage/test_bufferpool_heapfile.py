@@ -1,0 +1,167 @@
+"""Tests for the buffer pool and heap files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.bufferpool import BufferPool, BufferPoolError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import PageFormat
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    return SimulatedDisk()
+
+
+class TestBufferPool:
+    def test_fetch_caches(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        fmt = PageFormat(1)
+        file_id = disk.allocate_file()
+        page = pool.create(file_id, 0, fmt)
+        page.append((7,))
+        pool.unpin(file_id, 0, dirty=True)
+        pool.flush_all()
+        disk.reset_stats()
+        pool.fetch(file_id, 0, fmt)
+        pool.unpin(file_id, 0)
+        pool.fetch(file_id, 0, fmt)  # hit: no disk read
+        pool.unpin(file_id, 0)
+        assert disk.stats.reads == 0  # page stayed cached from creation
+        assert pool.stats.hits >= 1
+
+    def test_eviction_writes_dirty_pages(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        fmt = PageFormat(1)
+        file_id = disk.allocate_file()
+        for page_no in range(4):
+            page = pool.create(file_id, page_no, fmt)
+            page.append((page_no,))
+            pool.unpin(file_id, page_no, dirty=True)
+        pool.flush_all()
+        # Every page must be durable despite the tiny pool.
+        for page_no in range(4):
+            page = pool.fetch(file_id, page_no, fmt)
+            assert page.records() == [(page_no,)]
+            pool.unpin(file_id, page_no)
+        assert pool.stats.evictions >= 2
+
+    def test_pinned_pages_not_evicted(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        fmt = PageFormat(1)
+        file_id = disk.allocate_file()
+        pool.create(file_id, 0, fmt)  # stays pinned
+        pool.create(file_id, 1, fmt)
+        pool.unpin(file_id, 1)
+        pool.create(file_id, 2, fmt)  # must evict page 1, not page 0
+        pool.unpin(file_id, 2)
+        assert (file_id, 0) in pool.pinned_pages()
+
+    def test_all_pinned_exhausts_pool(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        fmt = PageFormat(1)
+        file_id = disk.allocate_file()
+        pool.create(file_id, 0, fmt)
+        pool.create(file_id, 1, fmt)
+        with pytest.raises(BufferPoolError, match="exhausted"):
+            pool.create(file_id, 2, fmt)
+
+    def test_unpin_errors(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        with pytest.raises(BufferPoolError, match="non-resident"):
+            pool.unpin(0, 0)
+
+    def test_double_unpin_rejected(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        fmt = PageFormat(1)
+        file_id = disk.allocate_file()
+        pool.create(file_id, 0, fmt)
+        pool.unpin(file_id, 0)
+        with pytest.raises(BufferPoolError, match="unpinned"):
+            pool.unpin(file_id, 0)
+
+    def test_create_must_extend_file(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        fmt = PageFormat(1)
+        file_id = disk.allocate_file()
+        with pytest.raises(BufferPoolError, match="new page"):
+            pool.create(file_id, 3, fmt)
+
+    def test_capacity_validation(self, disk):
+        with pytest.raises(ValueError):
+            BufferPool(disk, capacity=0)
+
+    def test_drop_file_discards_frames(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        fmt = PageFormat(1)
+        file_id = disk.allocate_file()
+        pool.create(file_id, 0, fmt)
+        pool.unpin(file_id, 0)
+        pool.drop_file(file_id)
+        assert pool.num_resident == 0
+
+
+class TestHeapFile:
+    def test_append_scan_round_trip(self, disk):
+        pool = BufferPool(disk, capacity=8)
+        hf = HeapFile(pool, PageFormat(2))
+        rows = [(i, i * i) for i in range(1200)]
+        hf.extend(rows)
+        assert hf.num_records == 1200
+        assert list(hf.scan()) == rows
+
+    def test_page_count_matches_format(self, disk):
+        pool = BufferPool(disk, capacity=8)
+        fmt = PageFormat(2)
+        hf = HeapFile(pool, fmt)
+        hf.extend((i, i) for i in range(1001))
+        assert hf.num_pages == fmt.pages_needed(1001) == 3
+
+    def test_scan_pages_batches(self, disk):
+        pool = BufferPool(disk, capacity=8)
+        hf = HeapFile(pool, PageFormat(2))
+        hf.extend((i, i) for i in range(750))
+        pages = list(hf.scan_pages())
+        assert [len(page) for page in pages] == [500, 250]
+
+    def test_scan_larger_than_pool_reads_disk(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        hf = HeapFile(pool, PageFormat(2))
+        hf.extend((i, i) for i in range(2500))  # 5 pages > 2-frame pool
+        pool.flush_all()
+        disk.reset_stats()
+        list(hf.scan())
+        assert disk.stats.reads >= 3  # most pages must come from disk
+
+    def test_sequential_scan_is_mostly_sequential_io(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        hf = HeapFile(pool, PageFormat(2))
+        hf.extend((i, i) for i in range(5000))
+        pool.flush_all()
+        disk.reset_stats()
+        list(hf.scan())
+        assert disk.stats.sequential_reads >= disk.stats.random_reads
+
+    def test_drop(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        hf = HeapFile(pool, PageFormat(1))
+        hf.append((1,))
+        pool.flush_all()
+        hf.drop()
+        assert hf.num_records == 0
+        assert disk.total_pages == 0
+
+    def test_attach_to_existing_file(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        hf = HeapFile(pool, PageFormat(1))
+        hf.extend((i,) for i in range(600))
+        pool.flush_all()
+        reattached = HeapFile(pool, PageFormat(1), file_id=hf.file_id)
+        assert reattached.num_records == 600
+
+    def test_repr(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        hf = HeapFile(pool, PageFormat(1))
+        assert "records=0" in repr(hf)

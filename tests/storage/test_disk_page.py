@@ -1,0 +1,193 @@
+"""Tests for the simulated disk and page layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.disk import (
+    PAGE_SIZE,
+    RANDOM_ACCESS_MS,
+    SEQUENTIAL_ACCESS_MS,
+    DiskError,
+    IOStatistics,
+    SimulatedDisk,
+)
+from repro.storage.page import PAGE_HEADER_BYTES, Page, PageFormat
+
+
+class TestPageFormat:
+    def test_paper_capacities(self):
+        # Section 3.2: 500 8-byte entries per leaf, 333 12-byte entries.
+        assert PageFormat(2).capacity == 500
+        assert PageFormat(3).capacity == 333
+
+    def test_single_field_capacity(self):
+        # (trans_id) index leaves: 1000 4-byte entries per page.
+        assert PageFormat(1).capacity == 1000
+
+    def test_capacity_formula(self):
+        for fields in range(1, 10):
+            expected = (PAGE_SIZE - PAGE_HEADER_BYTES) // (4 * fields)
+            assert PageFormat(fields).capacity == expected
+
+    def test_pages_needed(self):
+        fmt = PageFormat(2)
+        assert fmt.pages_needed(0) == 0
+        assert fmt.pages_needed(1) == 1
+        assert fmt.pages_needed(500) == 1
+        assert fmt.pages_needed(501) == 2
+        # The paper's SALES: 2M 8-byte tuples -> 4,000 pages.
+        assert fmt.pages_needed(2_000_000) == 4000
+
+    def test_r2_pages_match_section_43(self):
+        # 9M 12-byte tuples -> ~27,000 pages.
+        assert PageFormat(3).pages_needed(9_000_000) == 27028
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            PageFormat(0)
+        with pytest.raises(ValueError):
+            PageFormat(2000)  # record larger than a page
+
+
+class TestPage:
+    def test_append_and_read_back(self):
+        page = Page(PageFormat(2))
+        page.append((1, 2))
+        page.append((3, 4))
+        assert page.records() == [(1, 2), (3, 4)]
+
+    def test_serialization_round_trip(self):
+        fmt = PageFormat(3)
+        page = Page(fmt)
+        for i in range(10):
+            page.append((i, i * 2, -i))
+        data = page.to_bytes()
+        assert len(data) <= PAGE_SIZE
+        restored = Page.from_bytes(data, fmt)
+        assert restored.records() == page.records()
+
+    def test_negative_values_survive(self):
+        fmt = PageFormat(1)
+        page = Page(fmt)
+        page.append((-2_000_000_000,))
+        assert Page.from_bytes(page.to_bytes(), fmt).records() == [
+            (-2_000_000_000,)
+        ]
+
+    def test_full_page_rejects_append(self):
+        fmt = PageFormat(2)
+        page = Page(fmt)
+        for i in range(fmt.capacity):
+            page.append((i, i))
+        assert page.is_full
+        with pytest.raises(ValueError, match="full"):
+            page.append((0, 0))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="fields"):
+            Page(PageFormat(2)).append((1,))
+
+    def test_set_records_validates(self):
+        page = Page(PageFormat(2))
+        with pytest.raises(ValueError, match="capacity"):
+            page.set_records([(0, 0)] * 501)
+        with pytest.raises(ValueError, match="fields"):
+            page.set_records([(0,)])
+        page.set_records([(5, 6)])
+        assert page.records() == [(5, 6)]
+
+
+class TestSimulatedDisk:
+    def test_file_allocation(self):
+        disk = SimulatedDisk()
+        first, second = disk.allocate_file(), disk.allocate_file()
+        assert first != second
+        assert disk.file_length(first) == 0
+
+    def test_sequential_vs_random_classification(self):
+        disk = SimulatedDisk()
+        file_id = disk.allocate_file()
+        for page_no in range(3):
+            disk.write_page(file_id, page_no, b"x")
+        disk.reset_stats()
+        disk.read_page(file_id, 0)  # random (first access)
+        disk.read_page(file_id, 1)  # sequential
+        disk.read_page(file_id, 2)  # sequential
+        disk.read_page(file_id, 0)  # random (backwards)
+        assert disk.stats.random_reads == 2
+        assert disk.stats.sequential_reads == 2
+
+    def test_cross_file_access_is_random(self):
+        disk = SimulatedDisk()
+        a, b = disk.allocate_file(), disk.allocate_file()
+        disk.write_page(a, 0, b"x")
+        disk.write_page(b, 0, b"x")
+        disk.reset_stats()
+        disk.read_page(a, 0)
+        disk.read_page(b, 0)
+        assert disk.stats.random_reads == 2
+
+    def test_read_unwritten_page_fails(self):
+        disk = SimulatedDisk()
+        file_id = disk.allocate_file()
+        with pytest.raises(DiskError, match="unwritten"):
+            disk.read_page(file_id, 0)
+
+    def test_write_creating_hole_fails(self):
+        disk = SimulatedDisk()
+        file_id = disk.allocate_file()
+        with pytest.raises(DiskError, match="hole"):
+            disk.write_page(file_id, 5, b"x")
+
+    def test_oversized_page_rejected(self):
+        disk = SimulatedDisk()
+        file_id = disk.allocate_file()
+        with pytest.raises(DiskError, match="exceeds"):
+            disk.write_page(file_id, 0, b"x" * (PAGE_SIZE + 1))
+
+    def test_delete_file_frees_pages(self):
+        disk = SimulatedDisk()
+        file_id = disk.allocate_file()
+        disk.write_page(file_id, 0, b"x")
+        disk.delete_file(file_id)
+        assert disk.total_pages == 0
+
+    def test_reserve_page_is_free(self):
+        disk = SimulatedDisk()
+        file_id = disk.allocate_file()
+        disk.reserve_page(file_id, b"")
+        assert disk.stats.total_accesses == 0
+        assert disk.file_length(file_id) == 1
+
+
+class TestIOStatistics:
+    def test_totals(self):
+        stats = IOStatistics(1, 2, 3, 4)
+        assert stats.reads == 3
+        assert stats.writes == 7
+        assert stats.total_accesses == 10
+
+    def test_estimated_seconds_uses_paper_latencies(self):
+        stats = IOStatistics(sequential_reads=100, random_reads=50)
+        expected = (100 * SEQUENTIAL_ACCESS_MS + 50 * RANDOM_ACCESS_MS) / 1000
+        assert stats.estimated_seconds() == pytest.approx(expected)
+
+    def test_delta_since(self):
+        early = IOStatistics(1, 1, 1, 1)
+        late = IOStatistics(5, 4, 3, 2)
+        delta = late.delta_since(early)
+        assert (
+            delta.sequential_reads,
+            delta.random_reads,
+            delta.sequential_writes,
+            delta.random_writes,
+        ) == (4, 3, 2, 1)
+
+    def test_snapshot_is_independent(self):
+        disk = SimulatedDisk()
+        file_id = disk.allocate_file()
+        disk.write_page(file_id, 0, b"x")
+        snap = disk.stats.snapshot()
+        disk.read_page(file_id, 0)
+        assert snap.reads == 0

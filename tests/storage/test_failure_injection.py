@@ -1,0 +1,90 @@
+"""Failure injection: errors must propagate, never corrupt state.
+
+A storage engine's error paths matter as much as its happy path.  These
+tests wrap the simulated disk with fault injectors and check that:
+
+* I/O errors surface as exceptions instead of silent misreads;
+* components left behind by a failed operation remain usable;
+* invariants (pin counts, file lengths) hold after the failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import DiskError, SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import PageFormat
+from repro.storage.sort import external_sort
+
+
+class FlakyDisk(SimulatedDisk):
+    """A disk that fails every read after the first ``budget`` of them."""
+
+    def __init__(self, budget: int) -> None:
+        super().__init__()
+        self.budget = budget
+
+    def read_page(self, file_id: int, page_no: int) -> bytes:
+        if self.budget <= 0:
+            raise DiskError("injected read failure")
+        self.budget -= 1
+        return super().read_page(file_id, page_no)
+
+
+class TestReadFailures:
+    def _loaded_file(self, budget: int):
+        disk = FlakyDisk(budget)
+        pool = BufferPool(disk, capacity=2)
+        hf = HeapFile(pool, PageFormat(2))
+        hf.extend((i, i) for i in range(2500))  # 5 pages > pool
+        pool.flush_all()
+        return disk, pool, hf
+
+    def test_scan_surfaces_disk_error(self):
+        disk, pool, hf = self._loaded_file(budget=2)
+        with pytest.raises(DiskError, match="injected"):
+            list(hf.scan())
+
+    def test_sort_surfaces_disk_error(self):
+        disk, pool, hf = self._loaded_file(budget=1)
+        with pytest.raises(DiskError, match="injected"):
+            external_sort(hf, memory_pages=3)
+
+    def test_pool_stays_usable_after_failure(self):
+        disk, pool, hf = self._loaded_file(budget=2)
+        with pytest.raises(DiskError):
+            list(hf.scan())
+        # No page left pinned by the failed scan.
+        assert pool.pinned_pages() == []
+        # Restore the budget: the same file reads fine afterwards.
+        disk.budget = 10_000
+        assert len(list(hf.scan())) == 2500
+
+    def test_failed_scan_does_not_lose_records(self):
+        disk, pool, hf = self._loaded_file(budget=2)
+        with pytest.raises(DiskError):
+            list(hf.scan())
+        assert hf.num_records == 2500
+
+
+class TestMiningOverFailingDisk:
+    def test_setm_disk_propagates_storage_errors(self, monkeypatch):
+        """A failing disk must abort the mining run loudly."""
+        import importlib
+
+        module = importlib.import_module("repro.core.setm_disk")
+        from repro.core.transactions import TransactionDatabase
+
+        db = TransactionDatabase(
+            (tid, [1 + tid % 5, 6 + tid % 4, 10 + tid % 3])
+            for tid in range(1, 800)
+        )
+
+        def flaky_factory():
+            return FlakyDisk(budget=20)
+
+        monkeypatch.setattr(module, "SimulatedDisk", flaky_factory)
+        with pytest.raises(DiskError, match="injected"):
+            module.setm_disk(db, 0.05, buffer_pages=4)

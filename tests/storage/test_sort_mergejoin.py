@@ -1,0 +1,187 @@
+"""Tests for the external sort and the merge-scan primitives."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.mergejoin import counting_scan, filter_scan, merge_scan_join
+from repro.storage.page import PageFormat
+from repro.storage.sort import external_sort
+
+
+def make_file(rows, fields=2, pool_pages=8):
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity=pool_pages)
+    hf = HeapFile(pool, PageFormat(fields))
+    hf.extend(rows)
+    return hf
+
+
+class TestExternalSort:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=300,
+        )
+    )
+    def test_matches_builtin_sorted(self, rows):
+        hf = make_file(rows)
+        result = external_sort(hf, memory_pages=3)
+        assert list(result.output.scan()) == sorted(rows)
+
+    def test_custom_key(self):
+        rows = [(1, 9), (2, 1), (3, 5)]
+        hf = make_file(rows)
+        result = external_sort(hf, key=lambda row: (row[1],))
+        assert list(result.output.scan()) == [(2, 1), (3, 5), (1, 9)]
+
+    def test_multiple_runs_and_passes(self):
+        rng = random.Random(0)
+        rows = [(rng.randrange(10_000), 0) for _ in range(5000)]  # 10 pages
+        hf = make_file(rows, pool_pages=16)
+        result = external_sort(hf, memory_pages=3)  # 2-way merges
+        assert result.num_runs >= 4
+        assert result.merge_passes >= 2
+        assert list(result.output.scan()) == sorted(rows)
+
+    def test_single_run_zero_passes(self):
+        hf = make_file([(3, 0), (1, 0)])
+        result = external_sort(hf, memory_pages=8)
+        assert result.num_runs == 1
+        assert result.merge_passes == 0
+
+    def test_empty_input(self):
+        hf = make_file([])
+        result = external_sort(hf)
+        assert list(result.output.scan()) == []
+
+    def test_drop_source(self):
+        hf = make_file([(2, 0), (1, 0)])
+        external_sort(hf, drop_source=True)
+        assert hf.num_records == 0
+
+    def test_memory_pages_validated(self):
+        hf = make_file([(1, 0)])
+        with pytest.raises(ValueError, match="memory_pages"):
+            external_sort(hf, memory_pages=2)
+
+    def test_duplicate_keys_preserved_as_bag(self):
+        rows = [(1, 0)] * 700 + [(0, 0)] * 700
+        hf = make_file(rows, pool_pages=8)
+        result = external_sort(hf, memory_pages=3)
+        assert Counter(result.output.scan()) == Counter(rows)
+
+
+class TestMergeScanJoin:
+    def _reference(self, left, right):
+        out = []
+        for lrow in left:
+            for rrow in right:
+                if lrow[0] == rrow[0] and rrow[1] > lrow[-1]:
+                    out.append(lrow + (rrow[1],))
+        return sorted(out)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sales=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10),
+                st.integers(min_value=1, max_value=8),
+            ),
+            max_size=60,
+            unique=True,
+        )
+    )
+    def test_self_join_matches_reference(self, sales):
+        sales = sorted(sales)
+        left = make_file(sales)
+        right = make_file(sales)
+        out = merge_scan_join(left, right)
+        assert sorted(out.scan()) == self._reference(sales, sales)
+
+    def test_three_column_extension(self):
+        r2 = [(1, 2, 5), (1, 3, 4)]
+        sales = [(1, 2), (1, 4), (1, 6)]
+        out = merge_scan_join(make_file(r2, fields=3), make_file(sales))
+        assert sorted(out.scan()) == [(1, 2, 5, 6), (1, 3, 4, 6)]
+
+    def test_disjoint_tids(self):
+        out = merge_scan_join(make_file([(1, 5)]), make_file([(2, 6)]))
+        assert out.num_records == 0
+
+    def test_output_format_widens_by_one(self):
+        out = merge_scan_join(make_file([(1, 2)]), make_file([(1, 3)]))
+        assert out.format.fields == 3
+
+
+class TestCountingAndFilterScans:
+    def test_counting_scan(self):
+        rows = sorted(
+            [(1, 7, 8), (2, 7, 8), (3, 7, 9)], key=lambda row: row[1:]
+        )
+        counts = counting_scan(make_file(rows, fields=3))
+        assert counts == [((7, 8), 2), ((7, 9), 1)]
+
+    def test_counting_scan_empty(self):
+        assert counting_scan(make_file([], fields=2)) == []
+
+    def test_filter_scan_keeps_supported_only(self):
+        rows = [(1, 7, 8), (2, 7, 9), (3, 7, 8)]
+        out = filter_scan(make_file(rows, fields=3), {(7, 8)})
+        assert list(out.scan()) == [(1, 7, 8), (3, 7, 8)]
+
+    def test_filter_scan_preserves_order(self):
+        rows = [(3, 1), (1, 1), (2, 2)]
+        out = filter_scan(make_file(rows), {(1,), (2,)})
+        assert list(out.scan()) == rows
+
+
+class TestFilteredSort:
+    def test_predicate_filters_during_run_generation(self):
+        rows = [(i, i % 3) for i in range(20)]
+        hf = make_file(rows)
+        result = external_sort(
+            hf, memory_pages=3, predicate=lambda record: record[1] == 0
+        )
+        assert list(result.output.scan()) == sorted(
+            row for row in rows if row[1] == 0
+        )
+
+    def test_predicate_with_everything_filtered(self):
+        hf = make_file([(1, 1), (2, 2)])
+        result = external_sort(hf, predicate=lambda record: False)
+        assert list(result.output.scan()) == []
+
+    def test_predicate_costs_no_extra_pass(self):
+        rows = [(i, 0) for i in range(3000)]
+        filtered_file = make_file(rows, pool_pages=4)
+        disk = filtered_file.pool.disk
+        filtered_file.pool.flush_all()
+        disk.reset_stats()
+        external_sort(
+            filtered_file, memory_pages=4,
+            predicate=lambda record: record[0] % 2 == 0,
+        )
+        with_filter = disk.stats.total_accesses
+
+        plain_file = make_file(rows, pool_pages=4)
+        disk2 = plain_file.pool.disk
+        plain_file.pool.flush_all()
+        disk2.reset_stats()
+        external_sort(plain_file, memory_pages=4)
+        without_filter = disk2.stats.total_accesses
+        # Filtering halves the data flowing through the sort, so the
+        # filtered sort must not cost more than the plain one.
+        assert with_filter <= without_filter

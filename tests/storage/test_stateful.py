@@ -1,0 +1,131 @@
+"""Model-based stateful tests for the storage engine.
+
+Hypothesis drives random operation sequences against the real components
+while a trivial in-memory model predicts the outcome — the classic way to
+shake out stateful bugs (split edge cases, eviction/pin interactions)
+that example-based tests miss.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.storage.btree import BPlusTree
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import PageFormat
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """The B+-tree against a sorted-list model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=256)
+        self.tree = BPlusTree(pool, key_fields=1, entry_fields=2)
+        self.model: list[tuple[int, int]] = []
+        self.sequence = 0
+
+    @rule(key=st.integers(min_value=0, max_value=40))
+    def insert(self, key: int) -> None:
+        self.sequence += 1
+        entry = (key, self.sequence)
+        self.tree.insert(entry)
+        self.model.append(entry)
+
+    @rule(key=st.integers(min_value=0, max_value=40))
+    def search(self, key: int) -> None:
+        expected = sorted(
+            entry for entry in self.model if entry[0] == key
+        )
+        assert sorted(self.tree.search_prefix((key,))) == expected
+
+    @invariant()
+    def iteration_is_sorted_and_complete(self) -> None:
+        entries = list(self.tree)
+        assert [entry[0] for entry in entries] == sorted(
+            entry[0] for entry in entries
+        )
+        assert sorted(entries) == sorted(self.model)
+
+    @invariant()
+    def size_matches(self) -> None:
+        assert self.tree.num_entries == len(self.model)
+
+
+class HeapFilePoolMachine(RuleBasedStateMachine):
+    """Heap files over a tiny buffer pool against list models.
+
+    The two-frame pool forces constant eviction, so every rule mixes
+    cache hits, misses and write-backs.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.disk = SimulatedDisk()
+        self.pool = BufferPool(self.disk, capacity=2)
+        self.files: list[HeapFile] = []
+        self.models: list[list[tuple[int, int]]] = []
+
+    @initialize()
+    def create_first_file(self) -> None:
+        self.files.append(HeapFile(self.pool, PageFormat(2)))
+        self.models.append([])
+
+    @rule()
+    def new_file(self) -> None:
+        if len(self.files) < 4:
+            self.files.append(HeapFile(self.pool, PageFormat(2)))
+            self.models.append([])
+
+    @rule(
+        index=st.integers(min_value=0, max_value=3),
+        values=st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=1,
+            max_size=600,
+        ),
+    )
+    def append_records(self, index: int, values: list[int]) -> None:
+        index %= len(self.files)
+        records = [(value, value * 2) for value in values]
+        self.files[index].extend(records)
+        self.models[index].extend(records)
+
+    @rule(index=st.integers(min_value=0, max_value=3))
+    def scan_matches_model(self, index: int) -> None:
+        index %= len(self.files)
+        assert list(self.files[index].scan()) == self.models[index]
+
+    @rule()
+    def flush(self) -> None:
+        self.pool.flush_all()
+
+    @invariant()
+    def nothing_left_pinned(self) -> None:
+        assert self.pool.pinned_pages() == []
+
+    @invariant()
+    def record_counts_match(self) -> None:
+        for heap_file, model in zip(self.files, self.models):
+            assert heap_file.num_records == len(model)
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+TestHeapFileStateful = HeapFilePoolMachine.TestCase
+TestHeapFileStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import io
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.data.example import paper_example_database
+from repro.data.io import read_basket_file, write_basket_file
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def example_basket(tmp_path):
+    path = tmp_path / "example.basket"
+    write_basket_file(paper_example_database(), path)
+    return str(path)
+
+
+class TestMine:
+    def test_mine_basket_file(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket, "--minsup", "0.3", "--minconf", "0.7"
+        )
+        assert code == 0
+        assert "13 frequent patterns" in output
+        assert "B ==> A, [75.0%, 30.0%]" in output
+        assert "D E ==> F, [100.0%, 30.0%]" in output
+
+    def test_mine_csv_file(self, tmp_path):
+        from repro.data.io import write_sales_csv
+
+        path = tmp_path / "sales.csv"
+        write_sales_csv(paper_example_database(), path)
+        code, output = run_cli(
+            "mine", str(path), "--minsup", "0.3", "--minconf", "0.7"
+        )
+        assert code == 0
+        assert "13 frequent patterns" in output
+
+    def test_mine_with_algorithm_choice(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--algorithm", "apriori",
+        )
+        assert code == 0
+        assert "apriori: 13 frequent patterns" in output
+
+    def test_mine_with_max_length(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7", "--max-length", "2",
+        )
+        assert code == 0
+        assert "longest 2" in output
+
+    def test_patterns_flag_lists_itemsets(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7", "--patterns",
+        )
+        assert code == 0
+        assert "D E F  [3]" in output
+
+    def test_unknown_algorithm_rejected_by_parser(self, example_basket):
+        with pytest.raises(SystemExit):
+            run_cli("mine", example_basket, "--algorithm", "magic")
+
+
+class TestGenerate:
+    def test_generate_example(self, tmp_path):
+        target = tmp_path / "out.basket"
+        code, output = run_cli(
+            "generate", "--dataset", "example", "--output", str(target)
+        )
+        assert code == 0
+        assert "10 transactions" in output
+        assert read_basket_file(target) == paper_example_database()
+
+    def test_generate_retail_scaled(self, tmp_path):
+        target = tmp_path / "retail.basket"
+        code, output = run_cli(
+            "generate", "--dataset", "retail",
+            "--scale", "0.01", "--output", str(target),
+        )
+        assert code == 0
+        db = read_basket_file(target)
+        assert db.num_transactions == 469  # round(46873 * 0.01)
+
+    def test_generate_quest_with_size(self, tmp_path):
+        target = tmp_path / "quest.basket"
+        code, _ = run_cli(
+            "generate", "--dataset", "quest",
+            "--transactions", "50", "--output", str(target),
+        )
+        assert code == 0
+        assert read_basket_file(target).num_transactions == 50
+
+    def test_generate_csv_output(self, tmp_path):
+        target = tmp_path / "sales.csv"
+        code, _ = run_cli(
+            "generate", "--dataset", "example", "--output", str(target)
+        )
+        assert code == 0
+        assert target.read_text().startswith("trans_id,item")
+
+
+class TestSql:
+    def test_sort_merge_script_is_valid_sqlite(self):
+        code, output = run_cli("sql", "--k", "3")
+        assert code == 0
+        connection = sqlite3.connect(":memory:")
+        for statement in output.strip().split(";"):
+            if statement.strip():
+                connection.execute(statement, {"minsupport": 1})
+        connection.close()
+
+    def test_nested_loop_script(self):
+        code, output = run_cli("sql", "--k", "2", "--strategy", "nested-loop")
+        assert code == 0
+        assert "SALES r1, SALES r2" in output
+
+    def test_text_item_type(self):
+        code, output = run_cli("sql", "--k", "2", "--item-type", "TEXT")
+        assert code == 0
+        assert "item TEXT" in output
+
+
+class TestAnalyze:
+    def test_analyze_prints_paper_numbers(self):
+        code, output = run_cli("analyze")
+        assert code == 0
+        assert "2,040,000" in output
+        assert "120,112" in output
+        assert "34" in output
