@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Quickstart — the paper's worked example, end to end.
+"""Quickstart — the paper's worked example through the typed session API.
 
 Runs Algorithm SETM on the 10-transaction database of Figure 1 with the
 paper's parameters (30% minimum support, 70% minimum confidence) and
 prints the count relations of Figures 2-3 and the Section 5 rule
 listings, in the paper's own notation.
 
+The modern front door is three pieces:
+
+* :class:`repro.MiningConfig` — a frozen, validated request (support as
+  a fraction *or* absolute count, confidence, engine, engine options);
+* :class:`repro.Miner` — a session over one database that resolves the
+  engine from the capability registry, mines, and caches the result;
+* selective queries — ``explain()``, ``support_of()``, ``rules_about()``
+  answer from the cached result without re-mining.
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import mine_association_rules
+from repro import Miner, MiningConfig
 from repro.data.example import (
     PAPER_MINIMUM_CONFIDENCE,
     PAPER_MINIMUM_SUPPORT,
@@ -25,11 +34,18 @@ def main() -> None:
     for txn in database:
         print(f"  {txn.trans_id:>3}: {' '.join(str(i) for i in txn.items)}")
 
-    result, rules = mine_association_rules(
-        database,
-        minimum_support=PAPER_MINIMUM_SUPPORT,
-        minimum_confidence=PAPER_MINIMUM_CONFIDENCE,
+    config = MiningConfig(
+        support=PAPER_MINIMUM_SUPPORT,
+        confidence=PAPER_MINIMUM_CONFIDENCE,
     )
+    miner = Miner(database)
+
+    print("\nThe plan (Miner.explain — validated, nothing mined yet):")
+    for line in miner.explain(config).splitlines():
+        print(f"  {line}")
+
+    result = miner.frequent_itemsets(config)
+    rules = miner.rules(config)  # reuses the cached result
 
     print(
         f"\nMinimum support {PAPER_MINIMUM_SUPPORT:.0%} "
@@ -59,6 +75,19 @@ def main() -> None:
             f"{stats.supported_instances:>3} instances, "
             f"|C_{stats.k}| = {stats.supported_patterns}"
         )
+
+    # Post-hoc selective queries hit the cached result — no re-mining.
+    support = miner.support_of("D", "E", "F")
+    print(f"\nsupport_of('D', 'E', 'F') from the cached run: {support:.0%}")
+    print("Rules mentioning item 'F':")
+    for rule in miner.rules_about("F", confidence=PAPER_MINIMUM_CONFIDENCE):
+        print(f"  {rule}")
+
+    # The same request, absolute-count style: "at least 3 transactions".
+    by_count = miner.frequent_itemsets(config.replace(support=3))
+    assert by_count.same_patterns_as(result)
+    print("\nMiningConfig(support=3) found the same patterns — "
+          "30% of 10 transactions is 3.")
 
 
 if __name__ == "__main__":

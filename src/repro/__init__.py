@@ -19,17 +19,35 @@ This package rebuilds the whole system:
   database;
 * :mod:`repro.analysis` — the Section 3.2 / 4.3 cost models, to the page.
 
+The public API is the typed session layer: a :class:`MiningConfig`
+(validated support as fraction *or* absolute count, confidence,
+``max_length``, engine options) handed to a :class:`Miner` facade, which
+resolves the engine through the capability-aware :mod:`repro.registry`
+and caches the :class:`MiningResult` for selective follow-up queries.
+
 Quickstart::
 
-    from repro import TransactionDatabase, mine_association_rules
+    from repro import Miner, MiningConfig, TransactionDatabase
 
     db = TransactionDatabase([(1, ["bread", "butter", "milk"]),
                               (2, ["bread", "butter"])])
-    result, rules = mine_association_rules(
-        db, minimum_support=0.5, minimum_confidence=0.9)
+    miner = Miner(db)
+    config = MiningConfig(support=0.5, confidence=0.9)
+    result = miner.frequent_itemsets(config)
+    rules = miner.rules(config)
+    print(miner.explain(config))          # the resolved plan, no mining
+    miner.support_of("bread", "butter")   # post-hoc query, no re-mining
+
+The flat pre-1.1 API (:func:`mine_frequent_itemsets`,
+:func:`mine_association_rules`, ``ALGORITHMS``) remains as thin
+compatibility wrappers over the session layer.
+
+All errors raised at the API boundary derive from
+:class:`~repro.errors.ReproError`; see :mod:`repro.errors`.
 """
 
 from repro.api import ALGORITHMS, mine_association_rules, mine_frequent_itemsets
+from repro.config import MiningConfig
 from repro.core.result import IterationStats, MiningResult
 from repro.core.rules import Rule, generate_rules
 from repro.core.setm import setm
@@ -38,20 +56,47 @@ from repro.core.transactions import (
     Transaction,
     TransactionDatabase,
 )
+from repro.errors import (
+    EngineOptionError,
+    InvalidConfigError,
+    InvalidSupportError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+from repro.miner import Miner
+from repro.registry import (
+    EngineSpec,
+    available_engines,
+    engine_specs,
+    get_engine,
+    register_engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
+    "EngineOptionError",
+    "EngineSpec",
+    "InvalidConfigError",
+    "InvalidSupportError",
     "ItemCatalog",
     "IterationStats",
+    "Miner",
+    "MiningConfig",
     "MiningResult",
+    "ReproError",
     "Rule",
     "Transaction",
     "TransactionDatabase",
+    "UnknownAlgorithmError",
     "__version__",
+    "available_engines",
+    "engine_specs",
     "generate_rules",
+    "get_engine",
     "mine_association_rules",
     "mine_frequent_itemsets",
+    "register_engine",
     "setm",
 ]

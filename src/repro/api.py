@@ -1,19 +1,22 @@
 """Front-door mining API.
 
-Most users want two calls:
+The typed entry point is the :class:`~repro.miner.Miner` session facade
+with a :class:`~repro.config.MiningConfig`:
 
->>> from repro import TransactionDatabase, mine_association_rules
+>>> from repro import Miner, MiningConfig, TransactionDatabase
 >>> db = TransactionDatabase([(1, ["bread", "butter", "milk"]),
 ...                           (2, ["bread", "butter"]),
 ...                           (3, ["beer"])])
->>> result, rules = mine_association_rules(db, minimum_support=0.5,
-...                                        minimum_confidence=0.9)
+>>> miner = Miner(db)
+>>> rules = miner.rules(MiningConfig(support=0.5, confidence=0.9))
 >>> [str(r) for r in rules]
 ['butter ==> bread, [100.0%, 66.7%]', 'bread ==> butter, [100.0%, 66.7%]']
 
-``algorithm`` selects the engine; ``"setm"`` (the paper's contribution)
-is the default.  All engines return identical patterns — the test suite
-holds them to that — so the choice only affects *how* the work is done:
+``MiningConfig.algorithm`` selects the engine; ``"setm"`` (the paper's
+contribution) is the default.  All engines return identical patterns —
+the test suite holds them to that — so the choice only affects *how* the
+work is done.  Engines self-register in :mod:`repro.registry` with
+capability metadata; ``repro.registry.available_engines()`` lists them:
 
 ===================  ==========================================================
 ``setm``             In-memory Algorithm SETM (Figure 4)
@@ -21,41 +24,74 @@ holds them to that — so the choice only affects *how* the work is done:
 ``setm-sql``         SETM as generated SQL on the bundled engine (Section 4.1)
 ``setm-sqlite``      The same SQL on stdlib sqlite3
 ``nested-loop``      The Section 3.1 formulation, in memory
+``nested-loop-disk`` Section 3.2's physical plan over real B+-tree indexes
 ``apriori``          Apriori baseline (VLDB '94)
 ``ais``              AIS baseline (SIGMOD '93, the paper's reference [4])
 ``bruteforce``       Exhaustive oracle (small inputs only)
 ===================  ==========================================================
+
+This module keeps the original flat functions —
+:func:`mine_frequent_itemsets`, :func:`mine_association_rules`, and the
+``ALGORITHMS`` mapping — as thin compatibility wrappers over the session
+layer.  They are not deprecated for *reading*; mutating ``ALGORITHMS``
+emits a :class:`DeprecationWarning` (register engines with
+:func:`repro.registry.register_engine` instead).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import warnings
+from collections.abc import Callable, Iterator, MutableMapping
 
-from repro.baselines.ais import ais
-from repro.baselines.apriori import apriori
-from repro.baselines.bruteforce import bruteforce
-from repro.core.nested_loop import nested_loop_mine
+from repro.config import MiningConfig
 from repro.core.result import MiningResult
-from repro.core.rules import Rule, generate_rules
-from repro.core.setm import setm
-from repro.core.setm_disk import setm_disk
-from repro.core.setm_sql import setm_sql
+from repro.errors import InvalidSupportError
+from repro.core.rules import Rule
 from repro.core.transactions import TransactionDatabase
-from repro.sqlbridge.sqlite_miner import sqlite_mine
+from repro.miner import Miner
+from repro.registry import (
+    available_engines,
+    find_engine,
+    register_engine,
+    unregister_engine,
+)
 
 __all__ = ["ALGORITHMS", "mine_association_rules", "mine_frequent_itemsets"]
 
-#: Algorithm registry: name → callable(db, minsup, **kwargs) → MiningResult.
-ALGORITHMS: dict[str, Callable[..., MiningResult]] = {
-    "setm": setm,
-    "setm-disk": setm_disk,
-    "setm-sql": setm_sql,
-    "setm-sqlite": sqlite_mine,
-    "nested-loop": nested_loop_mine,
-    "apriori": apriori,
-    "ais": ais,
-    "bruteforce": bruteforce,
-}
+
+def _legacy_config(
+    minimum_support: float,
+    minimum_confidence: float | None,
+    algorithm: str,
+    options: dict[str, object],
+) -> MiningConfig:
+    """Translate a flat legacy call into a :class:`MiningConfig`.
+
+    The legacy functions documented ``minimum_support`` as a *fraction*,
+    so an integer ``1`` here historically meant 100% — coerce to float to
+    preserve that reading (``MiningConfig`` treats bare ints as absolute
+    counts).
+    """
+    if isinstance(minimum_support, int) and not isinstance(minimum_support, bool):
+        if minimum_support > 1:
+            # Don't let the coercion produce a confusing "absolute count
+            # >= 1 ... got 5.0" message: name the actual contract here.
+            raise InvalidSupportError(
+                "minimum_support",
+                minimum_support,
+                "a fraction in (0, 1] in this legacy function "
+                "(use MiningConfig(support=<int>) for absolute counts)",
+            )
+        minimum_support = float(minimum_support)
+    options = dict(options)
+    max_length = options.pop("max_length", None)
+    return MiningConfig(
+        support=minimum_support,
+        confidence=minimum_confidence,
+        algorithm=algorithm,
+        max_length=max_length,
+        options=options,
+    )
 
 
 def mine_frequent_itemsets(
@@ -67,6 +103,8 @@ def mine_frequent_itemsets(
 ) -> MiningResult:
     """Find all patterns with support at least ``minimum_support``.
 
+    Compatibility wrapper over ``Miner(database).frequent_itemsets(...)``.
+
     Parameters
     ----------
     database:
@@ -74,19 +112,14 @@ def mine_frequent_itemsets(
     minimum_support:
         Fraction of transactions in ``(0, 1]`` a pattern must appear in.
     algorithm:
-        One of :data:`ALGORITHMS` (default ``"setm"``).
+        A registered engine name (default ``"setm"``).
     options:
         Passed through to the engine (e.g. ``max_length=3``,
-        ``buffer_pages=128`` for ``setm-disk``).
+        ``buffer_pages=128`` for ``setm-disk``) after validation against
+        the engine's accepted options.
     """
-    try:
-        engine = ALGORITHMS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(ALGORITHMS))
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from: {known}"
-        ) from None
-    return engine(database, minimum_support, **options)
+    config = _legacy_config(minimum_support, None, algorithm, options)
+    return Miner(database).frequent_itemsets(config)
 
 
 def mine_association_rules(
@@ -99,10 +132,69 @@ def mine_association_rules(
 ) -> tuple[MiningResult, list[Rule]]:
     """Mine patterns, then generate the Section 5 rules from them.
 
-    Returns the :class:`MiningResult` (for its iteration statistics and
-    count relations) together with the qualifying rules.
+    Compatibility wrapper over ``Miner``; returns the
+    :class:`MiningResult` (for its iteration statistics and count
+    relations) together with the qualifying rules.
     """
-    result = mine_frequent_itemsets(
-        database, minimum_support, algorithm=algorithm, **options
-    )
-    return result, generate_rules(result, minimum_confidence)
+    config = _legacy_config(minimum_support, minimum_confidence, algorithm, options)
+    miner = Miner(database)
+    result = miner.frequent_itemsets(config)
+    return result, miner.rules(config)
+
+
+class _AlgorithmsView(MutableMapping):
+    """Legacy ``ALGORITHMS`` mapping, live-backed by the engine registry.
+
+    Reading (``ALGORITHMS["setm"]``, iteration, ``len``) is supported
+    unchanged and reflects the current registry.  Mutation still works
+    but emits a :class:`DeprecationWarning`: new engines should register
+    through :func:`repro.registry.register_engine`, which also carries
+    capability metadata.
+    """
+
+    def __getitem__(self, name: str) -> Callable[..., MiningResult]:
+        spec = find_engine(name)
+        if spec is None:
+            raise KeyError(name)
+        return spec.runner
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(available_engines())
+
+    def __len__(self) -> int:
+        return len(available_engines())
+
+    def __setitem__(
+        self, name: str, runner: Callable[..., MiningResult]
+    ) -> None:
+        warnings.warn(
+            "mutating repro.api.ALGORITHMS is deprecated; use "
+            "repro.registry.register_engine instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # The callable's signature is unknown, so option checking is
+        # disabled for engines injected this way.
+        register_engine(name, accepted_options=None, replace=True)(runner)
+
+    def __delitem__(self, name: str) -> None:
+        warnings.warn(
+            "mutating repro.api.ALGORITHMS is deprecated; use "
+            "repro.registry.unregister_engine instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if find_engine(name) is None:
+            raise KeyError(name)
+        unregister_engine(name)
+
+    def copy(self) -> dict[str, Callable[..., MiningResult]]:
+        """A plain-dict snapshot — dict-API parity for old read-side code."""
+        return {name: self[name] for name in self}
+
+    def __repr__(self) -> str:
+        return f"ALGORITHMS({', '.join(available_engines())})"
+
+
+#: Legacy algorithm registry view: name -> callable(db, minsup, **kwargs).
+ALGORITHMS: MutableMapping[str, Callable[..., MiningResult]] = _AlgorithmsView()

@@ -25,10 +25,15 @@ import time
 
 from repro.core.result import IterationStats, MiningResult, Pattern
 from repro.core.transactions import TransactionDatabase
+from repro.registry import register_engine
 
 __all__ = ["ais"]
 
 
+@register_engine(
+    "ais",
+    description="AIS baseline (SIGMOD '93, the paper's reference [4])",
+)
 def ais(
     database: TransactionDatabase,
     minimum_support: float,

@@ -29,6 +29,7 @@ from typing import Literal
 from repro.baselines.hashtree import HashTree
 from repro.core.result import IterationStats, MiningResult, Pattern
 from repro.core.transactions import TransactionDatabase
+from repro.registry import register_engine
 
 __all__ = ["apriori", "generate_candidates"]
 
@@ -88,6 +89,11 @@ def _count_with_scan(
     return counts
 
 
+@register_engine(
+    "apriori",
+    description="Apriori baseline (VLDB '94)",
+    accepted_options=("counting",),
+)
 def apriori(
     database: TransactionDatabase,
     minimum_support: float,

@@ -15,10 +15,15 @@ from itertools import combinations
 
 from repro.core.result import IterationStats, MiningResult, Pattern
 from repro.core.transactions import TransactionDatabase
+from repro.registry import register_engine
 
 __all__ = ["bruteforce"]
 
 
+@register_engine(
+    "bruteforce",
+    description="exhaustive oracle for differential testing (small inputs)",
+)
 def bruteforce(
     database: TransactionDatabase,
     minimum_support: float,

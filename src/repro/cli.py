@@ -14,6 +14,8 @@ Examples::
 
     python -m repro generate --dataset retail --scale 0.1 --output r.basket
     python -m repro mine r.basket --minsup 0.01 --minconf 0.7
+    python -m repro mine r.basket --minsup-count 25 --algorithm setm-disk \\
+        --buffer-pages 128
     python -m repro sql --k 3 --strategy sort-merge
     python -m repro analyze
 """
@@ -31,8 +33,11 @@ from repro.analysis.cost_model import (
     strategy_speedup,
 )
 from repro.analysis.report import format_kv_block, format_table
-from repro.api import ALGORITHMS, mine_association_rules
+from repro.config import MiningConfig
 from repro.core.transactions import TransactionDatabase
+from repro.errors import ReproError
+from repro.miner import Miner
+from repro.registry import available_engines
 from repro.data.example import paper_example_database
 from repro.data.hypothetical import generate_hypothetical_database
 from repro.data.io import (
@@ -59,13 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("input", help=".basket file or SALES .csv")
     mine.add_argument("--minsup", type=float, default=0.01,
                       help="minimum support fraction (default 0.01)")
+    mine.add_argument("--minsup-count", type=int, default=None,
+                      help="minimum support as an absolute transaction "
+                           "count (overrides --minsup)")
     mine.add_argument("--minconf", type=float, default=0.5,
                       help="minimum confidence fraction (default 0.5)")
     mine.add_argument("--algorithm", default="setm",
-                      choices=sorted(ALGORITHMS),
+                      choices=available_engines(),
                       help="mining engine (default setm)")
     mine.add_argument("--max-length", type=int, default=None,
                       help="cap on pattern length")
+    mine.add_argument("--buffer-pages", type=int, default=None,
+                      help="buffer-pool pages for the disk engines "
+                           "(e.g. setm-disk)")
     mine.add_argument("--patterns", action="store_true",
                       help="also print every frequent pattern")
 
@@ -107,16 +118,21 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         f"{len(database.distinct_items())} items",
         file=out,
     )
-    options = {}
-    if args.max_length is not None:
-        options["max_length"] = args.max_length
-    result, rules = mine_association_rules(
-        database,
-        args.minsup,
-        args.minconf,
+    options: dict[str, object] = {}
+    if args.buffer_pages is not None:
+        options["buffer_pages"] = args.buffer_pages
+    config = MiningConfig(
+        support=(
+            args.minsup_count if args.minsup_count is not None else args.minsup
+        ),
+        confidence=args.minconf,
         algorithm=args.algorithm,
-        **options,
+        max_length=args.max_length,
+        options=options,
     )
+    miner = Miner(database)
+    result = miner.frequent_itemsets(config)
+    rules = miner.rules(config)
     total = sum(len(rel) for rel in result.count_relations.values())
     print(
         f"{result.algorithm}: {total} frequent patterns "
@@ -243,6 +259,11 @@ def main(argv: list[str] | None = None, out=None) -> int:
         # Downstream pager/head closed the pipe: exit quietly, as CLI
         # tools are expected to.
         return 0
+    except ReproError as error:
+        # Structured API errors (bad support, unknown engine, rejected
+        # option) become a one-line message and a conventional exit code.
+        print(f"error: {error}", file=out)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -27,6 +27,7 @@ import time
 
 from repro.core.result import IterationStats, MiningResult, Pattern
 from repro.core.transactions import TransactionDatabase
+from repro.registry import register_engine
 from repro.storage.bufferpool import BufferPool
 from repro.storage.btree import BPlusTree
 from repro.storage.disk import SimulatedDisk
@@ -34,6 +35,10 @@ from repro.storage.disk import SimulatedDisk
 __all__ = ["nested_loop_mine", "nested_loop_mine_disk"]
 
 
+@register_engine(
+    "nested-loop",
+    description="the Section 3.1 formulation, in memory",
+)
 def nested_loop_mine(
     database: TransactionDatabase,
     minimum_support: float,
@@ -120,6 +125,12 @@ def nested_loop_mine(
     )
 
 
+@register_engine(
+    "nested-loop-disk",
+    description="Section 3.2's physical plan over real B+-tree indexes",
+    reports_page_accesses=True,
+    accepted_options=("buffer_pages",),
+)
 def nested_loop_mine_disk(
     database: TransactionDatabase,
     minimum_support: float,

@@ -47,6 +47,7 @@ from typing import Literal
 
 from repro.core.result import IterationStats, MiningResult, Pattern
 from repro.core.transactions import Item, TransactionDatabase
+from repro.registry import register_engine
 
 __all__ = ["setm", "merge_scan_extend", "count_sorted_instances"]
 
@@ -136,6 +137,11 @@ def _hash_counts(instances: Sequence[Instance]) -> list[tuple[Pattern, int]]:
     return sorted(counts.items())
 
 
+@register_engine(
+    "setm",
+    description="in-memory Algorithm SETM (Figure 4)",
+    accepted_options=("count_via",),
+)
 def setm(
     database: TransactionDatabase,
     minimum_support: float,

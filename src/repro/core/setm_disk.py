@@ -24,6 +24,7 @@ import time
 
 from repro.core.result import IterationStats, MiningResult, Pattern
 from repro.core.transactions import TransactionDatabase
+from repro.registry import register_engine
 from repro.storage.bufferpool import BufferPool
 from repro.storage.disk import IOStatistics, SimulatedDisk
 from repro.storage.heapfile import HeapFile
@@ -34,6 +35,12 @@ from repro.storage.sort import external_sort
 __all__ = ["setm_disk"]
 
 
+@register_engine(
+    "setm-disk",
+    description="SETM on the paged storage engine (measures page accesses)",
+    reports_page_accesses=True,
+    accepted_options=("buffer_pages", "sort_memory_pages", "track_sort_order"),
+)
 def setm_disk(
     database: TransactionDatabase,
     minimum_support: float,

@@ -29,6 +29,7 @@ from typing import Protocol
 
 from repro.core.result import IterationStats, MiningResult, Pattern
 from repro.core.transactions import TransactionDatabase
+from repro.registry import register_engine
 from repro.sql import generator as gen
 
 __all__ = ["NativeBackend", "SQLBackend", "setm_sql"]
@@ -82,6 +83,11 @@ class NativeBackend:
         return self._item_type
 
 
+@register_engine(
+    "setm-sql",
+    description="SETM as generated SQL on the bundled engine (Section 4.1)",
+    accepted_options=("backend", "strategy"),
+)
 def setm_sql(
     database: TransactionDatabase,
     minimum_support: float,

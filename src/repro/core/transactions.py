@@ -232,14 +232,27 @@ class TransactionDatabase:
 
     # -- support handling ----------------------------------------------------------
 
-    def absolute_support(self, minimum_support: float) -> int:
-        """Convert a fractional minimum support into an absolute count.
+    def absolute_support(self, minimum_support: float | int) -> int:
+        """Convert a minimum support into an absolute count threshold.
 
-        The paper's worked example treats "minimum support of 30%" over 10
-        transactions as "3 transactions", i.e. ``ceil(fraction * N)``; a
-        pattern qualifies when ``count >= threshold``.  A threshold of at
-        least 1 is enforced so empty patterns never qualify vacuously.
+        A ``float`` is a fraction: the paper's worked example treats
+        "minimum support of 30%" over 10 transactions as "3 transactions",
+        i.e. ``ceil(fraction * N)``; a pattern qualifies when
+        ``count >= threshold``.  An ``int`` is already an absolute
+        transaction count and is applied as-is — this is what lets every
+        engine honour ``MiningConfig(support=3)`` without a lossy
+        count-to-fraction round trip.  A threshold of at least 1 is
+        enforced so empty patterns never qualify vacuously.
         """
+        if isinstance(minimum_support, int) and not isinstance(
+            minimum_support, bool
+        ):
+            if minimum_support < 1:
+                raise ValueError(
+                    "absolute minimum_support must be >= 1, "
+                    f"got {minimum_support!r}"
+                )
+            return minimum_support
         if not 0.0 < minimum_support <= 1.0:
             raise ValueError(
                 f"minimum_support must be in (0, 1], got {minimum_support!r}"

@@ -1,0 +1,106 @@
+"""Structured errors for the mining API.
+
+Every error the public API raises deliberately derives from
+:class:`ReproError`, so callers can catch the whole family with one
+``except`` clause.  Each class *also* inherits the closest stdlib
+exception (``ValueError`` for bad parameters, ``TypeError`` for bad
+engine options), so code written against the pre-1.1 API — which raised
+plain ``ValueError`` — keeps working unchanged.
+
+Hierarchy::
+
+    ReproError (Exception)
+    ├── InvalidConfigError (+ ValueError)     bad MiningConfig field
+    │   └── InvalidSupportError               bad support / confidence value
+    ├── UnknownAlgorithmError (+ ValueError)  name not in the registry
+    └── EngineOptionError (+ TypeError)       option the engine rejects
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = [
+    "EngineOptionError",
+    "InvalidConfigError",
+    "InvalidSupportError",
+    "ReproError",
+    "UnknownAlgorithmError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro mining API."""
+
+
+class InvalidConfigError(ReproError, ValueError):
+    """A :class:`~repro.config.MiningConfig` field failed validation."""
+
+
+class InvalidSupportError(InvalidConfigError):
+    """Minimum support or confidence is outside its legal range.
+
+    Attributes
+    ----------
+    parameter:
+        ``"minimum_support"`` or ``"minimum_confidence"``.
+    value:
+        The offending value, verbatim.
+    """
+
+    def __init__(self, parameter: str, value: object, requirement: str) -> None:
+        self.parameter = parameter
+        self.value = value
+        super().__init__(f"{parameter} must be {requirement}; got {value!r}")
+
+
+class UnknownAlgorithmError(ReproError, ValueError):
+    """The requested algorithm name is not in the engine registry.
+
+    Attributes
+    ----------
+    algorithm:
+        The unknown name as requested.
+    known:
+        The registered engine names at the time of the lookup.
+    """
+
+    def __init__(self, algorithm: str, known: Iterable[str]) -> None:
+        self.algorithm = algorithm
+        self.known = tuple(sorted(known))
+        choices = ", ".join(self.known)
+        super().__init__(
+            f"unknown algorithm {algorithm!r}; choose from: {choices}"
+        )
+
+
+class EngineOptionError(ReproError, TypeError):
+    """An engine was handed an option it does not accept.
+
+    Raised *before* the engine runs, so a typo never costs a mining pass.
+
+    Attributes
+    ----------
+    engine:
+        Name of the engine that rejected the options.
+    options:
+        The rejected option names.
+    accepted:
+        The option names the engine does accept.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        options: Iterable[str],
+        accepted: Iterable[str],
+    ) -> None:
+        self.engine = engine
+        self.options = tuple(sorted(options))
+        self.accepted = tuple(sorted(accepted))
+        rejected = ", ".join(self.options)
+        legal = ", ".join(self.accepted) or "(none)"
+        super().__init__(
+            f"engine {engine!r} does not accept option(s) {rejected}; "
+            f"accepted options: {legal}"
+        )

@@ -1,0 +1,292 @@
+"""The :class:`Miner` facade — a typed mining session over one database.
+
+This is the front door of the package::
+
+    from repro import Miner, MiningConfig
+
+    miner = Miner(database)
+    config = MiningConfig(support=0.30, confidence=0.70)
+    result = miner.frequent_itemsets(config)   # MiningResult
+    rules = miner.rules(config)                # list[Rule]
+    print(miner.explain(config))               # the resolved plan
+
+A ``Miner`` resolves the engine through :mod:`repro.registry`, rejects
+unknown engine options *before* mining, times every run, and caches
+results per config so the selective post-hoc queries — ``patterns()``,
+``support_of()``, ``rules_about()`` — answer from the cached
+:class:`~repro.core.result.MiningResult` instead of re-mining.  That
+query-shaped access to an already-mined result echoes the selective
+rule generation of Hahsler et al.: mine once, then ask narrow questions.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Iterator
+
+from repro.config import MiningConfig, _validate_confidence
+from repro.core.result import MiningResult, Pattern
+from repro.core.rules import Rule, generate_rules
+from repro.core.transactions import Item, TransactionDatabase
+from repro.errors import InvalidConfigError, ReproError
+from repro.registry import EngineSpec, get_engine
+
+__all__ = ["Miner"]
+
+#: Results cached per Miner; a session rarely sweeps more configs than this.
+_CACHE_LIMIT = 8
+
+
+class Miner:
+    """A mining session bound to one :class:`TransactionDatabase`.
+
+    Parameters
+    ----------
+    database:
+        The transactions every call of this session mines.
+    default_config:
+        Config used when a call omits one (default: ``MiningConfig()``,
+        i.e. SETM at 1% support).
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        *,
+        default_config: MiningConfig | None = None,
+    ) -> None:
+        self._database = database
+        self._default_config = default_config or MiningConfig()
+        # Most-recent-last cache of (pattern-key config, result).
+        self._results: list[tuple[MiningConfig, MiningResult]] = []
+
+    # -- config plumbing ----------------------------------------------------------
+
+    @property
+    def database(self) -> TransactionDatabase:
+        return self._database
+
+    @property
+    def default_config(self) -> MiningConfig:
+        return self._default_config
+
+    def _resolve_config(
+        self, config: MiningConfig | None, overrides: dict[str, object]
+    ) -> MiningConfig:
+        base = config if config is not None else self._default_config
+        if not isinstance(base, MiningConfig):
+            raise InvalidConfigError(
+                f"expected a MiningConfig; got {base!r} "
+                "(build one with MiningConfig(support=...))"
+            )
+        return base.replace(**overrides) if overrides else base
+
+    @staticmethod
+    def _pattern_key(config: MiningConfig) -> MiningConfig:
+        """The fields that determine the pattern set (confidence does not)."""
+        return config.replace(confidence=None)
+
+    # -- mining -------------------------------------------------------------------
+
+    def frequent_itemsets(
+        self, config: MiningConfig | None = None, **overrides: object
+    ) -> MiningResult:
+        """Mine (or return the cached) frequent itemsets under ``config``.
+
+        Keyword overrides refine the config for this call, e.g.
+        ``miner.frequent_itemsets(algorithm="apriori", max_length=2)``.
+
+        Raises
+        ------
+        UnknownAlgorithmError
+            ``config.algorithm`` is not registered.
+        EngineOptionError
+            ``config.options`` contains an option the engine rejects
+            (raised before any mining work happens).
+        """
+        config = self._resolve_config(config, overrides)
+        key = self._pattern_key(config)
+        for cached_key, cached in self._results:
+            if cached_key == key:
+                return cached
+        spec = get_engine(config.algorithm)
+        started = time.perf_counter()
+        result = spec.run(
+            self._database,
+            config.support,
+            max_length=config.max_length,
+            options=config.options_for(spec.name),
+        )
+        elapsed = time.perf_counter() - started
+        result.extra.setdefault("session", {}).update(
+            {"engine": spec.name, "api_elapsed_seconds": elapsed}
+        )
+        self._results.append((key, result))
+        del self._results[:-_CACHE_LIMIT]
+        return result
+
+    def rules(
+        self, config: MiningConfig | None = None, **overrides: object
+    ) -> list[Rule]:
+        """Mine (or reuse) patterns under ``config`` and generate its rules.
+
+        Requires ``config.confidence`` to be set.
+        """
+        config = self._resolve_config(config, overrides)
+        if config.confidence is None:
+            raise InvalidConfigError(
+                "rule generation needs a confidence threshold; "
+                "set MiningConfig(confidence=...)"
+            )
+        result = self.frequent_itemsets(config)
+        return generate_rules(result, config.confidence)
+
+    def explain(self, config: MiningConfig | None = None, **overrides: object) -> str:
+        """Describe how ``config`` would run — without mining anything.
+
+        Resolves the engine, validates the options, and reports the
+        capability flags and the absolute support threshold the run
+        would apply.  Raises the same errors ``frequent_itemsets`` would,
+        so ``explain`` doubles as a dry-run validator.
+        """
+        config = self._resolve_config(config, overrides)
+        spec = get_engine(config.algorithm)
+        options = config.options_for(spec.name)
+        spec.validate_options(options, max_length=config.max_length)
+
+        n = self._database.num_transactions
+        threshold = config.support_threshold(n)
+        support = (
+            f"{config.support} transactions (absolute)"
+            if config.is_absolute_support
+            else f"{config.support:g} of {n:,} transactions"
+        )
+        accepted = (
+            "(unchecked)"
+            if spec.accepted_options is None
+            else ", ".join(sorted(spec.accepted_options)) or "(none)"
+        )
+        lines = [
+            f"engine: {spec.name}"
+            + (f" — {spec.description}" if spec.description else ""),
+            f"  supports max_length: {'yes' if spec.supports_max_length else 'no'}",
+            "  reports page accesses: "
+            + ("yes" if spec.reports_page_accesses else "no"),
+            f"  accepted options: {accepted}",
+            f"minimum support: {support} -> threshold {threshold}",
+            "minimum confidence: "
+            + (
+                f"{config.confidence:g}"
+                if config.confidence is not None
+                else "(not set — patterns only)"
+            ),
+            "max pattern length: "
+            + (str(config.max_length) if config.max_length else "unbounded"),
+            "options: "
+            + (
+                ", ".join(f"{k}={v!r}" for k, v in sorted(options.items()))
+                or "(none)"
+            ),
+            "cached: "
+            + ("yes" if self._find_cached(config) is not None else "no"),
+        ]
+        return "\n".join(lines)
+
+    # -- post-hoc queries over the cached result ----------------------------------
+
+    def _find_cached(self, config: MiningConfig | None) -> MiningResult | None:
+        if config is None:
+            return self._results[-1][1] if self._results else None
+        key = self._pattern_key(config)
+        for cached_key, cached in self._results:
+            if cached_key == key:
+                return cached
+        return None
+
+    @property
+    def last_result(self) -> MiningResult | None:
+        """The most recently mined :class:`MiningResult`, if any."""
+        return self._results[-1][1] if self._results else None
+
+    def _require_result(self) -> MiningResult:
+        result = self.last_result
+        if result is None:
+            raise ReproError(
+                "no mining run cached yet; call frequent_itemsets() first"
+            )
+        return result
+
+    def patterns(
+        self,
+        *,
+        length: int | None = None,
+        containing: Iterable[Item] | None = None,
+        min_count: int | None = None,
+    ) -> Iterator[tuple[Pattern, int]]:
+        """Selectively iterate the cached patterns.
+
+        Parameters
+        ----------
+        length:
+            Only patterns of exactly this length.
+        containing:
+            Only patterns containing every one of these items.
+        min_count:
+            Only patterns with at least this absolute support count.
+        """
+        result = self._require_result()
+        wanted = set(containing) if containing is not None else None
+        for pattern, count in result.iter_patterns():
+            if length is not None and len(pattern) != length:
+                continue
+            if wanted is not None and not wanted.issubset(pattern):
+                continue
+            if min_count is not None and count < min_count:
+                continue
+            yield pattern, count
+
+    def support_of(self, *items: Item) -> float | None:
+        """Fractional support of an itemset in the cached result.
+
+        Items may be given in any order; returns ``None`` when the
+        itemset is not frequent at the mined threshold.
+        """
+        return self._require_result().support_fraction(tuple(items))
+
+    def rules_about(
+        self,
+        item: Item,
+        *,
+        confidence: float | None = None,
+    ) -> list[Rule]:
+        """Rules from the cached result that mention ``item`` on either side.
+
+        ``confidence`` defaults to the session default config's value and
+        must be set one way or the other.
+        """
+        if confidence is None:
+            confidence = self._default_config.confidence
+        if confidence is None:
+            raise InvalidConfigError(
+                "rules_about needs a confidence threshold; pass confidence=..."
+            )
+        _validate_confidence(confidence)
+        result = self._require_result()
+        return [
+            rule
+            for rule in generate_rules(result, confidence)
+            if item in rule.pattern
+        ]
+
+    # -- introspection ------------------------------------------------------------
+
+    def engine_spec(self, config: MiningConfig | None = None) -> EngineSpec:
+        """The :class:`EngineSpec` that ``config`` resolves to."""
+        config = self._resolve_config(config, {})
+        return get_engine(config.algorithm)
+
+    def __repr__(self) -> str:
+        return (
+            f"Miner(transactions={self._database.num_transactions}, "
+            f"cached_runs={len(self._results)})"
+        )

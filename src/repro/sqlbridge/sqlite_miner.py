@@ -19,6 +19,7 @@ import sqlite3
 from repro.core.result import MiningResult
 from repro.core.setm_sql import setm_sql
 from repro.core.transactions import TransactionDatabase
+from repro.registry import register_engine
 from repro.sql.generator import create_sales_table
 
 __all__ = ["SQLiteBackend", "sqlite_mine"]
@@ -98,6 +99,11 @@ class SQLiteBackend:
         return self._item_type
 
 
+@register_engine(
+    "setm-sqlite",
+    description="the paper's SQL on stdlib sqlite3",
+    accepted_options=("strategy",),
+)
 def sqlite_mine(
     database: TransactionDatabase,
     minimum_support: float,

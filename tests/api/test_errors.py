@@ -1,0 +1,55 @@
+"""The error hierarchy: structured, and stdlib-compatible for old callers."""
+
+from __future__ import annotations
+
+from repro.errors import (
+    EngineOptionError,
+    InvalidConfigError,
+    InvalidSupportError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            InvalidConfigError,
+            InvalidSupportError,
+            UnknownAlgorithmError,
+            EngineOptionError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_config_errors_are_value_errors(self):
+        """Pre-1.1 code caught ValueError; that must keep working."""
+        assert issubclass(InvalidConfigError, ValueError)
+        assert issubclass(InvalidSupportError, ValueError)
+        assert issubclass(UnknownAlgorithmError, ValueError)
+
+    def test_option_error_is_type_error(self):
+        """Engines used to raise TypeError for unexpected kwargs."""
+        assert issubclass(EngineOptionError, TypeError)
+
+
+class TestPayloads:
+    def test_invalid_support_carries_parameter_and_value(self):
+        error = InvalidSupportError("minimum_support", 1.5, "in (0, 1]")
+        assert error.parameter == "minimum_support"
+        assert error.value == 1.5
+        assert "1.5" in str(error)
+
+    def test_unknown_algorithm_carries_choices(self):
+        error = UnknownAlgorithmError("magic", ["setm", "apriori"])
+        assert error.algorithm == "magic"
+        assert error.known == ("apriori", "setm")
+        assert "magic" in str(error)
+        assert "apriori" in str(error)
+
+    def test_engine_option_error_names_everything(self):
+        error = EngineOptionError("setm", ["buffer_pages"], ["count_via"])
+        assert error.engine == "setm"
+        assert error.options == ("buffer_pages",)
+        assert error.accepted == ("count_via",)
+        assert "buffer_pages" in str(error)
+        assert "count_via" in str(error)

@@ -75,6 +75,55 @@ class TestMine:
         with pytest.raises(SystemExit):
             run_cli("mine", example_basket, "--algorithm", "magic")
 
+    def test_minsup_count_absolute_support(self, example_basket):
+        """--minsup-count 3 over 10 transactions equals --minsup 0.3."""
+        code, output = run_cli(
+            "mine", example_basket, "--minsup-count", "3", "--minconf", "0.7"
+        )
+        assert code == 0
+        assert "13 frequent patterns" in output
+
+    def test_minsup_count_overrides_minsup(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.01", "--minsup-count", "9", "--minconf", "0.7",
+        )
+        assert code == 0
+        # Threshold 9 of 10: nothing but the most common items survive,
+        # certainly not the 13 patterns of threshold 3.
+        assert "13 frequent patterns" not in output
+
+    def test_buffer_pages_flag_reaches_disk_engine(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--algorithm", "setm-disk", "--buffer-pages", "16",
+        )
+        assert code == 0
+        assert "setm-disk: 13 frequent patterns" in output
+
+    def test_buffer_pages_rejected_for_memory_engine(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7", "--buffer-pages", "16",
+        )
+        assert code == 2
+        assert "buffer_pages" in output
+
+    def test_bad_minsup_count_reports_structured_error(self, example_basket):
+        code, output = run_cli("mine", example_basket, "--minsup-count", "0")
+        assert code == 2
+        assert "minimum_support" in output
+
+    def test_nested_loop_disk_engine_available(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--algorithm", "nested-loop-disk",
+        )
+        assert code == 0
+        assert "nested-loop-disk: 13 frequent patterns" in output
+
 
 class TestGenerate:
     def test_generate_example(self, tmp_path):
