@@ -1,0 +1,276 @@
+"""Perf baseline runner: ``setm`` vs ``setm-columnar``, recorded to JSON.
+
+This is the performance trajectory's anchor: it runs the paper's
+Table 6.2 workload (the calibrated retail database at 0.5% minimum
+support) plus the QUEST synthetic workloads the follow-up literature
+standardized on, over both in-memory SETM engines, and writes
+``BENCH_setm.json`` — wall-clock per iteration, peak ``|R'_k|``, and
+rows/second — so future PRs have a committed baseline to beat.
+
+Unlike the ``pytest-benchmark`` suites in this directory (which
+regenerate the paper's figures), this is a plain script so CI and
+humans can run it without plugins::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full, ~1 min
+    PYTHONPATH=src python benchmarks/run_bench.py --tiny     # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --validate BENCH_setm.json
+
+Every run differentially checks that both engines found identical
+patterns before recording a single number.  ``--validate`` checks an
+existing results file against the schema (used by the CI smoke step;
+deliberately no timing assertions — CI machines are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.setm import setm  # noqa: E402
+from repro.core.setm_columnar import setm_columnar  # noqa: E402
+from repro.data.quest import QuestConfig, generate_quest_dataset  # noqa: E402
+from repro.data.retail import generate_retail_dataset  # noqa: E402
+
+SCHEMA_VERSION = 1
+ENGINES = {"setm": setm, "setm-columnar": setm_columnar}
+
+#: The acceptance bar this PR's kernel was built against (recorded in
+#: the output for context; never asserted here — see --validate).
+TARGET_SPEEDUP = 3.0
+
+
+def _workloads(tiny: bool):
+    """Yield ``(name, database_factory, minsup)`` benchmark workloads."""
+    if tiny:
+        yield (
+            "quest-T5.I2.D300-tiny",
+            lambda: generate_quest_dataset(
+                QuestConfig(
+                    num_transactions=300, avg_transaction_len=5,
+                    avg_pattern_len=2,
+                )
+            ),
+            0.02,
+        )
+        return
+    # The Table 6.2 workload: the full calibrated retail database at the
+    # paper's 0.5% minimum-support grid point.
+    yield ("table6.2-retail", generate_retail_dataset, 0.005)
+    yield (
+        "quest-T5.I2.D10K",
+        lambda: generate_quest_dataset(
+            QuestConfig(avg_transaction_len=5, avg_pattern_len=2)
+        ),
+        0.01,
+    )
+    yield (
+        "quest-T10.I4.D10K",
+        lambda: generate_quest_dataset(
+            QuestConfig(avg_transaction_len=10, avg_pattern_len=4)
+        ),
+        0.01,
+    )
+
+
+def _bench_engine(runner, database, minsup: float, rounds: int) -> dict:
+    """Best-of-``rounds`` measurements for one engine on one workload."""
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = runner(database, minsup)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    elapsed, result = best
+    candidate_rows = sum(
+        stats.candidate_instances for stats in result.iterations
+    )
+    return {
+        "result": result,
+        "measurements": {
+            "elapsed_seconds": round(elapsed, 6),
+            "iteration_seconds": {
+                str(k): round(seconds, 6)
+                for k, seconds in result.extra.get(
+                    "iteration_seconds", {}
+                ).items()
+            },
+            "peak_r_prime_instances": max(
+                stats.candidate_instances for stats in result.iterations
+            ),
+            "total_candidate_instances": candidate_rows,
+            "rows_per_second": (
+                round(candidate_rows / elapsed) if elapsed > 0 else None
+            ),
+            "patterns": sum(
+                len(rel) for rel in result.count_relations.values()
+            ),
+            "max_pattern_length": result.max_pattern_length,
+        },
+    }
+
+
+def run(tiny: bool, rounds: int) -> dict:
+    workloads = []
+    for name, factory, minsup in _workloads(tiny):
+        database = factory()
+        print(
+            f"[{name}] {database.num_transactions:,} transactions, "
+            f"{database.num_sales_rows:,} rows, minsup {minsup:g}",
+            flush=True,
+        )
+        engines: dict[str, dict] = {}
+        results = {}
+        for engine_name, runner in ENGINES.items():
+            bench = _bench_engine(runner, database, minsup, rounds)
+            results[engine_name] = bench["result"]
+            engines[engine_name] = bench["measurements"]
+            print(
+                f"  {engine_name:>14}: "
+                f"{bench['measurements']['elapsed_seconds']:.3f}s, "
+                f"{bench['measurements']['patterns']} patterns",
+                flush=True,
+            )
+        agreement = results["setm"].same_patterns_as(
+            results["setm-columnar"]
+        ) and results["setm"].iterations == results["setm-columnar"].iterations
+        if not agreement:
+            raise SystemExit(
+                f"engine disagreement on {name}: refusing to record timings"
+            )
+        speedup = (
+            engines["setm"]["elapsed_seconds"]
+            / engines["setm-columnar"]["elapsed_seconds"]
+            if engines["setm-columnar"]["elapsed_seconds"] > 0
+            else None
+        )
+        print(f"  speedup: {speedup:.2f}x", flush=True)
+        workloads.append(
+            {
+                "name": name,
+                "minsup": minsup,
+                "dataset": {
+                    "transactions": database.num_transactions,
+                    "sales_rows": database.num_sales_rows,
+                    "distinct_items": len(database.distinct_items()),
+                },
+                "engines": engines,
+                "agreement": True,
+                "speedup": round(speedup, 3) if speedup else None,
+            }
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/run_bench.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "tiny": tiny,
+        "rounds": rounds,
+        "target_speedup": TARGET_SPEEDUP,
+        "workloads": workloads,
+    }
+
+
+def validate(document: dict) -> list[str]:
+    """Schema errors in a results document (empty list == well-formed)."""
+    errors: list[str] = []
+
+    def need(mapping, key, kinds, where):
+        if not isinstance(mapping, dict) or key not in mapping:
+            errors.append(f"{where}: missing key {key!r}")
+            return None
+        value = mapping[key]
+        if not isinstance(value, kinds):
+            errors.append(
+                f"{where}.{key}: expected {kinds}, got {type(value).__name__}"
+            )
+            return None
+        return value
+
+    if need(document, "schema_version", int, "$") != SCHEMA_VERSION:
+        errors.append("$.schema_version: unsupported version")
+    need(document, "generated_at", str, "$")
+    need(document, "python", str, "$")
+    need(document, "tiny", bool, "$")
+    workloads = need(document, "workloads", list, "$")
+    if not workloads:
+        errors.append("$.workloads: must be a non-empty list")
+        return errors
+    for i, workload in enumerate(workloads):
+        where = f"$.workloads[{i}]"
+        need(workload, "name", str, where)
+        need(workload, "minsup", (int, float), where)
+        need(workload, "agreement", bool, where)
+        dataset = need(workload, "dataset", dict, where)
+        if dataset is not None:
+            for key in ("transactions", "sales_rows", "distinct_items"):
+                need(dataset, key, int, f"{where}.dataset")
+        engines = need(workload, "engines", dict, where)
+        if engines is not None:
+            for engine_name in ("setm", "setm-columnar"):
+                engine = need(engines, engine_name, dict, f"{where}.engines")
+                if engine is None:
+                    continue
+                prefix = f"{where}.engines.{engine_name}"
+                need(engine, "elapsed_seconds", (int, float), prefix)
+                need(engine, "iteration_seconds", dict, prefix)
+                need(engine, "peak_r_prime_instances", int, prefix)
+                need(engine, "rows_per_second", (int, float), prefix)
+                need(engine, "patterns", int, prefix)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="setm vs setm-columnar performance baseline"
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="one small synthetic workload (CI smoke; seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="measurement rounds per engine; best is recorded (default 3)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_setm.json",
+        help="where to write the JSON results (default: repo root)",
+    )
+    parser.add_argument(
+        "--validate", type=Path, default=None, metavar="PATH",
+        help="validate an existing results file against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        document = json.loads(args.validate.read_text())
+        errors = validate(document)
+        if errors:
+            for error in errors:
+                print(f"schema error: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: well-formed (schema v{SCHEMA_VERSION})")
+        return 0
+
+    document = run(tiny=args.tiny, rounds=max(1, args.rounds))
+    errors = validate(document)
+    if errors:  # pragma: no cover - the writer always matches its schema
+        for error in errors:
+            print(f"internal schema error: {error}", file=sys.stderr)
+        return 1
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

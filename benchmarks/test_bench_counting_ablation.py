@@ -1,11 +1,19 @@
 """Ablation — design choices inside SETM itself.
 
-Two knobs DESIGN.md calls out:
+Three knobs DESIGN.md and the columnar kernel call out:
 
-* **counting strategy**: the paper counts by sorting ``R'_k`` on its item
-  columns and scanning ("generate counts ... a simple sequential scan");
-  a hash aggregate is the modern alternative.  Both must agree; the bench
-  records the gap.
+* **counting strategy** (``count_via``): the paper counts by sorting
+  ``R'_k`` on its item columns and scanning ("generate counts ... a
+  simple sequential scan"); a hash aggregate is the modern alternative.
+  The faithful engine's ``count_via="hash"`` is one
+  :class:`collections.Counter` pass (a single hash per row); the
+  columnar engine's ``"hash"`` counts packed integer keys, and its
+  ``"sort"`` is a key-free integer sort (vectorized ``np.unique`` when
+  numpy is available).  All must agree; the bench records the gaps —
+  across *representations* as well as strategies.
+* **representation** (tuples vs columnar): the same Figure 4 loop over
+  row tuples vs dictionary-encoded array columns; see
+  ``benchmarks/run_bench.py`` for the committed cross-workload baseline.
 * **buffer pool size** (disk variant): the paper assumes ``C_k`` stays
   resident and non-leaf pages are cached; shrinking the pool below that
   shows up directly as page accesses.
@@ -17,49 +25,64 @@ import pytest
 
 from repro.analysis.report import format_table
 from repro.core.setm import setm
+from repro.core.setm_columnar import setm_columnar
 from repro.core.setm_disk import setm_disk
 
 _count_timings: dict[str, float] = {}
 
 
-@pytest.mark.parametrize("count_via", ["sort", "hash"])
-def test_counting_strategy(benchmark, small_retail_db, count_via):
+@pytest.mark.parametrize(
+    ("engine", "count_via"),
+    [
+        ("setm", "sort"),
+        ("setm", "hash"),
+        ("setm-columnar", "sort"),
+        ("setm-columnar", "hash"),
+    ],
+)
+def test_counting_strategy(benchmark, small_retail_db, engine, count_via):
     benchmark.group = "counting strategy retail(1/10) minsup=0.2%"
+    benchmark.name = f"{engine} count_via={count_via}"
+    runner = setm if engine == "setm" else setm_columnar
     result = benchmark.pedantic(
-        setm,
+        runner,
         args=(small_retail_db, 0.002),
         kwargs={"count_via": count_via},
         rounds=3,
         iterations=1,
     )
     assert result.count_relations[2]
-    _count_timings[count_via] = benchmark.stats.stats.min
+    _count_timings[f"{engine}/{count_via}"] = benchmark.stats.stats.min
 
 
 def test_counting_strategies_agree(benchmark, small_retail_db, emit):
     benchmark.group = "counting strategy retail(1/10) minsup=0.2%"
-    benchmark.name = "agreement check (both strategies)"
+    benchmark.name = "agreement check (all strategies)"
 
-    def both():
+    def all_of_them():
         return (
             setm(small_retail_db, 0.002, count_via="sort"),
             setm(small_retail_db, 0.002, count_via="hash"),
+            setm_columnar(small_retail_db, 0.002, count_via="sort"),
+            setm_columnar(small_retail_db, 0.002, count_via="hash"),
         )
 
-    via_sort, via_hash = benchmark.pedantic(both, rounds=1, iterations=1)
-    assert via_sort.same_patterns_as(via_hash)
+    results = benchmark.pedantic(all_of_them, rounds=1, iterations=1)
+    reference = results[0]
+    for other in results[1:]:
+        assert reference.same_patterns_as(other)
 
     emit(
         "ablation_counting",
         format_table(
-            ["counting", "time (s)"],
+            ["engine/counting", "time (s)"],
             [
                 (name, round(timing, 4))
                 for name, timing in sorted(_count_timings.items())
             ],
             title=(
                 "Ablation — sort-scan counting (paper) vs hash "
-                "aggregation, retail(1/10) at 0.2%"
+                "aggregation, tuple vs columnar, retail(1/10) at 0.2%"
             ),
         ),
     )

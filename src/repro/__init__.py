@@ -7,8 +7,9 @@ to be simple, fast, and stable across minimum-support values.
 
 This package rebuilds the whole system:
 
-* :mod:`repro.core` — Algorithm SETM in three guises (in-memory, SQL,
-  paged-disk), the nested-loop strategy it rejects, and rule generation;
+* :mod:`repro.core` — Algorithm SETM in four guises (in-memory tuples,
+  columnar arrays, SQL, paged-disk), the nested-loop strategy it
+  rejects, and rule generation;
 * :mod:`repro.sql` + :mod:`repro.relational` — a SQL subset engine, so
   the paper's queries run verbatim (``sqlite3`` is supported too);
 * :mod:`repro.storage` — a simulated disk, buffer pool, external sort,
@@ -51,6 +52,7 @@ from repro.config import MiningConfig
 from repro.core.result import IterationStats, MiningResult
 from repro.core.rules import Rule, generate_rules
 from repro.core.setm import setm
+from repro.core.setm_columnar import setm_columnar
 from repro.core.transactions import (
     ItemCatalog,
     Transaction,
@@ -72,7 +74,7 @@ from repro.registry import (
     register_engine,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -99,4 +101,5 @@ __all__ = [
     "mine_frequent_itemsets",
     "register_engine",
     "setm",
+    "setm_columnar",
 ]

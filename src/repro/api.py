@@ -20,6 +20,7 @@ capability metadata; ``repro.registry.available_engines()`` lists them:
 
 ===================  ==========================================================
 ``setm``             In-memory Algorithm SETM (Figure 4)
+``setm-columnar``    SETM on dictionary-encoded array columns (fast in-memory)
 ``setm-disk``        SETM on the paged storage engine (reports page accesses)
 ``setm-sql``         SETM as generated SQL on the bundled engine (Section 4.1)
 ``setm-sqlite``      The same SQL on stdlib sqlite3

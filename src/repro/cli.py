@@ -16,6 +16,7 @@ Examples::
     python -m repro mine r.basket --minsup 0.01 --minconf 0.7
     python -m repro mine r.basket --minsup-count 25 --algorithm setm-disk \\
         --buffer-pages 128
+    python -m repro mine r.basket --engine setm-columnar --json
     python -m repro sql --k 3 --strategy sort-merge
     python -m repro analyze
 """
@@ -23,6 +24,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -69,9 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "count (overrides --minsup)")
     mine.add_argument("--minconf", type=float, default=0.5,
                       help="minimum confidence fraction (default 0.5)")
-    mine.add_argument("--algorithm", default="setm",
-                      choices=available_engines(),
-                      help="mining engine (default setm)")
+    mine.add_argument("--algorithm", "--engine", dest="algorithm",
+                      default="setm", choices=available_engines(),
+                      help="mining engine (default setm); --engine is "
+                           "an alias")
     mine.add_argument("--max-length", type=int, default=None,
                       help="cap on pattern length")
     mine.add_argument("--buffer-pages", type=int, default=None,
@@ -79,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "(e.g. setm-disk)")
     mine.add_argument("--patterns", action="store_true",
                       help="also print every frequent pattern")
+    mine.add_argument("--json", action="store_true",
+                      help="emit a JSON document (patterns, rules, "
+                           "iteration stats, per-iteration timings) "
+                           "instead of text")
 
     generate = commands.add_parser("generate", help="write a bundled data set")
     generate.add_argument("--dataset", required=True,
@@ -110,14 +117,55 @@ def _load(path: str) -> TransactionDatabase:
     return read_basket_file(path)
 
 
+def _mining_report(result, rules) -> dict:
+    """The ``--json`` document for one mining run."""
+    return {
+        "algorithm": result.algorithm,
+        "num_transactions": result.num_transactions,
+        "minimum_support": result.minimum_support,
+        "support_threshold": result.support_threshold,
+        "elapsed_seconds": result.elapsed_seconds,
+        "num_patterns": sum(
+            len(rel) for rel in result.count_relations.values()
+        ),
+        "max_pattern_length": result.max_pattern_length,
+        "patterns": [
+            {
+                "items": [str(item) for item in pattern],
+                "count": count,
+            }
+            for pattern, count in result.iter_patterns()
+        ],
+        "rules": [str(rule) for rule in rules],
+        "iterations": [
+            {
+                "k": stats.k,
+                "candidate_instances": stats.candidate_instances,
+                "supported_instances": stats.supported_instances,
+                "candidate_patterns": stats.candidate_patterns,
+                "supported_patterns": stats.supported_patterns,
+                "r_kbytes": stats.r_kbytes,
+            }
+            for stats in result.iterations
+        ],
+        "iteration_seconds": {
+            str(k): seconds
+            for k, seconds in result.extra.get(
+                "iteration_seconds", {}
+            ).items()
+        },
+    }
+
+
 def _cmd_mine(args: argparse.Namespace, out) -> int:
     database = _load(args.input)
-    print(
-        f"{database.num_transactions:,} transactions, "
-        f"{database.num_sales_rows:,} rows, "
-        f"{len(database.distinct_items())} items",
-        file=out,
-    )
+    if not args.json:
+        print(
+            f"{database.num_transactions:,} transactions, "
+            f"{database.num_sales_rows:,} rows, "
+            f"{len(database.distinct_items())} items",
+            file=out,
+        )
     options: dict[str, object] = {}
     if args.buffer_pages is not None:
         options["buffer_pages"] = args.buffer_pages
@@ -133,6 +181,10 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
     miner = Miner(database)
     result = miner.frequent_itemsets(config)
     rules = miner.rules(config)
+    if args.json:
+        json.dump(_mining_report(result, rules), out, indent=2)
+        print(file=out)
+        return 0
     total = sum(len(rel) for rel in result.count_relations.values())
     print(
         f"{result.algorithm}: {total} frequent patterns "

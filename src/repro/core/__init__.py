@@ -4,6 +4,7 @@ from repro.core.nested_loop import nested_loop_mine, nested_loop_mine_disk
 from repro.core.result import IterationStats, MiningResult, Pattern
 from repro.core.rules import Rule, generate_rules, rules_as_paper_lines
 from repro.core.setm import setm
+from repro.core.setm_columnar import setm_columnar
 from repro.core.setm_disk import setm_disk
 from repro.core.setm_sql import NativeBackend, SQLBackend, setm_sql
 from repro.core.transactions import (
@@ -31,6 +32,7 @@ __all__ = [
     "rules_as_paper_lines",
     "sales_rows_to_transactions",
     "setm",
+    "setm_columnar",
     "setm_disk",
     "setm_sql",
 ]

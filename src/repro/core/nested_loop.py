@@ -129,6 +129,7 @@ def nested_loop_mine(
     "nested-loop-disk",
     description="Section 3.2's physical plan over real B+-tree indexes",
     reports_page_accesses=True,
+    representation="paged",
     accepted_options=("buffer_pages",),
 )
 def nested_loop_mine_disk(

@@ -1,0 +1,162 @@
+"""Algorithm SETM over the columnar relation kernel (``setm-columnar``).
+
+Same Figure 4, different representation: relations are the
+dictionary-encoded, array-backed columns of :mod:`repro.core.columns`
+and patterns are packed integers, so the loop body runs as a handful of
+fused column passes instead of per-row tuple work.  The engine is
+differentially held to :func:`repro.core.setm.setm` — identical count
+relations *and* identical :class:`~repro.core.result.IterationStats`
+cardinalities — because both drive the shared
+:func:`~repro.core.setm.run_figure4_loop` skeleton.
+
+Why the explicit sorts of Figure 4 disappear here: the columnar
+merge-scan emits rows ordered by ``(trans_id, item_1, ..., item_k)``
+(prev rows are walked in sorted order; within a transaction the band
+extension walks ascending sales items), and the support filter keeps
+row order.  ``(trans_id, items)`` order is therefore a loop invariant,
+``sort R_{k-1} on trans_id, ...`` is a no-op, and ``sort R'_k on
+item_1, ..., item_k`` collapses into the counting step — a key-free
+integer sort of the packed keys (``count_via="sort"``, vectorized as
+``np.unique`` when numpy is available) or a single hash pass
+(``count_via="hash"``): the perf engine has no obligation to sort where
+the faithful one must.  The default ``"auto"`` picks whichever is
+fastest for the active kernel path.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Literal
+
+from repro.core.columns import (
+    InstanceRelation,
+    SalesIndex,
+    count_packed_keys,
+    filter_by_keys,
+    suffix_extend,
+    unpack_key,
+)
+from repro.core.result import MiningResult, Pattern
+from repro.core.setm import run_figure4_loop
+from repro.core.transactions import ItemCatalog, TransactionDatabase
+from repro.registry import register_engine
+
+__all__ = ["ColumnarKernel", "setm_columnar"]
+
+
+class ColumnarKernel:
+    """Figure 4's steps over :class:`InstanceRelation` columns.
+
+    Patterns travel as packed integers (mixed radix ``self._base``, which
+    exceeds every dictionary id, so numeric order equals lexicographic
+    pattern order); labels are decoded only for the final
+    :class:`~repro.core.result.MiningResult`.
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        *,
+        count_via: Literal["auto", "sort", "hash"] = "auto",
+    ) -> None:
+        self._database = database
+        # One C-level pass collects the labels (equivalent to
+        # database.catalog(), minus its per-transaction set updates).
+        self._catalog = ItemCatalog(
+            set(chain.from_iterable(txn.items for txn in database))
+        )
+        # Ids run 1..len(catalog); any base > max id packs injectively.
+        self._base = len(self._catalog) + 1
+        self._count_via: Literal["auto", "sort", "hash"] = count_via
+        self._index: SalesIndex | None = None
+
+    def make_sales(self) -> InstanceRelation:
+        # sales_from_database also resolves the merge-scan's group
+        # matching over the static R_1, once for the whole run (the
+        # attached SalesIndex).
+        sales = InstanceRelation.sales_from_database(
+            self._database, self._catalog
+        )
+        self._index = sales.index
+        return sales
+
+    def c1_counts(self, sales: InstanceRelation) -> list[tuple[int, int]]:
+        # For k = 1 the packed key *is* the item id; no pack pass needed.
+        return count_packed_keys(sales.keys, via=self._count_via)
+
+    def resort_by_tid(self, r: InstanceRelation) -> InstanceRelation:
+        # No-op by invariant: merge output and filter both preserve
+        # (trans_id, item_1, ..., item_k) order.  See the module
+        # docstring for why the sort disappears.
+        return r
+
+    def merge_extend(
+        self, r: InstanceRelation, sales: InstanceRelation
+    ) -> InstanceRelation:
+        assert self._index is not None  # make_sales always ran first
+        return suffix_extend(r, self._index)
+
+    def count_and_filter(
+        self, r_prime: InstanceRelation, threshold: int
+    ) -> tuple[int, dict[int, int], InstanceRelation]:
+        all_counts = count_packed_keys(r_prime.keys, via=self._count_via)
+        c_k = {key: count for key, count in all_counts if count >= threshold}
+        r_next = filter_by_keys(r_prime, set(c_k))
+        return len(all_counts), c_k, r_next
+
+    def size(self, r: InstanceRelation) -> int:
+        return len(r)
+
+    def decode(self, key: int, k: int) -> Pattern:
+        return self._catalog.decode(unpack_key(key, k, self._base))
+
+
+@register_engine(
+    "setm-columnar",
+    description="SETM on dictionary-encoded array columns (fast in-memory)",
+    representation="columnar",
+    accepted_options=("count_via",),
+)
+def setm_columnar(
+    database: TransactionDatabase,
+    minimum_support: float,
+    *,
+    max_length: int | None = None,
+    count_via: Literal["auto", "sort", "hash"] = "auto",
+) -> MiningResult:
+    """Run SETM on the columnar kernel; same results, several times faster.
+
+    Parameters
+    ----------
+    database:
+        The transactions to mine (labels of any type; dictionary-encoded
+        internally and decoded back in the result).
+    minimum_support:
+        Fractional minimum support in ``(0, 1]`` or absolute count.
+    max_length:
+        Optional cap on pattern length.
+    count_via:
+        ``"auto"`` (default: the fastest strategy the kernel path
+        offers), ``"hash"`` (one Counter pass over packed keys), or
+        ``"sort"`` (key-free integer sort + run-length scan — the
+        paper-shaped strategy, vectorized as ``np.unique`` when numpy
+        is available).  Identical counts any way; the knob feeds the
+        counting-strategy ablation benchmark.
+
+    Returns
+    -------
+    MiningResult
+        With ``algorithm="setm-columnar"``; count relations, unfiltered
+        item counts, and :class:`~repro.core.result.IterationStats` are
+        byte-identical to :func:`repro.core.setm.setm` on the same
+        input.  ``extra["iteration_seconds"]`` carries per-iteration
+        wall-clock from the shared loop skeleton.
+    """
+    return run_figure4_loop(
+        database,
+        minimum_support,
+        ColumnarKernel(database, count_via=count_via),
+        algorithm="setm-columnar",
+        max_length=max_length,
+        extra={"count_via": count_via},
+    )

@@ -39,6 +39,7 @@ __all__ = ["setm_disk"]
     "setm-disk",
     description="SETM on the paged storage engine (measures page accesses)",
     reports_page_accesses=True,
+    representation="paged",
     accepted_options=("buffer_pages", "sort_memory_pages", "track_sort_order"),
 )
 def setm_disk(

@@ -86,6 +86,7 @@ class NativeBackend:
 @register_engine(
     "setm-sql",
     description="SETM as generated SQL on the bundled engine (Section 4.1)",
+    representation="sql",
     accepted_options=("backend", "strategy"),
 )
 def setm_sql(

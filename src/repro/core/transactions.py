@@ -109,6 +109,15 @@ class ItemCatalog:
         """Integer id for ``label``; raises ``KeyError`` for unknown labels."""
         return self._id_of[label]
 
+    def id_mapping(self) -> dict[Item, int]:
+        """The full ``label -> id`` mapping, for bulk encoding hot paths.
+
+        Returns the catalog's own dict so callers can drive C-level
+        ``map(mapping.__getitem__, ...)`` passes without a per-item
+        method call; treat it as read-only.
+        """
+        return self._id_of
+
     def label_of(self, item_id: int) -> Item:
         """Label for ``item_id``; raises ``KeyError`` for unknown ids."""
         return self._label_of[item_id]

@@ -170,6 +170,7 @@ class Miner:
             f"engine: {spec.name}"
             + (f" — {spec.description}" if spec.description else ""),
             f"  supports max_length: {'yes' if spec.supports_max_length else 'no'}",
+            f"  representation: {spec.representation}",
             "  reports page accesses: "
             + ("yes" if spec.reports_page_accesses else "no"),
             f"  accepted options: {accepted}",

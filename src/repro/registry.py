@@ -57,6 +57,7 @@ __all__ = [
 #: capability metadata at the ``@register_engine`` site.
 _BUILTIN_ENGINE_MODULES = (
     "repro.core.setm",
+    "repro.core.setm_columnar",
     "repro.core.setm_disk",
     "repro.core.setm_sql",
     "repro.core.nested_loop",
@@ -88,6 +89,12 @@ class EngineSpec:
     reports_page_accesses:
         Whether ``result.extra`` carries measured page-access counts
         (the disk engines do; the in-memory ones cannot).
+    representation:
+        How the engine stores its ``R_k`` relations: ``"tuples"``
+        (row-at-a-time Python tuples, the faithful default),
+        ``"columnar"`` (dictionary-encoded ``array`` columns, see
+        :mod:`repro.core.columns`), ``"paged"`` (the simulated-disk heap
+        files), or ``"sql"`` (relations live in a SQL engine).
     accepted_options:
         Option names the engine accepts beyond the standard
         ``(database, minimum_support, max_length)``.  ``None`` disables
@@ -100,6 +107,7 @@ class EngineSpec:
     description: str = ""
     supports_max_length: bool = True
     reports_page_accesses: bool = False
+    representation: str = "tuples"
     accepted_options: frozenset[str] | None = frozenset()
 
     def validate_options(
@@ -138,6 +146,7 @@ def register_engine(
     description: str = "",
     supports_max_length: bool = True,
     reports_page_accesses: bool = False,
+    representation: str = "tuples",
     accepted_options: Iterable[str] | None = (),
     replace: bool = False,
 ) -> Callable[[Callable[..., "MiningResult"]], Callable[..., "MiningResult"]]:
@@ -158,6 +167,7 @@ def register_engine(
                 description=description,
                 supports_max_length=supports_max_length,
                 reports_page_accesses=reports_page_accesses,
+                representation=representation,
                 accepted_options=(
                     None
                     if accepted_options is None

@@ -102,6 +102,7 @@ class SQLiteBackend:
 @register_engine(
     "setm-sqlite",
     description="the paper's SQL on stdlib sqlite3",
+    representation="sql",
     accepted_options=("strategy",),
 )
 def sqlite_mine(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.core.columns import count_sorted_rows
 from repro.storage.heapfile import HeapFile
 from repro.storage.page import PageFormat
 
@@ -89,21 +90,13 @@ def counting_scan(r_prime: HeapFile) -> list[tuple[tuple[int, ...], int]]:
     (unfiltered) ``C_k`` relation; the paper keeps it in memory ("it is
     usually small enough to be kept in memory being the result of an
     aggregation query"), and so do we — no pages are charged for ``C_k``.
+
+    The grouping itself is the shared
+    :func:`repro.core.columns.count_sorted_rows` — the same sequential
+    run scan the in-memory tuple engine uses, so the two engines cannot
+    drift apart on grouping semantics.
     """
-    counts: list[tuple[tuple[int, ...], int]] = []
-    current: tuple[int, ...] | None = None
-    run = 0
-    for record in r_prime.scan():
-        pattern = record[1:]
-        if pattern == current:
-            run += 1
-        else:
-            if current is not None:
-                counts.append((current, run))
-            current, run = pattern, 1
-    if current is not None:
-        counts.append((current, run))
-    return counts
+    return count_sorted_rows(r_prime.scan())
 
 
 def filter_scan(

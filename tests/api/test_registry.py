@@ -163,26 +163,29 @@ class TestOptionValidation:
 
 class TestCapabilityFlags:
     @pytest.mark.parametrize(
-        ("name", "reports_io", "accepted"),
+        ("name", "reports_io", "representation", "accepted"),
         [
-            ("setm", False, {"count_via"}),
+            ("setm", False, "tuples", {"count_via"}),
+            ("setm-columnar", False, "columnar", {"count_via"}),
             (
                 "setm-disk",
                 True,
+                "paged",
                 {"buffer_pages", "sort_memory_pages", "track_sort_order"},
             ),
-            ("setm-sql", False, {"backend", "strategy"}),
-            ("setm-sqlite", False, {"strategy"}),
-            ("nested-loop", False, set()),
-            ("nested-loop-disk", True, {"buffer_pages"}),
-            ("apriori", False, {"counting"}),
-            ("ais", False, set()),
-            ("bruteforce", False, set()),
+            ("setm-sql", False, "sql", {"backend", "strategy"}),
+            ("setm-sqlite", False, "sql", {"strategy"}),
+            ("nested-loop", False, "tuples", set()),
+            ("nested-loop-disk", True, "paged", {"buffer_pages"}),
+            ("apriori", False, "tuples", {"counting"}),
+            ("ais", False, "tuples", set()),
+            ("bruteforce", False, "tuples", set()),
         ],
     )
-    def test_flags_per_engine(self, name, reports_io, accepted):
+    def test_flags_per_engine(self, name, reports_io, representation, accepted):
         spec = _spec(name)
         assert spec.reports_page_accesses is reports_io
+        assert spec.representation == representation
         assert spec.accepted_options == frozenset(accepted)
         assert spec.supports_max_length is True
 

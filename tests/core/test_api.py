@@ -17,6 +17,7 @@ class TestRegistry:
     def test_expected_engines_registered(self):
         assert {
             "setm",
+            "setm-columnar",
             "setm-disk",
             "setm-sql",
             "setm-sqlite",
@@ -122,7 +123,7 @@ class TestRules:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_public_names_importable(self):
         for name in repro.__all__:

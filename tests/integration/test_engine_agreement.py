@@ -45,7 +45,15 @@ class TestAllEnginesOnExample:
 class TestAllEnginesOnRetail:
     @pytest.mark.parametrize(
         "algorithm",
-        ["setm", "setm-disk", "setm-sqlite", "nested-loop", "apriori", "ais"],
+        [
+            "setm",
+            "setm-columnar",
+            "setm-disk",
+            "setm-sqlite",
+            "nested-loop",
+            "apriori",
+            "ais",
+        ],
     )
     def test_engine_matches_setm(self, algorithm, small_retail_db):
         reference = setm(small_retail_db, 0.02)

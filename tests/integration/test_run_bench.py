@@ -1,0 +1,101 @@
+"""The performance-baseline runner (benchmarks/run_bench.py).
+
+The CI smoke step runs ``run_bench.py --tiny`` and validates the
+produced ``BENCH_setm.json`` against the schema; these tests keep that
+path honest inside the tier-1 suite (no timing assertions — only that
+the runner produces well-formed, agreement-checked output).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = (
+    Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "run_bench.py"
+)
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location("run_bench", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestTinyRun:
+    @pytest.fixture(scope="class")
+    def document(self, run_bench, tmp_path_factory):
+        output = tmp_path_factory.mktemp("bench") / "BENCH_setm.json"
+        code = run_bench.main(
+            ["--tiny", "--rounds", "1", "--output", str(output)]
+        )
+        assert code == 0
+        return json.loads(output.read_text())
+
+    def test_schema_validates(self, run_bench, document):
+        assert run_bench.validate(document) == []
+
+    def test_both_engines_measured_and_agree(self, document):
+        workload = document["workloads"][0]
+        assert workload["agreement"] is True
+        for engine in ("setm", "setm-columnar"):
+            measurements = workload["engines"][engine]
+            assert measurements["elapsed_seconds"] > 0
+            assert measurements["peak_r_prime_instances"] > 0
+            assert measurements["rows_per_second"] > 0
+            assert measurements["iteration_seconds"]
+        assert (
+            workload["engines"]["setm"]["patterns"]
+            == workload["engines"]["setm-columnar"]["patterns"]
+        )
+
+    def test_validate_cli_mode(self, run_bench, document, tmp_path, capsys):
+        path = tmp_path / "copy.json"
+        path.write_text(json.dumps(document))
+        assert run_bench.main(["--validate", str(path)]) == 0
+        assert "well-formed" in capsys.readouterr().out
+
+
+class TestValidator:
+    def test_rejects_missing_workloads(self, run_bench):
+        errors = run_bench.validate({"schema_version": 1})
+        assert any("workloads" in error for error in errors)
+
+    def test_rejects_wrong_version(self, run_bench):
+        errors = run_bench.validate({"schema_version": 99, "workloads": []})
+        assert any("version" in error for error in errors)
+
+    def test_rejects_malformed_engine_block(self, run_bench, tmp_path):
+        document = {
+            "schema_version": 1,
+            "generated_at": "now",
+            "python": "3",
+            "tiny": True,
+            "workloads": [
+                {
+                    "name": "w",
+                    "minsup": 0.1,
+                    "agreement": True,
+                    "dataset": {
+                        "transactions": 1,
+                        "sales_rows": 1,
+                        "distinct_items": 1,
+                    },
+                    "engines": {"setm": {}, "setm-columnar": {}},
+                }
+            ],
+        }
+        errors = run_bench.validate(document)
+        assert any("elapsed_seconds" in error for error in errors)
+
+    def test_validate_cli_mode_fails_on_bad_file(self, run_bench, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        assert run_bench.main(["--validate", str(path)]) == 1

@@ -124,6 +124,47 @@ class TestMine:
         assert code == 0
         assert "nested-loop-disk: 13 frequent patterns" in output
 
+    def test_engine_alias_selects_algorithm(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--engine", "setm-columnar",
+        )
+        assert code == 0
+        assert "setm-columnar: 13 frequent patterns" in output
+
+    def test_json_output_with_iteration_timings(self, example_basket):
+        import json
+
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--engine", "setm-columnar", "--json",
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert document["algorithm"] == "setm-columnar"
+        assert document["num_patterns"] == 13
+        assert document["elapsed_seconds"] > 0
+        assert len(document["rules"]) == 11
+        ks = [it["k"] for it in document["iterations"]]
+        assert ks == sorted(ks) and ks[0] == 1
+        # Per-iteration wall clock from the kernel, one entry per k.
+        assert set(document["iteration_seconds"]) == {str(k) for k in ks}
+        assert all(v >= 0 for v in document["iteration_seconds"].values())
+
+    def test_json_output_for_faithful_engine(self, example_basket):
+        import json
+
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7", "--json",
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert document["algorithm"] == "setm"
+        assert document["iteration_seconds"]
+
 
 class TestGenerate:
     def test_generate_example(self, tmp_path):
