@@ -4,8 +4,21 @@ This is the performance trajectory's anchor: it runs the paper's
 Table 6.2 workload (the calibrated retail database at 0.5% minimum
 support) plus the QUEST synthetic workloads the follow-up literature
 standardized on, over both in-memory SETM engines, and writes
-``BENCH_setm.json`` — wall-clock per iteration, peak ``|R'_k|``, and
-rows/second — so future PRs have a committed baseline to beat.
+``BENCH_setm.json`` — wall-clock per iteration, peak ``|R'_k|``,
+rows/second, and loop peak memory — so future PRs have a committed
+baseline to beat.
+
+Timing rounds run with ``measure_memory=False`` (tracemalloc taxes
+every allocation, which would poison the wall-clock numbers); each
+engine then takes one separate metered run to record
+``peak_memory_bytes``.
+
+The Table 6.2 workload (and the ``--tiny`` smoke) additionally runs a
+**constrained-memory scenario**: ``setm-columnar-disk`` under a
+``memory_budget_bytes`` small enough to force at least two spill
+partitions, differentially checked against ``setm`` and recorded with
+its measured peak memory and per-iteration partition counts — the
+out-of-core acceptance evidence, committed to ``BENCH_setm.json``.
 
 Unlike the ``pytest-benchmark`` suites in this directory (which
 regenerate the paper's figures), this is a plain script so CI and
@@ -36,11 +49,21 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.core.setm import setm  # noqa: E402
 from repro.core.setm_columnar import setm_columnar  # noqa: E402
+from repro.core.setm_columnar_disk import setm_columnar_disk  # noqa: E402
 from repro.data.quest import QuestConfig, generate_quest_dataset  # noqa: E402
 from repro.data.retail import generate_retail_dataset  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 ENGINES = {"setm": setm, "setm-columnar": setm_columnar}
+
+#: Constrained-memory scenario budgets (bytes) per workload.  2 MiB on
+#: the Table 6.2 retail workload forces 4 spill partitions on R'_2 (the
+#: acceptance floor is 2); the tiny smoke uses 64 KiB for the same
+#: reason at its scale.  Overridable with --memory-budget.
+CONSTRAINED_BUDGETS = {
+    "table6.2-retail": 2 * 2**20,
+    "quest-T5.I2.D300-tiny": 64 * 1024,
+}
 
 #: The acceptance bar this PR's kernel was built against (recorded in
 #: the output for context; never asserted here — see --validate).
@@ -80,16 +103,23 @@ def _workloads(tiny: bool):
     )
 
 
-def _bench_engine(runner, database, minsup: float, rounds: int) -> dict:
-    """Best-of-``rounds`` measurements for one engine on one workload."""
+def _bench_engine(
+    runner, database, minsup: float, rounds: int, **options
+) -> dict:
+    """Best-of-``rounds`` measurements for one engine on one workload.
+
+    Timing rounds run unmetered; one extra metered run records the
+    loop's peak memory without contaminating the wall-clock numbers.
+    """
     best = None
     for _ in range(rounds):
         started = time.perf_counter()
-        result = runner(database, minsup)
+        result = runner(database, minsup, measure_memory=False, **options)
         elapsed = time.perf_counter() - started
         if best is None or elapsed < best[0]:
             best = (elapsed, result)
     elapsed, result = best
+    metered = runner(database, minsup, **options)
     candidate_rows = sum(
         stats.candidate_instances for stats in result.iterations
     )
@@ -114,11 +144,70 @@ def _bench_engine(runner, database, minsup: float, rounds: int) -> dict:
                 len(rel) for rel in result.count_relations.values()
             ),
             "max_pattern_length": result.max_pattern_length,
+            "peak_memory_bytes": metered.extra["peak_memory_bytes"],
         },
+        "metered_result": metered,
     }
 
 
-def run(tiny: bool, rounds: int) -> dict:
+def _bench_constrained(
+    name: str,
+    database,
+    minsup: float,
+    budget: int,
+    reference,
+    rounds: int,
+) -> dict:
+    """The out-of-core scenario: setm-columnar-disk under ``budget`` bytes.
+
+    Refuses to record anything unless the budget actually forced at
+    least two spill partitions and the results are identical to the
+    reference engine's (patterns *and* iteration statistics).
+    """
+    bench = _bench_engine(
+        setm_columnar_disk,
+        database,
+        minsup,
+        rounds,
+        memory_budget_bytes=budget,
+    )
+    metered = bench["metered_result"]
+    spill = metered.extra["spill"]
+    if spill["max_partitions"] < 2:
+        raise SystemExit(
+            f"constrained-memory scenario on {name}: budget {budget} forced "
+            f"only {spill['max_partitions']} spill partitions (need >= 2)"
+        )
+    if not (
+        reference.same_patterns_as(metered)
+        and reference.iterations == metered.iterations
+    ):
+        raise SystemExit(
+            f"constrained-memory scenario on {name}: setm-columnar-disk "
+            "disagrees with setm; refusing to record"
+        )
+    print(
+        f"  constrained ({budget >> 10} KiB budget): "
+        f"{bench['measurements']['elapsed_seconds']:.3f}s, "
+        f"partitions {spill['partitions']}, "
+        f"peak {metered.extra['peak_memory_bytes']:,} bytes",
+        flush=True,
+    )
+    return {
+        "engine": "setm-columnar-disk",
+        "memory_budget_bytes": budget,
+        "elapsed_seconds": bench["measurements"]["elapsed_seconds"],
+        "peak_memory_bytes": metered.extra["peak_memory_bytes"],
+        "spill_partitions": {
+            str(k): p for k, p in spill["partitions"].items()
+        },
+        "max_partitions": spill["max_partitions"],
+        "spill_bytes_written": spill["bytes_written"],
+        "agreement": True,
+    }
+
+
+def run(tiny: bool, rounds: int, memory_budget: int | None = None) -> dict:
     workloads = []
     for name, factory, minsup in _workloads(tiny):
         database = factory()
@@ -153,20 +242,30 @@ def run(tiny: bool, rounds: int) -> dict:
             else None
         )
         print(f"  speedup: {speedup:.2f}x", flush=True)
-        workloads.append(
-            {
-                "name": name,
-                "minsup": minsup,
-                "dataset": {
-                    "transactions": database.num_transactions,
-                    "sales_rows": database.num_sales_rows,
-                    "distinct_items": len(database.distinct_items()),
-                },
-                "engines": engines,
-                "agreement": True,
-                "speedup": round(speedup, 3) if speedup else None,
-            }
-        )
+        workload_entry = {
+            "name": name,
+            "minsup": minsup,
+            "dataset": {
+                "transactions": database.num_transactions,
+                "sales_rows": database.num_sales_rows,
+                "distinct_items": len(database.distinct_items()),
+            },
+            "engines": engines,
+            "agreement": True,
+            "speedup": round(speedup, 3) if speedup else None,
+        }
+        # --memory-budget overrides the budget of workloads that carry
+        # the constrained scenario; it never adds the scenario to the
+        # pure-timing workloads (where an arbitrary budget might not
+        # force spilling and would abort the whole run).
+        budget = CONSTRAINED_BUDGETS.get(name)
+        if budget is not None and memory_budget is not None:
+            budget = memory_budget
+        if budget is not None:
+            workload_entry["constrained_memory"] = _bench_constrained(
+                name, database, minsup, budget, results["setm"], rounds
+            )
+        workloads.append(workload_entry)
     return {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/run_bench.py",
@@ -226,6 +325,31 @@ def validate(document: dict) -> list[str]:
                 need(engine, "peak_r_prime_instances", int, prefix)
                 need(engine, "rows_per_second", (int, float), prefix)
                 need(engine, "patterns", int, prefix)
+                need(engine, "peak_memory_bytes", int, prefix)
+        if "constrained_memory" in (workload or {}):
+            constrained = need(workload, "constrained_memory", dict, where)
+            if constrained is not None:
+                prefix = f"{where}.constrained_memory"
+                need(constrained, "engine", str, prefix)
+                need(constrained, "memory_budget_bytes", int, prefix)
+                need(constrained, "elapsed_seconds", (int, float), prefix)
+                need(constrained, "peak_memory_bytes", int, prefix)
+                need(constrained, "agreement", bool, prefix)
+                partitions = need(
+                    constrained, "spill_partitions", dict, prefix
+                )
+                max_partitions = need(
+                    constrained, "max_partitions", int, prefix
+                )
+                if (
+                    partitions is not None
+                    and max_partitions is not None
+                    and max_partitions < 2
+                ):
+                    errors.append(
+                        f"{prefix}.max_partitions: scenario must force "
+                        ">= 2 spill partitions"
+                    )
     return errors
 
 
@@ -246,6 +370,12 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the JSON results (default: repo root)",
     )
     parser.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="override the constrained-memory scenario budget in bytes "
+             "for the workloads that carry the scenario "
+             "(default: per-workload values in CONSTRAINED_BUDGETS)",
+    )
+    parser.add_argument(
         "--validate", type=Path, default=None, metavar="PATH",
         help="validate an existing results file against the schema and exit",
     )
@@ -261,7 +391,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{args.validate}: well-formed (schema v{SCHEMA_VERSION})")
         return 0
 
-    document = run(tiny=args.tiny, rounds=max(1, args.rounds))
+    document = run(
+        tiny=args.tiny,
+        rounds=max(1, args.rounds),
+        memory_budget=args.memory_budget,
+    )
     errors = validate(document)
     if errors:  # pragma: no cover - the writer always matches its schema
         for error in errors:

@@ -21,7 +21,6 @@ from __future__ import annotations
 import functools
 
 import pytest
-from conftest import minsup_label
 
 from repro.analysis.report import format_table
 from repro.baselines.ais import ais

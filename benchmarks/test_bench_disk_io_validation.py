@@ -14,7 +14,6 @@ Two claims are checked:
 
 from __future__ import annotations
 
-from conftest import minsup_label
 
 from repro.analysis.cost_model import sort_merge_page_accesses
 from repro.analysis.report import format_table

@@ -52,10 +52,13 @@ def main() -> None:
     timings = {}
     for minsup in MINSUP_GRID:
         started = time.perf_counter()
-        results[minsup] = setm(database, minsup)
+        # Unmetered: these wall-clock figures mirror Table 6.2, and the
+        # default tracemalloc peak-memory metering would inflate them.
+        results[minsup] = setm(database, minsup, measure_memory=False)
         timings[minsup] = time.perf_counter() - started
 
-    label = lambda m: f"{m * 100:g}%"
+    def label(m: float) -> str:
+        return f"{m * 100:g}%"
 
     print(
         format_figure_series(

@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the library's main workflows without writing any
+Five subcommands cover the library's main workflows without writing any
 Python:
 
 * ``mine`` — mine a transaction file (``.basket`` or ``SALES`` CSV) and
   print patterns and rules;
+* ``engines`` — list every registered mining engine with its
+  representation and capability metadata;
 * ``generate`` — produce one of the bundled data sets as a file;
 * ``sql`` — print the paper's generated SQL script for inspection or for
   feeding to another database;
@@ -17,6 +19,9 @@ Examples::
     python -m repro mine r.basket --minsup-count 25 --algorithm setm-disk \\
         --buffer-pages 128
     python -m repro mine r.basket --engine setm-columnar --json
+    python -m repro mine r.basket --engine setm-columnar-disk \\
+        --memory-budget 64M
+    python -m repro engines --json
     python -m repro sql --k 3 --strategy sort-merge
     python -m repro analyze
 """
@@ -39,7 +44,7 @@ from repro.config import MiningConfig
 from repro.core.transactions import TransactionDatabase
 from repro.errors import ReproError
 from repro.miner import Miner
-from repro.registry import available_engines
+from repro.registry import available_engines, engine_specs
 from repro.data.example import paper_example_database
 from repro.data.hypothetical import generate_hypothetical_database
 from repro.data.io import (
@@ -80,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--buffer-pages", type=int, default=None,
                       help="buffer-pool pages for the disk engines "
                            "(e.g. setm-disk)")
+    mine.add_argument("--memory-budget", type=_parse_bytes, default=None,
+                      metavar="BYTES",
+                      help="resident-memory budget for out-of-core "
+                           "engines (e.g. setm-columnar-disk); accepts "
+                           "plain bytes or K/M/G suffixes, e.g. 64M")
     mine.add_argument("--patterns", action="store_true",
                       help="also print every frequent pattern")
     mine.add_argument("--json", action="store_true",
@@ -99,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None,
                           help="seed for quest")
 
+    engines = commands.add_parser(
+        "engines", help="list registered engines and their capabilities"
+    )
+    engines.add_argument("--json", action="store_true",
+                         help="emit the engine table as a JSON document")
+
     sql = commands.add_parser("sql", help="print the generated mining SQL")
     sql.add_argument("--k", type=int, default=3,
                      help="generate statements up to pattern length k")
@@ -109,6 +125,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("analyze", help="print the paper's cost analyses")
     return parser
+
+
+def _parse_bytes(text: str) -> int:
+    """A byte count, optionally suffixed: ``65536``, ``64K``, ``64M``, ``1G``."""
+    units = {"K": 2**10, "M": 2**20, "G": 2**30}
+    raw = text.strip()
+    multiplier = 1
+    if raw and raw[-1].upper() in units:
+        multiplier = units[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte count like 65536, 64K, 64M or 1G; got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be positive; got {text!r}"
+        )
+    return value
 
 
 def _load(path: str) -> TransactionDatabase:
@@ -154,6 +191,11 @@ def _mining_report(result, rules) -> dict:
                 "iteration_seconds", {}
             ).items()
         },
+        # Loop-level peak resident memory (tracemalloc); None for engines
+        # that do not run through the shared Figure-4 loop.
+        "peak_memory_bytes": result.extra.get("peak_memory_bytes"),
+        "memory_budget_bytes": result.extra.get("memory_budget_bytes"),
+        "spill": result.extra.get("spill"),
     }
 
 
@@ -169,6 +211,8 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
     options: dict[str, object] = {}
     if args.buffer_pages is not None:
         options["buffer_pages"] = args.buffer_pages
+    if args.memory_budget is not None:
+        options["memory_budget_bytes"] = args.memory_budget
     config = MiningConfig(
         support=(
             args.minsup_count if args.minsup_count is not None else args.minsup
@@ -198,6 +242,57 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
             print(f"  {rendered}  [{count}]", file=out)
     for rule in rules:
         print(f"  {rule}", file=out)
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace, out) -> int:
+    """List every registered engine with its capability metadata."""
+    specs = engine_specs()
+    if args.json:
+        document = [
+            {
+                "name": spec.name,
+                "description": spec.description,
+                "representation": spec.representation,
+                "supports_max_length": spec.supports_max_length,
+                "reports_page_accesses": spec.reports_page_accesses,
+                "out_of_core": spec.out_of_core,
+                "accepted_options": (
+                    None
+                    if spec.accepted_options is None
+                    else sorted(spec.accepted_options)
+                ),
+            }
+            for spec in specs
+        ]
+        json.dump(document, out, indent=2)
+        print(file=out)
+        return 0
+    rows = [
+        (
+            spec.name,
+            spec.representation,
+            "yes" if spec.out_of_core else "no",
+            "yes" if spec.reports_page_accesses else "no",
+            (
+                "(unchecked)"
+                if spec.accepted_options is None
+                else ", ".join(sorted(spec.accepted_options)) or "-"
+            ),
+        )
+        for spec in specs
+    ]
+    print(
+        format_table(
+            ["engine", "representation", "out-of-core", "page I/O", "options"],
+            rows,
+            title=f"{len(specs)} registered engines",
+        ),
+        file=out,
+    )
+    for spec in specs:
+        if spec.description:
+            print(f"  {spec.name}: {spec.description}", file=out)
     return 0
 
 
@@ -301,6 +396,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         if args.command == "mine":
             return _cmd_mine(args, out)
+        if args.command == "engines":
+            return _cmd_engines(args, out)
         if args.command == "generate":
             return _cmd_generate(args, out)
         if args.command == "sql":

@@ -79,11 +79,12 @@ and the leaf module :mod:`repro.core.transactions`, so
 
 from __future__ import annotations
 
+import struct
 from array import array
 from bisect import bisect_right
 from collections import Counter
 from collections.abc import Iterable, Iterator, Sequence
-from itertools import chain, compress, count, repeat
+from itertools import chain, compress, repeat
 from operator import add, sub
 from typing import Literal
 
@@ -99,8 +100,10 @@ __all__ = [
     "SalesIndex",
     "count_packed_keys",
     "count_sorted_rows",
+    "extension_counts",
     "filter_by_keys",
     "pack_keys",
+    "read_chunks",
     "suffix_extend",
     "take",
     "tid_group_bounds",
@@ -116,6 +119,12 @@ COLUMN_TYPECODE = "q"
 #: Largest packed key the vectorized path can hold; beyond this the
 #: stdlib path's arbitrary-precision integers take over.
 _INT64_MAX = 2**63 - 1
+
+#: Spill-chunk framing (see :meth:`InstanceRelation.to_chunk_bytes`):
+#: magic, flags byte, pad, k (uint32), rows (int64), payload bytes (int64).
+_CHUNK_MAGIC = b"RKC1"
+_CHUNK_HEADER = struct.Struct("<4sBxIqq")
+_CHUNK_FLAG_BIG_KEYS = 0x01
 
 
 def _column(values: Iterable[int] = ()) -> array:
@@ -184,10 +193,10 @@ class InstanceRelation:
         k: int | None = None,
         index: "SalesIndex | None" = None,
     ) -> None:
-        if items is None and (keys is None or index is None or k is None):
+        if items is None and (keys is None or k is None):
             raise ValueError(
                 "a relation needs either materialized item columns or "
-                "(keys, k, index) to derive them"
+                "(keys, k) to derive them"
             )
         self._tids = tids
         self._items = items
@@ -261,12 +270,21 @@ class InstanceRelation:
             return len(self.keys)
         return len(self._tids) if self._tids is not None else 0
 
+    def _require_index(self) -> "SalesIndex":
+        if self._index is None:
+            raise ValueError(
+                "this relation has no SalesIndex to derive tids/items "
+                "from; pass index=... when deserializing chunks whose "
+                "logical columns will be read"
+            )
+        return self._index
+
     @property
     def tids(self) -> array:
         """The trans_id column (materialized on first access if needed)."""
         if self._tids is None:
             self._tids = _column(
-                map(self._index.tids.__getitem__, self.last_sid)
+                map(self._require_index().tids.__getitem__, self.last_sid)
             )
         return self._tids
 
@@ -274,7 +292,7 @@ class InstanceRelation:
     def items(self) -> tuple[array, ...]:
         """The item-id columns (materialized on first access if needed)."""
         if self._items is None:
-            base = self._index.base
+            base = self._require_index().base
             columns: list[array] = []
             keys: Iterable[int] = self.keys
             for _ in range(self._k):
@@ -301,6 +319,155 @@ class InstanceRelation:
 
     def __repr__(self) -> str:
         return f"InstanceRelation(k={self.k}, rows={len(self)})"
+
+    # -- chunk serialization (out-of-core spill format) -----------------------------
+
+    def to_chunk_bytes(self) -> bytes:
+        """Serialize this relation's ``(keys, last_sid)`` columns to one chunk.
+
+        The spill format of the out-of-core engine: a fixed header
+        (magic, flags, ``k``, row count, payload length) followed by the
+        ``last_sid`` column as flat native int64 and the ``keys`` column
+        either as flat int64 (the common case) or — when a packed key no
+        longer fits 64 bits, the same condition that sends
+        :func:`suffix_extend` to its big-integer fallback — as
+        length-prefixed big-endian integers.  ``(keys, last_sid, k)``
+        fully determine a loop relation (tids and item columns derive
+        from them), so the round trip is lossless; chunks are
+        process-private scratch, hence native byte order.
+
+        Requires the ``keys`` and ``last_sid`` columns (relations built
+        by ``sales_from_database``/``suffix_extend`` have them).
+        """
+        sids = self.last_sid
+        keys = self.keys
+        if sids is None or keys is None:
+            raise ValueError(
+                "chunk serialization needs the keys/last_sid columns; "
+                "build relations with sales_from_database/suffix_extend"
+            )
+        sid_bytes = _int64_column_bytes(sids)
+        try:
+            key_bytes = _int64_column_bytes(keys)
+            flags = 0
+        except OverflowError:
+            # The > 64-bit fallback: packed keys are arbitrary-precision
+            # Python integers; store each as length-prefixed big-endian.
+            key_bytes = _bigint_column_bytes(keys)
+            flags = _CHUNK_FLAG_BIG_KEYS
+        payload = sid_bytes + key_bytes
+        header = _CHUNK_HEADER.pack(
+            _CHUNK_MAGIC, flags, self._k, len(self), len(payload)
+        )
+        return header + payload
+
+    @classmethod
+    def from_chunk_bytes(
+        cls,
+        data: bytes,
+        offset: int = 0,
+        *,
+        index: "SalesIndex | None" = None,
+    ) -> tuple["InstanceRelation", int]:
+        """Deserialize one chunk at ``offset``; returns ``(relation, end)``.
+
+        The inverse of :meth:`to_chunk_bytes`.  ``end`` is the offset of
+        the byte following this chunk, so concatenated chunks (one spill
+        file holds many) can be walked without a directory structure.
+        ``index`` reattaches the run's shared :class:`SalesIndex` so the
+        lazy ``tids``/``items`` columns keep deriving.
+        """
+        magic, flags, k, n, payload_len = _CHUNK_HEADER.unpack_from(data, offset)
+        if magic != _CHUNK_MAGIC:
+            raise ValueError(
+                f"bad chunk magic {magic!r} at offset {offset}"
+            )
+        body = offset + _CHUNK_HEADER.size
+        end = body + payload_len
+        sids = array(COLUMN_TYPECODE)
+        sids.frombytes(data[body : body + 8 * n])
+        cursor = body + 8 * n
+        if flags & _CHUNK_FLAG_BIG_KEYS:
+            keys: Sequence[int] = _bigint_column_from_bytes(data, cursor, end, n)
+        else:
+            key_column = array(COLUMN_TYPECODE)
+            key_column.frombytes(data[cursor:end])
+            keys = key_column
+        relation = cls(
+            None, None, last_sid=sids, keys=keys, k=k, index=index
+        )
+        return relation, end
+
+
+def _int64_column_bytes(values: Sequence[int]) -> bytes:
+    """Flat native-int64 bytes of a column; ``OverflowError`` on big ints."""
+    if _np is not None and isinstance(values, _np.ndarray):
+        return values.tobytes()
+    if isinstance(values, array):
+        return values.tobytes()
+    return array(COLUMN_TYPECODE, values).tobytes()
+
+
+def _bigint_column_bytes(keys: Sequence[int]) -> bytes:
+    """Length-prefixed big-endian encoding for > 64-bit packed keys."""
+    parts: list[bytes] = []
+    for key in keys:
+        value = int(key)
+        if value < 0:
+            raise ValueError(f"packed keys are non-negative; got {value}")
+        blob = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        parts.append(struct.pack("<I", len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _bigint_column_from_bytes(
+    data: bytes, start: int, end: int, n: int
+) -> list[int]:
+    """Invert :func:`_bigint_column_bytes`; returns a plain int list."""
+    keys: list[int] = []
+    cursor = start
+    for _ in range(n):
+        (length,) = struct.unpack_from("<I", data, cursor)
+        cursor += 4
+        keys.append(int.from_bytes(data[cursor : cursor + length], "big"))
+        cursor += length
+    if cursor != end:
+        raise ValueError(
+            f"chunk payload length mismatch: ended at {cursor}, expected {end}"
+        )
+    return keys
+
+
+def read_chunks(
+    data: bytes, *, index: "SalesIndex | None" = None
+) -> Iterator[InstanceRelation]:
+    """Walk every serialized chunk in ``data`` (one spill file's contents)."""
+    offset = 0
+    while offset < len(data):
+        relation, offset = InstanceRelation.from_chunk_bytes(
+            data, offset, index=index
+        )
+        yield relation
+
+
+def extension_counts(
+    relation: InstanceRelation, index: "SalesIndex"
+) -> Sequence[int]:
+    """Per-row merge-scan output counts: ``|suffix_extend(relation)|`` termwise.
+
+    ``counts[r]`` is how many ``R'_{k+1}`` rows row ``r`` will produce —
+    the suffix length ``index.ext_counts[last_sid[r]]``.  The out-of-core
+    engine uses this to size its extension slices and spill partitions
+    *before* materializing anything: the exact ``|R'_k|`` is
+    ``sum(extension_counts(r_prev))``, one cheap gather pass.
+    """
+    sids = relation.last_sid
+    if sids is None:
+        raise ValueError("extension_counts needs the last_sid column")
+    if _np is not None:
+        return index.ext_counts[_as_int64(sids)]
+    return array(COLUMN_TYPECODE, map(index.ext_counts.__getitem__, sids))
 
 
 def tid_group_bounds(tids: Sequence[int]) -> list[int]:
@@ -612,8 +779,12 @@ def filter_by_keys(
     if keys is None:
         raise ValueError("filter_by_keys needs the packed-keys column")
     if _np is not None and isinstance(keys, _np.ndarray):
-        mask = _np.isin(keys, _np.fromiter(supported, dtype=_np.int64,
-                                           count=len(supported)))
+        # A supported set may carry > 64-bit keys (from a sibling big-int
+        # partition of the out-of-core engine); those cannot occur in an
+        # int64 column, so drop them before the C conversion.
+        wanted = [key for key in supported if -_INT64_MAX - 1 <= key <= _INT64_MAX]
+        mask = _np.isin(keys, _np.fromiter(wanted, dtype=_np.int64,
+                                           count=len(wanted)))
         if bool(mask.all()):
             return relation
         last_sid = relation.last_sid

@@ -23,7 +23,6 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.result import MiningResult, Pattern
-from repro.core.transactions import Item
 
 __all__ = ["Rule", "generate_rules", "rules_as_paper_lines"]
 

@@ -37,7 +37,8 @@ Representations
 Figure 4's *control flow* is representation-independent, so this module
 splits it out as :func:`run_figure4_loop`, parameterized by a kernel
 object that supplies the representation-specific steps (sort, merge,
-count, filter).  Two kernels exist:
+count, filter).  This is the **only** Figure-4 loop in the codebase;
+every SETM engine is a kernel plugged into it:
 
 * :class:`TupleKernel` (here) — an ``R_k`` instance is the plain Python
   tuple ``(trans_id, item_1, ..., item_k)``; every sort and scan is
@@ -52,6 +53,15 @@ count, filter).  Two kernels exist:
   patterns, fused merge/count/filter passes.  Same counts, same
   iteration statistics, several times faster — the ``setm-columnar``
   engine for workloads where speed matters more than transliteration.
+* ``PagedKernel`` (:mod:`repro.core.setm_disk`) — relations live in
+  4 KB-page heap files on the simulated disk, sorts are real external
+  merge sorts, and the kernel's lifecycle hooks account page accesses
+  per iteration for the Section 4.3 I/O analysis (``setm-disk``).
+* ``SpillingColumnarKernel`` (:mod:`repro.core.setm_columnar_disk`) —
+  the columnar representation under a ``memory_budget_bytes`` cap:
+  ``R'_k`` is range-partitioned by packed pattern key into spill files
+  and counted/filtered partition-at-a-time, so resident memory stays
+  bounded while results stay identical (``setm-columnar-disk``).
 
 The merge-scan join of the tuple kernel is a real two-cursor merge over
 trans_id groups, not a hash shortcut, so the intermediate cardinalities
@@ -62,6 +72,7 @@ paper's ``|R'_k|`` and ``|R_k|``.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from collections import Counter
 from collections.abc import Sequence
 from typing import Any, Literal, Protocol
@@ -76,6 +87,7 @@ __all__ = [
     "merge_scan_extend",
     "count_sorted_instances",
     "run_figure4_loop",
+    "KernelLifecycle",
     "SetmKernel",
     "TupleKernel",
 ]
@@ -161,10 +173,19 @@ class SetmKernel(Protocol):
 
     A kernel owns an opaque relation type ``R`` (the tuple kernel uses
     ``list[tuple]``; the columnar kernel uses
-    :class:`~repro.core.columns.InstanceRelation`) and opaque pattern
-    keys (label tuples / packed integers).  :func:`run_figure4_loop`
-    drives the control flow and bookkeeping; the kernel does the data
-    movement.
+    :class:`~repro.core.columns.InstanceRelation`; the paged kernel
+    uses heap files) and opaque pattern keys (label tuples / packed
+    integers).  :func:`run_figure4_loop` drives the control flow and
+    bookkeeping; the kernel does the data movement.
+
+    Beyond the five data-movement steps, a kernel participates in the
+    loop's *lifecycle*: :meth:`begin_iteration` / :meth:`end_iteration`
+    bracket every iteration (including ``k = 1``), :meth:`extra_stats`
+    contributes representation-specific result extras (I/O counters,
+    spill statistics), and :meth:`close` releases any resources the
+    kernel holds (spill files, pools) — called exactly once, even when
+    the loop raises.  :class:`KernelLifecycle` provides no-op defaults
+    so purely in-memory kernels implement none of them.
     """
 
     def make_sales(self) -> Any:
@@ -186,7 +207,9 @@ class SetmKernel(Protocol):
 
         Returns ``(candidate_patterns, c_k, r_k)``: the number of
         distinct patterns before the HAVING clause, the supported
-        ``{key: count}`` relation, and the filtered relation.
+        ``{key: count}`` relation, and the filtered relation.  The
+        kernel may consume (drop, spill, delete) ``r_prime`` — the loop
+        reads its size before calling this.
         """
 
     def size(self, r: Any) -> int:
@@ -194,6 +217,44 @@ class SetmKernel(Protocol):
 
     def decode(self, key: Any, k: int) -> Pattern:
         """A pattern key back to the caller-facing label tuple."""
+
+    def begin_iteration(self, k: int) -> None:
+        """Lifecycle hook: iteration ``k`` is about to run."""
+
+    def end_iteration(self, k: int, r_prime: Any, r_next: Any) -> None:
+        """Lifecycle hook: iteration ``k`` finished; its stats are in.
+
+        ``r_prime`` is the pre-filter relation (possibly already
+        consumed by :meth:`count_and_filter`), ``r_next`` the filtered
+        one.  For ``k = 1`` both are the SALES relation.
+        """
+
+    def extra_stats(self) -> dict[str, Any]:
+        """Representation-specific entries merged into ``result.extra``."""
+
+    def close(self) -> None:
+        """Release kernel resources; called once, in a ``finally``."""
+
+
+class KernelLifecycle:
+    """No-op lifecycle defaults for kernels without per-iteration state.
+
+    The in-memory kernels inherit these; the paged and spilling kernels
+    override what they need (I/O snapshots, spill-file cleanup).
+    """
+
+    def begin_iteration(self, k: int) -> None:
+        """Nothing to prepare."""
+
+    def end_iteration(self, k: int, r_prime: Any, r_next: Any) -> None:
+        """Nothing to record."""
+
+    def extra_stats(self) -> dict[str, Any]:
+        """No representation-specific extras."""
+        return {}
+
+    def close(self) -> None:
+        """No resources to release."""
 
 
 def run_figure4_loop(
@@ -204,94 +265,136 @@ def run_figure4_loop(
     algorithm: str,
     max_length: int | None = None,
     extra: dict[str, Any] | None = None,
+    measure_memory: bool = True,
 ) -> MiningResult:
-    """Figure 4's control flow, shared by the tuple and columnar engines.
+    """Figure 4's control flow, shared by every SETM kernel.
 
     Everything representation-independent lives here: the support
     threshold, the ``repeat ... until R_k = {}`` loop, the per-iteration
     :class:`IterationStats`, per-iteration wall-clock telemetry
-    (``extra["iteration_seconds"]``), and the final
-    :class:`MiningResult` assembly.  The kernel supplies the five
-    representation-specific steps — see :class:`SetmKernel`.
+    (``extra["iteration_seconds"]``), peak-memory accounting
+    (``extra["peak_memory_bytes"]``, measured with :mod:`tracemalloc`),
+    and the final :class:`MiningResult` assembly.  The kernel supplies
+    the representation-specific steps and lifecycle hooks — see
+    :class:`SetmKernel`.
     """
     started = time.perf_counter()
     threshold = database.absolute_support(minimum_support)
 
-    # R_1 := SALES.  "sort R1 on item; C1 := generate counts from R1" —
-    # the pseudocode's C_1 carries no HAVING clause; the Section 3.1 SQL
-    # applies one.  We compute both: unfiltered counts for Figure 6,
-    # filtered C_1 for rule generation.
-    sales = kernel.make_sales()
-    unfiltered_c1 = kernel.c1_counts(sales)
-    filtered_c1 = {
-        kernel.decode(key, 1): count
-        for key, count in unfiltered_c1
-        if count >= threshold
-    }
+    # Peak resident memory of the mining loop, for every engine alike —
+    # and the measurement the out-of-core engine's budget acceptance is
+    # held to.  When the caller already traces, reuse the trace (resetting
+    # the peak so the figure covers this run only) instead of restarting.
+    # ``measure_memory=False`` skips metering entirely: tracemalloc taxes
+    # every allocation (~10x on the tuple kernel), so timing-sensitive
+    # callers (the benchmark runner's timing rounds) opt out and take one
+    # separate metered run instead.
+    started_tracing = measure_memory and not tracemalloc.is_tracing()
+    if started_tracing:
+        tracemalloc.start()
+    if measure_memory:
+        tracemalloc.reset_peak()
+    try:
+        # R_1 := SALES.  "sort R1 on item; C1 := generate counts from
+        # R1" — the pseudocode's C_1 carries no HAVING clause; the
+        # Section 3.1 SQL applies one.  We compute both: unfiltered
+        # counts for Figure 6, filtered C_1 for rule generation.
+        kernel.begin_iteration(1)
+        sales = kernel.make_sales()
+        unfiltered_c1 = kernel.c1_counts(sales)
+        filtered_c1 = {
+            kernel.decode(key, 1): count
+            for key, count in unfiltered_c1
+            if count >= threshold
+        }
 
-    count_relations: dict[int, dict[Pattern, int]] = {1: filtered_c1}
-    num_sales = kernel.size(sales)
-    iterations = [
-        IterationStats(
-            k=1,
-            candidate_instances=num_sales,
-            supported_instances=num_sales,
-            candidate_patterns=len(unfiltered_c1),
-            supported_patterns=len(filtered_c1),
-        )
-    ]
-    iteration_seconds = {1: time.perf_counter() - started}
-
-    r_current = sales  # joined unfiltered, per Section 4.1
-    k = 1
-    while kernel.size(r_current):
-        k += 1
-        if max_length is not None and k > max_length:
-            break
-        tick = time.perf_counter()
-        # sort R_{k-1} on trans_id, item_1, ..., item_{k-1}
-        r_current = kernel.resort_by_tid(r_current)
-        # R'_k := merge-scan(R_{k-1}, R_1)
-        r_prime = kernel.merge_extend(r_current, sales)
-        # sort R'_k on item_1, ..., item_k; C_k := generate counts (with
-        # the minimum-support HAVING); R_k := filter R'_k ("simple table
-        # look-ups on relation C_k")
-        candidate_patterns, c_k, r_next = kernel.count_and_filter(
-            r_prime, threshold
-        )
-
-        iterations.append(
+        count_relations: dict[int, dict[Pattern, int]] = {1: filtered_c1}
+        num_sales = kernel.size(sales)
+        iterations = [
             IterationStats(
-                k=k,
-                candidate_instances=kernel.size(r_prime),
-                supported_instances=kernel.size(r_next),
-                candidate_patterns=candidate_patterns,
-                supported_patterns=len(c_k),
+                k=1,
+                candidate_instances=num_sales,
+                supported_instances=num_sales,
+                candidate_patterns=len(unfiltered_c1),
+                supported_patterns=len(filtered_c1),
             )
+        ]
+        kernel.end_iteration(1, sales, sales)
+        iteration_seconds = {1: time.perf_counter() - started}
+
+        r_current = sales  # joined unfiltered, per Section 4.1
+        # |R_{k-1}| is carried across iterations rather than re-asked:
+        # size() can be a real query (SELECT COUNT(*) for the SQL
+        # kernel), so the loop reads each relation's size exactly once.
+        current_size = num_sales
+        k = 1
+        while current_size:
+            k += 1
+            if max_length is not None and k > max_length:
+                break
+            tick = time.perf_counter()
+            kernel.begin_iteration(k)
+            # sort R_{k-1} on trans_id, item_1, ..., item_{k-1}
+            r_current = kernel.resort_by_tid(r_current)
+            # R'_k := merge-scan(R_{k-1}, R_1)
+            r_prime = kernel.merge_extend(r_current, sales)
+            # |R'_k| before count_and_filter, which may consume r_prime
+            # (the paged kernel drops its heap file, the spilling kernel
+            # deletes its partitions).
+            candidate_instances = kernel.size(r_prime)
+            # sort R'_k on item_1, ..., item_k; C_k := generate counts
+            # (with the minimum-support HAVING); R_k := filter R'_k
+            # ("simple table look-ups on relation C_k")
+            candidate_patterns, c_k, r_next = kernel.count_and_filter(
+                r_prime, threshold
+            )
+
+            current_size = kernel.size(r_next)
+            iterations.append(
+                IterationStats(
+                    k=k,
+                    candidate_instances=candidate_instances,
+                    supported_instances=current_size,
+                    candidate_patterns=candidate_patterns,
+                    supported_patterns=len(c_k),
+                )
+            )
+            if c_k:
+                count_relations[k] = {
+                    kernel.decode(key, k): count for key, count in c_k.items()
+                }
+            kernel.end_iteration(k, r_prime, r_next)
+            iteration_seconds[k] = time.perf_counter() - tick
+            r_current = r_next
+
+        loop_extra: dict[str, Any] = {
+            **(extra or {}),
+            **kernel.extra_stats(),
+            "iteration_seconds": iteration_seconds,
+        }
+        if measure_memory:
+            loop_extra["peak_memory_bytes"] = tracemalloc.get_traced_memory()[1]
+        return MiningResult(
+            algorithm=algorithm,
+            num_transactions=database.num_transactions,
+            minimum_support=minimum_support,
+            support_threshold=threshold,
+            count_relations=count_relations,
+            unfiltered_item_counts={
+                kernel.decode(key, 1)[0]: count
+                for key, count in unfiltered_c1
+            },
+            iterations=iterations,
+            elapsed_seconds=time.perf_counter() - started,
+            extra=loop_extra,
         )
-        if c_k:
-            count_relations[k] = {
-                kernel.decode(key, k): count for key, count in c_k.items()
-            }
-        iteration_seconds[k] = time.perf_counter() - tick
-        r_current = r_next
-
-    return MiningResult(
-        algorithm=algorithm,
-        num_transactions=database.num_transactions,
-        minimum_support=minimum_support,
-        support_threshold=threshold,
-        count_relations=count_relations,
-        unfiltered_item_counts={
-            kernel.decode(key, 1)[0]: count for key, count in unfiltered_c1
-        },
-        iterations=iterations,
-        elapsed_seconds=time.perf_counter() - started,
-        extra={**(extra or {}), "iteration_seconds": iteration_seconds},
-    )
+    finally:
+        if started_tracing:
+            tracemalloc.stop()
+        kernel.close()
 
 
-class TupleKernel:
+class TupleKernel(KernelLifecycle):
     """The faithful row-at-a-time kernel: relations are lists of tuples."""
 
     def __init__(
@@ -345,7 +448,7 @@ class TupleKernel:
 @register_engine(
     "setm",
     description="in-memory Algorithm SETM (Figure 4)",
-    accepted_options=("count_via",),
+    accepted_options=("count_via", "measure_memory"),
 )
 def setm(
     database: TransactionDatabase,
@@ -353,6 +456,7 @@ def setm(
     *,
     max_length: int | None = None,
     count_via: Literal["sort", "hash"] = "sort",
+    measure_memory: bool = True,
 ) -> MiningResult:
     """Run Algorithm SETM and return every count relation ``C_k``.
 
@@ -371,6 +475,10 @@ def setm(
         ``"sort"`` (paper-faithful: sort then sequential scan) or ``"hash"``
         (hash aggregation).  Both produce identical counts; the knob feeds
         the counting-strategy ablation benchmark.
+    measure_memory:
+        Record loop peak memory in ``extra["peak_memory_bytes"]``
+        (:mod:`tracemalloc`; the default).  ``False`` skips metering for
+        timing-sensitive runs — tracemalloc taxes every allocation.
 
     Returns
     -------
@@ -387,4 +495,5 @@ def setm(
         algorithm="setm",
         max_length=max_length,
         extra={"count_via": count_via},
+        measure_memory=measure_memory,
     )

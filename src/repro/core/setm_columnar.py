@@ -37,14 +37,14 @@ from repro.core.columns import (
     unpack_key,
 )
 from repro.core.result import MiningResult, Pattern
-from repro.core.setm import run_figure4_loop
+from repro.core.setm import KernelLifecycle, run_figure4_loop
 from repro.core.transactions import ItemCatalog, TransactionDatabase
 from repro.registry import register_engine
 
 __all__ = ["ColumnarKernel", "setm_columnar"]
 
 
-class ColumnarKernel:
+class ColumnarKernel(KernelLifecycle):
     """Figure 4's steps over :class:`InstanceRelation` columns.
 
     Patterns travel as packed integers (mixed radix ``self._base``, which
@@ -115,7 +115,7 @@ class ColumnarKernel:
     "setm-columnar",
     description="SETM on dictionary-encoded array columns (fast in-memory)",
     representation="columnar",
-    accepted_options=("count_via",),
+    accepted_options=("count_via", "measure_memory"),
 )
 def setm_columnar(
     database: TransactionDatabase,
@@ -123,6 +123,7 @@ def setm_columnar(
     *,
     max_length: int | None = None,
     count_via: Literal["auto", "sort", "hash"] = "auto",
+    measure_memory: bool = True,
 ) -> MiningResult:
     """Run SETM on the columnar kernel; same results, several times faster.
 
@@ -159,4 +160,5 @@ def setm_columnar(
         algorithm="setm-columnar",
         max_length=max_length,
         extra={"count_via": count_via},
+        measure_memory=measure_memory,
     )

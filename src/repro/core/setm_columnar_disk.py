@@ -1,0 +1,616 @@
+"""Out-of-core SETM: the columnar kernel under a memory budget.
+
+``setm-columnar`` holds every ``R'_k`` in RAM; on databases whose
+intermediate relations exceed the machine this is fatal — and the
+intermediates, not ``SALES``, are the multiplicatively large objects
+(``|R'_2|`` alone can dwarf the input).  This engine bounds them:
+
+* **Budgeted extension.**  ``R'_k := merge-scan(R_{k-1}, R_1)`` runs in
+  *slices*: :func:`~repro.core.columns.extension_counts` prices every
+  ``R_{k-1}`` row's output exactly (one gather over the precomputed
+  :class:`~repro.core.columns.SalesIndex`), so input slices are chosen
+  to emit at most a budget share of output rows each — ``|R'_k|`` is
+  known exactly *before* a single row is materialized.
+* **Key-range spill partitions.**  When the predicted ``R'_k`` exceeds
+  its budget share, slice outputs are range-partitioned by packed
+  pattern key into ``P = ceil(bytes / share)`` spill files (boundaries
+  are quantiles sampled from the first slice, so skewed key
+  distributions still split evenly).  Every occurrence of a pattern
+  lands in exactly one partition, so per-partition counts are global
+  counts.
+* **Partition-at-a-time counting.**  ``C_k`` and the support filter run
+  one partition at a time: load, count
+  (:func:`~repro.core.columns.count_packed_keys`), filter
+  (:func:`~repro.core.columns.filter_by_keys`), spill the survivors as
+  ``R_k`` chunks, delete the partition.  Resident memory stays at one
+  partition plus fixed overhead (``SALES`` + its index + ``C_k``, which
+  the paper itself assumes memory-resident) regardless of ``|R'_k|``.
+
+Because Figure 4's loop body has no cross-row dependencies — each row's
+extensions depend only on its own ``last_sid``, and counts are
+per-pattern — slicing and partitioning change *nothing observable*:
+patterns, counts, and :class:`~repro.core.result.IterationStats` are
+identical to ``setm`` and ``setm-columnar`` (the differential tests and
+the benchmark runner hold it to that).  Spill files use the chunk
+format of :meth:`~repro.core.columns.InstanceRelation.to_chunk_bytes`,
+including its length-prefixed fallback for packed keys beyond 64 bits.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from bisect import bisect_right
+from itertools import compress
+from math import ceil
+from pathlib import Path
+from typing import Any, Literal
+
+from repro.core.columns import (
+    InstanceRelation,
+    count_packed_keys,
+    extension_counts,
+    filter_by_keys,
+    read_chunks,
+    suffix_extend,
+)
+from repro.core.result import MiningResult
+from repro.core.setm import run_figure4_loop
+from repro.core.setm_columnar import ColumnarKernel
+from repro.core.transactions import TransactionDatabase
+from repro.errors import InvalidConfigError
+from repro.registry import register_engine
+
+try:  # pragma: no cover - same optional dependency as repro.core.columns
+    import numpy as _np
+except ImportError:
+    _np = None
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET",
+    "SpilledPartitions",
+    "SpilledRelation",
+    "SpillingColumnarKernel",
+    "setm_columnar_disk",
+]
+
+#: Default ``memory_budget_bytes``: generous for laptops, small enough
+#: that genuinely large workloads spill instead of swapping.
+DEFAULT_MEMORY_BUDGET = 128 * 2**20
+
+#: Resident bytes per relation row: the two int64 columns (key, last_sid)
+#: a loop relation physically carries.
+_ROW_BYTES = 16
+
+
+class SpilledRelation:
+    """An ``R_k`` as serialized chunks on disk (unpartitioned).
+
+    ``extension_rows`` is the exact ``|R'_{k+1}|`` this relation will
+    produce — summed from :func:`extension_counts` when the survivors
+    were written, so the next iteration can plan its partitions without
+    re-reading anything.
+    """
+
+    __slots__ = ("paths", "num_rows", "k", "extension_rows")
+
+    def __init__(
+        self,
+        paths: list[Path],
+        num_rows: int,
+        k: int,
+        extension_rows: int,
+    ) -> None:
+        self.paths = paths
+        self.num_rows = num_rows
+        self.k = k
+        self.extension_rows = extension_rows
+
+    def delete(self) -> None:
+        for path in self.paths:
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+        self.paths = []
+
+    def __repr__(self) -> str:
+        return (
+            f"SpilledRelation(k={self.k}, rows={self.num_rows}, "
+            f"chunks={len(self.paths)})"
+        )
+
+
+class SpilledPartitions:
+    """An ``R'_k`` range-partitioned by packed pattern key into spill files.
+
+    Partition ``p`` holds exactly the rows whose key falls in the
+    ``p``-th boundary interval, so counting one partition yields global
+    counts for every pattern it contains.
+    """
+
+    __slots__ = ("paths", "num_rows", "k")
+
+    def __init__(self, paths: list[Path], num_rows: int, k: int) -> None:
+        self.paths = paths
+        self.num_rows = num_rows
+        self.k = k
+
+    def __repr__(self) -> str:
+        return (
+            f"SpilledPartitions(k={self.k}, rows={self.num_rows}, "
+            f"partitions={len(self.paths)})"
+        )
+
+
+def _int64_view(column):
+    """A numpy int64 view of an ``array('q')`` column (zero copy)."""
+    if isinstance(column, _np.ndarray):
+        return column
+    return _np.frombuffer(column, dtype=_np.int64)
+
+
+def _concat_columns(columns: list) -> Any:
+    """One column from per-chunk columns (ndarray when uniformly possible)."""
+    if len(columns) == 1:
+        return columns[0]
+    if _np is not None and all(
+        not isinstance(column, list) for column in columns
+    ):
+        return _np.concatenate([_int64_view(column) for column in columns])
+    merged: list[int] = []
+    for column in columns:
+        merged.extend(column)
+    return merged
+
+
+def _slice_relation(
+    relation: InstanceRelation, start: int, stop: int
+) -> InstanceRelation:
+    """A zero-or-cheap-copy row range of a loop relation."""
+    return InstanceRelation(
+        None,
+        None,
+        last_sid=relation.last_sid[start:stop],
+        keys=relation.keys[start:stop],
+        k=relation.k,
+        index=relation.index,
+    )
+
+
+def _output_slices(counts, target_rows: int) -> list[tuple[int, int]]:
+    """Input row ranges whose summed extension output is ≈ ``target_rows``.
+
+    A single row's extensions are never split, so a slice may overshoot
+    by at most one transaction's length — bounded and tiny relative to
+    any realistic budget share.
+    """
+    n = len(counts)
+    if n == 0:
+        return []
+    if _np is not None and isinstance(counts, _np.ndarray):
+        cumulative = _np.cumsum(counts)
+        total = int(cumulative[-1])
+        if total <= target_rows:
+            return [(0, n)]
+        marks = _np.searchsorted(
+            cumulative,
+            _np.arange(target_rows, total, target_rows),
+            side="left",
+        )
+        edges = [0]
+        for mark in (marks + 1).tolist():
+            if edges[-1] < mark < n:
+                edges.append(mark)
+        edges.append(n)
+        return list(zip(edges, edges[1:]))
+    slices: list[tuple[int, int]] = []
+    start = 0
+    emitted = 0
+    for i, c in enumerate(counts):
+        if emitted >= target_rows and i > start:
+            slices.append((start, i))
+            start, emitted = i, 0
+        emitted += c
+    slices.append((start, n))
+    return slices
+
+
+def _quantile_boundaries(keys, partitions: int) -> list[int]:
+    """``partitions - 1`` ascending boundary keys (sample quantiles)."""
+    if _np is not None and isinstance(keys, _np.ndarray):
+        ordered = _np.sort(keys)
+        n = len(ordered)
+        return [int(ordered[n * i // partitions]) for i in range(1, partitions)]
+    ordered = sorted(keys)
+    n = len(ordered)
+    return [ordered[n * i // partitions] for i in range(1, partitions)]
+
+
+class SpillingColumnarKernel(ColumnarKernel):
+    """The columnar Figure-4 steps with budgeted, spill-backed relations.
+
+    Budget layout: one quarter of ``memory_budget_bytes`` each for (a)
+    the extension slice being materialized, (b) a loaded counting
+    partition, leaving headroom for the counting structure, the filter
+    copy, and the fixed residents (``SALES`` + index + ``C_k``).  A
+    relation predicted to fit within a share is simply kept in memory —
+    small workloads never touch the disk.
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        *,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        count_via: Literal["auto", "sort", "hash"] = "auto",
+        spill_dir: str | os.PathLike | None = None,
+    ) -> None:
+        super().__init__(database, count_via=count_via)
+        if (
+            isinstance(memory_budget_bytes, bool)
+            or not isinstance(memory_budget_bytes, int)
+            or memory_budget_bytes < 1
+        ):
+            raise InvalidConfigError(
+                "memory_budget_bytes must be a positive integer; "
+                f"got {memory_budget_bytes!r}"
+            )
+        self._budget = memory_budget_bytes
+        self._share_bytes = max(_ROW_BYTES, memory_budget_bytes // 4)
+        self._slice_rows = max(1, self._share_bytes // _ROW_BYTES)
+        self._spill_dir_option = spill_dir
+        self._spill_root: Path | None = None
+        self._sequence = 0
+        self._k = 1
+
+        # Spill telemetry, surfaced through extra_stats().
+        self._partitions_per_k: dict[int, int] = {}
+        self._bytes_written = 0
+        self._bytes_read = 0
+        self._chunks_written = 0
+
+    # -- spill-file plumbing --------------------------------------------------------
+
+    def _spill_path(self, stem: str) -> Path:
+        if self._spill_root is None:
+            self._spill_root = Path(
+                tempfile.mkdtemp(
+                    prefix="repro-spill-", dir=self._spill_dir_option
+                )
+            )
+        self._sequence += 1
+        return self._spill_root / f"{stem}-{self._sequence:06d}.chunks"
+
+    def _load_chunks(self, path: Path) -> list[InstanceRelation]:
+        data = path.read_bytes()
+        self._bytes_read += len(data)
+        chunks = list(read_chunks(data, index=self._index))
+        if _np is not None:
+            # int64 chunks load as array('q'); give the counting/filter
+            # primitives their zero-copy vectorized views.  Big-key
+            # fallback chunks stay plain lists.
+            for chunk in chunks:
+                if not isinstance(chunk.keys, list):
+                    chunk.keys = _int64_view(chunk.keys)
+                    chunk.last_sid = _int64_view(chunk.last_sid)
+        return chunks
+
+    def _iter_chunks(self, r, *, delete: bool = False):
+        """Yield a relation's rows as bounded InstanceRelation chunks."""
+        if isinstance(r, InstanceRelation):
+            yield r
+            return
+        for path in list(r.paths):
+            yield from self._load_chunks(path)
+            if delete:
+                os.remove(path)
+        if delete:
+            r.paths = []
+
+    def _write_chunk(self, relation: InstanceRelation, handle) -> None:
+        blob = relation.to_chunk_bytes()
+        handle.write(blob)
+        self._bytes_written += len(blob)
+        self._chunks_written += 1
+
+    # -- Figure-4 steps -------------------------------------------------------------
+
+    def merge_extend(self, r, sales):
+        index = self._index
+        assert index is not None  # make_sales always ran first
+        if isinstance(r, InstanceRelation):
+            predicted_rows = int(sum(extension_counts(r, index)))
+        else:
+            predicted_rows = r.extension_rows
+
+        if predicted_rows * _ROW_BYTES <= self._share_bytes:
+            # Fits one budget share: materialize in memory, as the plain
+            # columnar kernel would.
+            pieces = [
+                suffix_extend(chunk, index)
+                for chunk in self._iter_chunks(r, delete=True)
+            ]
+            if len(pieces) == 1:
+                return pieces[0]
+            return InstanceRelation(
+                None,
+                None,
+                last_sid=_concat_columns([p.last_sid for p in pieces]),
+                keys=_concat_columns([p.keys for p in pieces]),
+                k=r.k + 1,
+                index=index,
+            )
+
+        # Out-of-core: partition R'_k by pattern-key range as it is
+        # produced, one bounded slice at a time.
+        partitions = max(2, ceil(predicted_rows * _ROW_BYTES / self._share_bytes))
+        self._partitions_per_k[self._k] = partitions
+        boundaries = self._sampled_boundaries(r, partitions)
+        paths = [
+            self._spill_path(f"rprime-k{self._k}-p{p}")
+            for p in range(partitions)
+        ]
+        handles = [open(path, "wb") for path in paths]
+        try:
+            for chunk in self._iter_chunks(r, delete=True):
+                counts = extension_counts(chunk, index)
+                for start, stop in _output_slices(counts, self._slice_rows):
+                    out = suffix_extend(
+                        _slice_relation(chunk, start, stop), index
+                    )
+                    if len(out) == 0:
+                        continue
+                    if boundaries is None:
+                        boundaries = _quantile_boundaries(out.keys, partitions)
+                    self._write_partitioned(out, boundaries, handles)
+        finally:
+            for handle in handles:
+                handle.close()
+        return SpilledPartitions(paths, predicted_rows, r.k + 1)
+
+    #: Input rows sampled (strided, across the whole of R_{k-1}) to place
+    #: the partition boundaries.  Bounded so the sample's own extension
+    #: stays a sliver of the budget.
+    _BOUNDARY_SAMPLE_ROWS = 2048
+
+    def _sampled_boundaries(self, r, partitions: int) -> list[int] | None:
+        """Partition boundaries from a whole-input sample of output keys.
+
+        Quantiles of a single slice's keys would inherit that slice's
+        position in the tid-ordered input — a database whose packed keys
+        drift with trans_id would then funnel most rows into one
+        partition and void the memory bound.  Instead, rows strided
+        across *all* of ``R_{k-1}`` are extended (exactly the keys the
+        merge will emit for them) and the boundaries are quantiles of
+        that global sample.  For spilled input this re-reads ``R_{k-1}``
+        once — the small filtered relation, not ``R'_k``.  Returns
+        ``None`` when the sample has no extensions (the caller then
+        falls back to first-slice quantiles).
+        """
+        stride = max(1, self.size(r) // self._BOUNDARY_SAMPLE_ROWS)
+        sample_keys: list[int] = []
+        for chunk in self._iter_chunks(r):
+            positions = range(0, len(chunk), stride)
+            sampled = InstanceRelation(
+                None,
+                None,
+                last_sid=[chunk.last_sid[i] for i in positions],
+                keys=[chunk.keys[i] for i in positions],
+                k=chunk.k,
+                index=self._index,
+            )
+            extended = suffix_extend(sampled, self._index)
+            if len(extended) == 0:
+                continue
+            keys = extended.keys
+            sample_keys.extend(
+                int(key) for key in keys
+            )
+        if not sample_keys:
+            return None
+        return _quantile_boundaries(sample_keys, partitions)
+
+    def _write_partitioned(
+        self,
+        out: InstanceRelation,
+        boundaries: list[int],
+        handles: list,
+    ) -> None:
+        keys = out.keys
+        if _np is not None and isinstance(keys, _np.ndarray):
+            assignment = _np.searchsorted(
+                _np.asarray(boundaries, dtype=_np.int64), keys, side="right"
+            )
+            for p, handle in enumerate(handles):
+                mask = assignment == p
+                if not mask.any():
+                    continue
+                self._write_chunk(
+                    InstanceRelation(
+                        None,
+                        None,
+                        last_sid=out.last_sid[mask],
+                        keys=keys[mask],
+                        k=out.k,
+                        index=self._index,
+                    ),
+                    handle,
+                )
+            return
+        assignment = [bisect_right(boundaries, key) for key in keys]
+        for p, handle in enumerate(handles):
+            selector = [a == p for a in assignment]
+            if not any(selector):
+                continue
+            self._write_chunk(
+                InstanceRelation(
+                    None,
+                    None,
+                    last_sid=list(compress(out.last_sid, selector)),
+                    keys=list(compress(keys, selector)),
+                    k=out.k,
+                    index=self._index,
+                ),
+                handle,
+            )
+
+    def count_and_filter(self, r_prime, threshold: int):
+        if isinstance(r_prime, InstanceRelation):
+            return super().count_and_filter(r_prime, threshold)
+
+        index = self._index
+        candidate_patterns = 0
+        c_k: dict[int, int] = {}
+        out_path: Path | None = None
+        out_handle = None
+        out_rows = 0
+        out_extension_rows = 0
+        try:
+            for path in list(r_prime.paths):
+                chunks = self._load_chunks(path)
+                os.remove(path)
+                if not chunks:
+                    continue
+                # Key ranges are disjoint across partitions, so these
+                # counts are global — the HAVING clause applies locally.
+                counts = count_packed_keys(
+                    _concat_columns([chunk.keys for chunk in chunks]),
+                    via=self._count_via,
+                )
+                candidate_patterns += len(counts)
+                supported = {
+                    key: count for key, count in counts if count >= threshold
+                }
+                if not supported:
+                    continue
+                c_k.update(supported)
+                supported_keys = set(supported)
+                for chunk in chunks:
+                    survivors = filter_by_keys(chunk, supported_keys)
+                    if len(survivors) == 0:
+                        continue
+                    if out_handle is None:
+                        out_path = self._spill_path(f"r-k{self._k}")
+                        out_handle = open(out_path, "wb")
+                    self._write_chunk(survivors, out_handle)
+                    out_rows += len(survivors)
+                    out_extension_rows += int(
+                        sum(extension_counts(survivors, index))
+                    )
+        finally:
+            if out_handle is not None:
+                out_handle.close()
+        r_prime.paths = []
+        r_next = SpilledRelation(
+            [out_path] if out_path is not None else [],
+            out_rows,
+            r_prime.k,
+            out_extension_rows,
+        )
+        return candidate_patterns, c_k, r_next
+
+    def size(self, r) -> int:
+        if isinstance(r, InstanceRelation):
+            return len(r)
+        return r.num_rows
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def begin_iteration(self, k: int) -> None:
+        self._k = k
+
+    def extra_stats(self) -> dict[str, Any]:
+        return {
+            "memory_budget_bytes": self._budget,
+            "spill": {
+                "partitions": dict(self._partitions_per_k),
+                "max_partitions": max(
+                    self._partitions_per_k.values(), default=0
+                ),
+                "bytes_written": self._bytes_written,
+                "bytes_read": self._bytes_read,
+                "chunks_written": self._chunks_written,
+            },
+        }
+
+    def close(self) -> None:
+        if self._spill_root is not None:
+            shutil.rmtree(self._spill_root, ignore_errors=True)
+            self._spill_root = None
+
+
+@register_engine(
+    "setm-columnar-disk",
+    description=(
+        "out-of-core SETM: columnar kernel spilling R'_k key-range "
+        "partitions under a memory budget"
+    ),
+    representation="columnar",
+    out_of_core=True,
+    accepted_options=(
+        "count_via",
+        "memory_budget_bytes",
+        "spill_dir",
+        "measure_memory",
+    ),
+)
+def setm_columnar_disk(
+    database: TransactionDatabase,
+    minimum_support: float,
+    *,
+    max_length: int | None = None,
+    count_via: Literal["auto", "sort", "hash"] = "auto",
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+    spill_dir: str | os.PathLike | None = None,
+    measure_memory: bool = True,
+) -> MiningResult:
+    """Mine with bounded resident memory; identical results to ``setm``.
+
+    Parameters
+    ----------
+    database:
+        The transactions to mine.
+    minimum_support:
+        Fractional minimum support in ``(0, 1]`` or absolute count.
+    max_length:
+        Optional cap on pattern length.
+    count_via:
+        Counting strategy per partition — see
+        :func:`repro.core.setm_columnar.setm_columnar`.
+    memory_budget_bytes:
+        Target resident size for the mining loop's relations.  Any
+        ``R'_k`` predicted to exceed a quarter of this is spilled as
+        ``ceil(bytes / (budget/4))`` key-range partitions and processed
+        partition-at-a-time.  The fixed residents (``SALES``, its
+        extension index, the ``C_k`` count relations) are outside the
+        budget — the paper itself assumes ``C_k`` memory-resident.
+    spill_dir:
+        Directory for the run's private spill files (a fresh
+        subdirectory is created and removed); defaults to the system
+        temporary directory.
+
+    Returns
+    -------
+    MiningResult
+        Patterns, counts, and iteration statistics identical to
+        :func:`repro.core.setm.setm`.  ``extra`` additionally carries
+        ``memory_budget_bytes`` and a ``"spill"`` block — partitions
+        per iteration, bytes written/read, chunks written — plus the
+        loop-level ``peak_memory_bytes`` every kernel reports.
+    """
+    return run_figure4_loop(
+        database,
+        minimum_support,
+        SpillingColumnarKernel(
+            database,
+            memory_budget_bytes=memory_budget_bytes,
+            count_via=count_via,
+            spill_dir=spill_dir,
+        ),
+        algorithm="setm-columnar-disk",
+        max_length=max_length,
+        extra={"count_via": count_via},
+        measure_memory=measure_memory,
+    )

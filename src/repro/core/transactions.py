@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Hashable, Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = [

@@ -173,6 +173,12 @@ class Miner:
             f"  representation: {spec.representation}",
             "  reports page accesses: "
             + ("yes" if spec.reports_page_accesses else "no"),
+            "  out of core: "
+            + (
+                "yes (honours memory_budget_bytes)"
+                if spec.out_of_core
+                else "no"
+            ),
             f"  accepted options: {accepted}",
             f"minimum support: {support} -> threshold {threshold}",
             "minimum confidence: "

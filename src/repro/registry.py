@@ -58,6 +58,7 @@ __all__ = [
 _BUILTIN_ENGINE_MODULES = (
     "repro.core.setm",
     "repro.core.setm_columnar",
+    "repro.core.setm_columnar_disk",
     "repro.core.setm_disk",
     "repro.core.setm_sql",
     "repro.core.nested_loop",
@@ -95,6 +96,11 @@ class EngineSpec:
         ``"columnar"`` (dictionary-encoded ``array`` columns, see
         :mod:`repro.core.columns`), ``"paged"`` (the simulated-disk heap
         files), or ``"sql"`` (relations live in a SQL engine).
+    out_of_core:
+        Whether the engine bounds resident memory by spilling
+        intermediate relations to disk (honours a
+        ``memory_budget_bytes`` option), so it can mine databases whose
+        ``R'_k`` relations exceed RAM.
     accepted_options:
         Option names the engine accepts beyond the standard
         ``(database, minimum_support, max_length)``.  ``None`` disables
@@ -108,6 +114,7 @@ class EngineSpec:
     supports_max_length: bool = True
     reports_page_accesses: bool = False
     representation: str = "tuples"
+    out_of_core: bool = False
     accepted_options: frozenset[str] | None = frozenset()
 
     def validate_options(
@@ -147,6 +154,7 @@ def register_engine(
     supports_max_length: bool = True,
     reports_page_accesses: bool = False,
     representation: str = "tuples",
+    out_of_core: bool = False,
     accepted_options: Iterable[str] | None = (),
     replace: bool = False,
 ) -> Callable[[Callable[..., "MiningResult"]], Callable[..., "MiningResult"]]:
@@ -168,6 +176,7 @@ def register_engine(
                 supports_max_length=supports_max_length,
                 reports_page_accesses=reports_page_accesses,
                 representation=representation,
+                out_of_core=out_of_core,
                 accepted_options=(
                     None
                     if accepted_options is None

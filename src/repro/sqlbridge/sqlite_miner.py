@@ -103,7 +103,7 @@ class SQLiteBackend:
     "setm-sqlite",
     description="the paper's SQL on stdlib sqlite3",
     representation="sql",
-    accepted_options=("strategy",),
+    accepted_options=("strategy", "measure_memory"),
 )
 def sqlite_mine(
     database: TransactionDatabase,
@@ -111,6 +111,7 @@ def sqlite_mine(
     *,
     strategy: str = "sort-merge",
     max_length: int | None = None,
+    measure_memory: bool = True,
 ) -> MiningResult:
     """Run SETM's SQL on sqlite3 and return the standard result object."""
     backend = SQLiteBackend(database)
@@ -121,6 +122,7 @@ def sqlite_mine(
             backend=backend,
             strategy=strategy,
             max_length=max_length,
+            measure_memory=measure_memory,
         )
     finally:
         backend.connection.close()

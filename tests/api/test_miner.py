@@ -169,6 +169,15 @@ class TestExplain:
                 MiningConfig(support=0.3, options={"buffer_pages": 4})
             )
 
+    def test_explain_reports_out_of_core_capability(self, example_db):
+        miner = Miner(example_db)
+        text = miner.explain(
+            MiningConfig(support=0.3, algorithm="setm-columnar-disk")
+        )
+        assert "out of core: yes" in text
+        assert "memory_budget_bytes" in text
+        assert "out of core: no" in miner.explain(MiningConfig(support=0.3))
+
     def test_explain_reflects_cache_and_capabilities(self, example_db):
         miner = Miner(example_db)
         config = MiningConfig(

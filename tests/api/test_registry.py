@@ -56,7 +56,9 @@ class TestRegistration:
                 raise AssertionError("never runs")
 
         # The original registration is untouched.
-        assert _spec("setm").accepted_options == frozenset({"count_via"})
+        assert _spec("setm").accepted_options == frozenset(
+            {"count_via", "measure_memory"}
+        )
 
     def test_register_and_unregister_custom_engine(self, example_db):
         @register_engine("test-proxy", accepted_options=("count_via",))
@@ -163,31 +165,71 @@ class TestOptionValidation:
 
 class TestCapabilityFlags:
     @pytest.mark.parametrize(
-        ("name", "reports_io", "representation", "accepted"),
+        ("name", "reports_io", "representation", "out_of_core", "accepted"),
         [
-            ("setm", False, "tuples", {"count_via"}),
-            ("setm-columnar", False, "columnar", {"count_via"}),
+            ("setm", False, "tuples", False,
+             {"count_via", "measure_memory"}),
+            ("setm-columnar", False, "columnar", False,
+             {"count_via", "measure_memory"}),
+            (
+                "setm-columnar-disk",
+                False,
+                "columnar",
+                True,
+                {
+                    "count_via",
+                    "memory_budget_bytes",
+                    "spill_dir",
+                    "measure_memory",
+                },
+            ),
             (
                 "setm-disk",
                 True,
                 "paged",
-                {"buffer_pages", "sort_memory_pages", "track_sort_order"},
+                False,
+                {
+                    "buffer_pages",
+                    "sort_memory_pages",
+                    "track_sort_order",
+                    "measure_memory",
+                },
             ),
-            ("setm-sql", False, "sql", {"backend", "strategy"}),
-            ("setm-sqlite", False, "sql", {"strategy"}),
-            ("nested-loop", False, "tuples", set()),
-            ("nested-loop-disk", True, "paged", {"buffer_pages"}),
-            ("apriori", False, "tuples", {"counting"}),
-            ("ais", False, "tuples", set()),
-            ("bruteforce", False, "tuples", set()),
+            ("setm-sql", False, "sql", False,
+             {"backend", "strategy", "measure_memory"}),
+            ("setm-sqlite", False, "sql", False,
+             {"strategy", "measure_memory"}),
+            ("nested-loop", False, "tuples", False, set()),
+            ("nested-loop-disk", True, "paged", False, {"buffer_pages"}),
+            ("apriori", False, "tuples", False, {"counting"}),
+            ("ais", False, "tuples", False, set()),
+            ("bruteforce", False, "tuples", False, set()),
         ],
     )
-    def test_flags_per_engine(self, name, reports_io, representation, accepted):
+    def test_flags_per_engine(
+        self, name, reports_io, representation, out_of_core, accepted
+    ):
         spec = _spec(name)
         assert spec.reports_page_accesses is reports_io
         assert spec.representation == representation
+        assert spec.out_of_core is out_of_core
         assert spec.accepted_options == frozenset(accepted)
         assert spec.supports_max_length is True
+
+    def test_exactly_one_out_of_core_engine_today(self):
+        assert [s.name for s in engine_specs() if s.out_of_core] == [
+            "setm-columnar-disk"
+        ]
+
+    def test_memory_budget_flows_through_miner(self, example_db):
+        result = Miner(example_db).frequent_itemsets(
+            MiningConfig(
+                support=0.3,
+                algorithm="setm-columnar-disk",
+                options={"memory_budget_bytes": 4096},
+            )
+        )
+        assert result.extra["memory_budget_bytes"] == 4096
 
     @pytest.mark.parametrize(
         "name", ["setm-disk", "nested-loop-disk"]

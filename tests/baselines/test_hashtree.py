@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 from repro.baselines.apriori import apriori
 from repro.baselines.hashtree import HashTree
 from repro.core.setm import setm
-from repro.core.transactions import TransactionDatabase
 
 
 def reference_counts(candidates, transactions):

@@ -18,6 +18,7 @@ class TestRegistry:
         assert {
             "setm",
             "setm-columnar",
+            "setm-columnar-disk",
             "setm-disk",
             "setm-sql",
             "setm-sqlite",

@@ -1,0 +1,157 @@
+"""Spill-chunk serialization must be lossless (ISSUE 3 satellite).
+
+Property-style coverage: for relations produced by the real kernel
+pipeline over seeded QUEST databases (and hypothesis-generated ones),
+``to_chunk_bytes`` → ``from_chunk_bytes`` must reproduce the
+``(keys, last_sid, k)`` triple exactly — including the length-prefixed
+fallback encoding used when packed keys no longer fit in 64 bits.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.columns import (
+    InstanceRelation,
+    read_chunks,
+    suffix_extend,
+)
+from repro.core.setm_columnar import ColumnarKernel
+from repro.data.quest import QuestConfig, generate_quest_dataset
+
+
+def _pipeline_relations(db):
+    """Every relation the columnar pipeline materializes on ``db``."""
+    kernel = ColumnarKernel(db)
+    sales = kernel.make_sales()
+    relations = [sales]
+    threshold = db.absolute_support(0.05)
+    r = sales
+    while len(r):
+        r_prime = suffix_extend(r, sales.index)
+        relations.append(r_prime)
+        _, _, r = kernel.count_and_filter(r_prime, threshold)
+        relations.append(r)
+    return sales.index, relations
+
+
+def _assert_round_trip(relation, index):
+    blob = relation.to_chunk_bytes()
+    restored, end = InstanceRelation.from_chunk_bytes(blob, index=index)
+    assert end == len(blob)
+    assert restored.k == relation.k
+    assert list(restored.keys) == [int(key) for key in relation.keys]
+    assert list(restored.last_sid) == [int(s) for s in relation.last_sid]
+
+
+class TestQuestPipelines:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_pipeline_relation_round_trips(self, seed):
+        db = generate_quest_dataset(
+            QuestConfig(
+                num_transactions=120,
+                avg_transaction_len=6,
+                avg_pattern_len=2,
+                seed=seed,
+            )
+        )
+        index, relations = _pipeline_relations(db)
+        assert len(relations) >= 3  # sales + at least one R'_k / R_k pair
+        for relation in relations:
+            _assert_round_trip(relation, index)
+
+    def test_round_trip_preserves_derived_rows(self):
+        """tids/items derived after a round trip equal the originals."""
+        db = generate_quest_dataset(
+            QuestConfig(
+                num_transactions=60, avg_transaction_len=5, seed=11
+            )
+        )
+        index, relations = _pipeline_relations(db)
+        r_prime = relations[1]
+        blob = r_prime.to_chunk_bytes()
+        restored, _ = InstanceRelation.from_chunk_bytes(blob, index=index)
+        assert list(restored.rows()) == list(r_prime.rows())
+
+
+class TestBigKeyFallback:
+    def _big_relation(self, keys):
+        """A relation whose keys exceed int64 (the packing-overflow path)."""
+        return InstanceRelation(
+            None,
+            None,
+            last_sid=list(range(len(keys))),
+            keys=keys,
+            k=9,
+            index=None,
+        )
+
+    def test_overflow_keys_round_trip(self):
+        keys = [2**63, 2**80 + 17, 3001**9 + 12345, 1, 0]
+        relation = self._big_relation(keys)
+        blob = relation.to_chunk_bytes()
+        restored, end = InstanceRelation.from_chunk_bytes(blob)
+        assert end == len(blob)
+        assert list(restored.keys) == keys
+        assert list(restored.last_sid) == list(range(len(keys)))
+        assert restored.k == 9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=2**200), max_size=40
+        )
+    )
+    def test_arbitrary_key_magnitudes_round_trip(self, keys):
+        relation = self._big_relation(keys)
+        blob = relation.to_chunk_bytes()
+        restored, end = InstanceRelation.from_chunk_bytes(blob)
+        assert end == len(blob)
+        assert list(restored.keys) == keys
+
+    def test_negative_keys_rejected(self):
+        relation = self._big_relation([2**70, -1])
+        with pytest.raises(ValueError, match="non-negative"):
+            relation.to_chunk_bytes()
+
+
+class TestFraming:
+    def test_concatenated_chunks_walk_back_out(self):
+        db = generate_quest_dataset(
+            QuestConfig(num_transactions=50, avg_transaction_len=5, seed=3)
+        )
+        index, relations = _pipeline_relations(db)
+        blob = b"".join(r.to_chunk_bytes() for r in relations)
+        restored = list(read_chunks(blob, index=index))
+        assert len(restored) == len(relations)
+        for original, copy in zip(relations, restored):
+            assert list(copy.keys) == [int(k) for k in original.keys]
+
+    def test_bad_magic_rejected(self):
+        relation = InstanceRelation(
+            None, None, last_sid=[0], keys=[5], k=1, index=None
+        )
+        blob = relation.to_chunk_bytes()
+        with pytest.raises(ValueError, match="magic"):
+            InstanceRelation.from_chunk_bytes(b"XXXX" + blob[4:])
+
+    def test_relation_without_columns_rejected(self):
+        eager = InstanceRelation.from_rows([(1, 2), (1, 3)], 1)
+        with pytest.raises(ValueError, match="keys/last_sid"):
+            eager.to_chunk_bytes()
+
+    def test_indexless_chunk_names_missing_index_on_derivation(self):
+        """read_chunks without index: keys/last_sid work, tids/items
+        fail with a clear error, not a bare AttributeError."""
+        relation = InstanceRelation(
+            None, None, last_sid=[0, 1], keys=[5, 6], k=1, index=None
+        )
+        blob = relation.to_chunk_bytes()
+        (restored,) = list(read_chunks(blob))
+        assert list(restored.keys) == [5, 6]
+        with pytest.raises(ValueError, match="SalesIndex"):
+            restored.tids
+        with pytest.raises(ValueError, match="SalesIndex"):
+            restored.items

@@ -7,7 +7,6 @@ import pytest
 from repro.core.result import MiningResult
 from repro.core.rules import Rule, generate_rules, rules_as_paper_lines
 from repro.core.setm import setm
-from repro.core.transactions import TransactionDatabase
 
 
 def make_result(count_relations, n=10, unfiltered=None) -> MiningResult:

@@ -187,3 +187,83 @@ class TestSetmAgainstBruteForce:
         low = set(setm(db, 0.2).all_patterns())
         high = set(setm(db, 0.6).all_patterns())
         assert high <= low
+
+
+class TestLoopLifecycle:
+    """run_figure4_loop's kernel lifecycle hooks and memory metering."""
+
+    def test_peak_memory_recorded_for_figure4_engines(self, example_db):
+        from repro.core.setm_columnar import setm_columnar
+        from repro.core.setm_columnar_disk import setm_columnar_disk
+        from repro.core.setm_disk import setm_disk
+
+        for engine in (setm, setm_columnar, setm_columnar_disk, setm_disk):
+            result = engine(example_db, 0.30)
+            assert result.extra["peak_memory_bytes"] > 0, engine
+
+    def test_measure_memory_false_skips_metering(self, example_db):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        result = setm(example_db, 0.30, measure_memory=False)
+        assert "peak_memory_bytes" not in result.extra
+        assert not tracemalloc.is_tracing()
+
+    def test_metering_does_not_stop_an_outer_trace(self, example_db):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            result = setm(example_db, 0.30)
+            assert tracemalloc.is_tracing()
+            assert result.extra["peak_memory_bytes"] > 0
+        finally:
+            tracemalloc.stop()
+
+    def test_hooks_called_once_per_iteration_and_close_always(
+        self, example_db
+    ):
+        from repro.core.setm import TupleKernel, run_figure4_loop
+
+        events: list[tuple[str, int]] = []
+
+        class Probe(TupleKernel):
+            def begin_iteration(self, k):
+                events.append(("begin", k))
+
+            def end_iteration(self, k, r_prime, r_next):
+                events.append(("end", k))
+
+            def extra_stats(self):
+                return {"probe": True}
+
+            def close(self):
+                events.append(("close", 0))
+
+        result = run_figure4_loop(
+            example_db, 0.30, Probe(example_db), algorithm="probe"
+        )
+        ks = [stats.k for stats in result.iterations]
+        assert [k for kind, k in events if kind == "begin"] == ks
+        assert [k for kind, k in events if kind == "end"] == ks
+        assert events[-1] == ("close", 0)
+        assert events.count(("close", 0)) == 1
+        assert result.extra["probe"] is True
+
+    def test_close_called_when_kernel_raises(self, example_db):
+        from repro.core.setm import TupleKernel, run_figure4_loop
+
+        closed = []
+
+        class Exploding(TupleKernel):
+            def merge_extend(self, r, sales):
+                raise RuntimeError("boom")
+
+            def close(self):
+                closed.append(True)
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_figure4_loop(
+                example_db, 0.30, Exploding(example_db), algorithm="probe"
+            )
+        assert closed == [True]

@@ -48,6 +48,7 @@ class TestAllEnginesOnRetail:
         [
             "setm",
             "setm-columnar",
+            "setm-columnar-disk",
             "setm-disk",
             "setm-sqlite",
             "nested-loop",

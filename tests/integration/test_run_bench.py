@@ -51,10 +51,20 @@ class TestTinyRun:
             assert measurements["peak_r_prime_instances"] > 0
             assert measurements["rows_per_second"] > 0
             assert measurements["iteration_seconds"]
+            assert measurements["peak_memory_bytes"] > 0
         assert (
             workload["engines"]["setm"]["patterns"]
             == workload["engines"]["setm-columnar"]["patterns"]
         )
+
+    def test_constrained_memory_scenario_recorded(self, document):
+        """The tiny smoke exercises the out-of-core spill path."""
+        constrained = document["workloads"][0]["constrained_memory"]
+        assert constrained["engine"] == "setm-columnar-disk"
+        assert constrained["agreement"] is True
+        assert constrained["max_partitions"] >= 2
+        assert constrained["spill_bytes_written"] > 0
+        assert constrained["peak_memory_bytes"] > 0
 
     def test_validate_cli_mode(self, run_bench, document, tmp_path, capsys):
         path = tmp_path / "copy.json"
@@ -65,7 +75,7 @@ class TestTinyRun:
 
 class TestValidator:
     def test_rejects_missing_workloads(self, run_bench):
-        errors = run_bench.validate({"schema_version": 1})
+        errors = run_bench.validate({"schema_version": 2})
         assert any("workloads" in error for error in errors)
 
     def test_rejects_wrong_version(self, run_bench):
@@ -74,7 +84,7 @@ class TestValidator:
 
     def test_rejects_malformed_engine_block(self, run_bench, tmp_path):
         document = {
-            "schema_version": 1,
+            "schema_version": 2,
             "generated_at": "now",
             "python": "3",
             "tiny": True,
@@ -99,3 +109,35 @@ class TestValidator:
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"schema_version": 1}))
         assert run_bench.main(["--validate", str(path)]) == 1
+
+    def test_rejects_single_partition_constrained_scenario(self, run_bench):
+        document = {
+            "schema_version": 2,
+            "generated_at": "now",
+            "python": "3",
+            "tiny": True,
+            "workloads": [
+                {
+                    "name": "w",
+                    "minsup": 0.1,
+                    "agreement": True,
+                    "dataset": {
+                        "transactions": 1,
+                        "sales_rows": 1,
+                        "distinct_items": 1,
+                    },
+                    "engines": {"setm": {}, "setm-columnar": {}},
+                    "constrained_memory": {
+                        "engine": "setm-columnar-disk",
+                        "memory_budget_bytes": 1024,
+                        "elapsed_seconds": 0.1,
+                        "peak_memory_bytes": 10,
+                        "agreement": True,
+                        "spill_partitions": {"2": 1},
+                        "max_partitions": 1,
+                    },
+                }
+            ],
+        }
+        errors = run_bench.validate(document)
+        assert any("max_partitions" in error for error in errors)

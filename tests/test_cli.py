@@ -165,6 +165,92 @@ class TestMine:
         assert document["algorithm"] == "setm"
         assert document["iteration_seconds"]
 
+    def test_json_reports_peak_memory(self, example_basket):
+        import json
+
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7", "--json",
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert document["peak_memory_bytes"] > 0
+
+    def test_memory_budget_flag_reaches_out_of_core_engine(
+        self, example_basket
+    ):
+        import json
+
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--engine", "setm-columnar-disk", "--memory-budget", "64K",
+            "--json",
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert document["algorithm"] == "setm-columnar-disk"
+        assert document["memory_budget_bytes"] == 64 * 1024
+        assert document["num_patterns"] == 13
+        assert document["spill"] is not None
+
+    def test_memory_budget_suffixes(self):
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes("65536") == 65536
+        assert _parse_bytes("64K") == 64 * 1024
+        assert _parse_bytes("2m") == 2 * 2**20
+        assert _parse_bytes("1G") == 2**30
+
+    def test_memory_budget_rejects_garbage(self, example_basket):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "mine", example_basket, "--memory-budget", "lots",
+            )
+
+    def test_memory_budget_rejected_for_in_memory_engine(
+        self, example_basket
+    ):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--memory-budget", "64K",
+        )
+        assert code == 2
+        assert "memory_budget_bytes" in output
+
+
+class TestEngines:
+    def test_lists_every_registered_engine(self):
+        from repro.registry import available_engines
+
+        code, output = run_cli("engines")
+        assert code == 0
+        for name in available_engines():
+            assert name in output
+        assert "out-of-core" in output
+        assert "representation" in output
+
+    def test_json_document_carries_capabilities(self):
+        import json
+
+        from repro.registry import available_engines
+
+        code, output = run_cli("engines", "--json")
+        assert code == 0
+        document = json.loads(output)
+        assert [entry["name"] for entry in document] == list(
+            available_engines()
+        )
+        by_name = {entry["name"]: entry for entry in document}
+        assert by_name["setm-columnar-disk"]["out_of_core"] is True
+        assert by_name["setm-disk"]["reports_page_accesses"] is True
+        assert by_name["setm"]["representation"] == "tuples"
+        assert (
+            "memory_budget_bytes"
+            in by_name["setm-columnar-disk"]["accepted_options"]
+        )
+
 
 class TestGenerate:
     def test_generate_example(self, tmp_path):
