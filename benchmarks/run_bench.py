@@ -20,6 +20,17 @@ partitions, differentially checked against ``setm`` and recorded with
 its measured peak memory and per-iteration partition counts — the
 out-of-core acceptance evidence, committed to ``BENCH_setm.json``.
 
+The Table 6.2 workload and the largest QUEST workload also run a
+**worker sweep**: ``setm-parallel`` at 1/2/4 workers, each run
+differentially checked against ``setm`` and recorded with its partition
+counts and its speedup over ``setm-columnar`` (the serial engine it
+shares every non-counting pass with).  The host CPU count is recorded
+alongside — on a single-core machine the ≥ 2-worker rows measure pure
+coordination overhead, which is exactly what they should show there.
+``--workers N`` narrows the sweep to ``{1, N}`` and extends it to the
+tiny smoke (with ``parallel_threshold=0`` so the pool path runs at
+smoke scale), which is how CI exercises the pool on every push.
+
 Unlike the ``pytest-benchmark`` suites in this directory (which
 regenerate the paper's figures), this is a plain script so CI and
 humans can run it without plugins::
@@ -38,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -50,11 +62,25 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.core.setm import setm  # noqa: E402
 from repro.core.setm_columnar import setm_columnar  # noqa: E402
 from repro.core.setm_columnar_disk import setm_columnar_disk  # noqa: E402
+from repro.core.setm_parallel import setm_parallel  # noqa: E402
 from repro.data.quest import QuestConfig, generate_quest_dataset  # noqa: E402
 from repro.data.retail import generate_retail_dataset  # noqa: E402
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 ENGINES = {"setm": setm, "setm-columnar": setm_columnar}
+
+#: Worker counts swept per workload (setm-parallel, differentially
+#: checked per run).  Only the Table 6.2 retail workload and the
+#: largest QUEST workload carry the sweep by default; ``--workers N``
+#: narrows it to {1, N} and extends it to the tiny smoke.
+WORKER_SWEEPS = {
+    "table6.2-retail": (1, 2, 4),
+    "quest-T10.I4.D10K": (1, 2, 4),
+}
+
+#: The tiny smoke forces the pool path at smoke scale (its R'_k are far
+#: below the engine's default parallel threshold).
+TINY_WORKLOAD = "quest-T5.I2.D300-tiny"
 
 #: Constrained-memory scenario budgets (bytes) per workload.  2 MiB on
 #: the Table 6.2 retail workload forces 4 spill partitions on R'_2 (the
@@ -207,7 +233,95 @@ def _bench_constrained(
     }
 
 
-def run(tiny: bool, rounds: int, memory_budget: int | None = None) -> dict:
+def _bench_worker_sweep(
+    name: str,
+    database,
+    minsup: float,
+    sweep: tuple[int, ...],
+    reference,
+    columnar_elapsed: float,
+    rounds: int,
+    *,
+    parallel_threshold: int | None = None,
+) -> dict:
+    """The parallel scenario: ``setm-parallel`` across worker counts.
+
+    Every run is differentially checked against the ``setm`` reference;
+    the sweep's largest worker count must actually have sent iterations
+    to the pool (otherwise the numbers would measure nothing).
+    """
+    options: dict = {}
+    if parallel_threshold is not None:
+        options["parallel_threshold"] = parallel_threshold
+    runs = []
+    for workers in sweep:
+        bench = _bench_engine(
+            setm_parallel, database, minsup, rounds, workers=workers, **options
+        )
+        metered = bench["metered_result"]
+        if not (
+            reference.same_patterns_as(metered)
+            and reference.iterations == metered.iterations
+        ):
+            raise SystemExit(
+                f"worker sweep on {name}: setm-parallel with "
+                f"{workers} workers disagrees with setm; refusing to record"
+            )
+        parallel = metered.extra["parallel"]
+        elapsed = bench["measurements"]["elapsed_seconds"]
+        speedup = (
+            round(columnar_elapsed / elapsed, 3) if elapsed > 0 else None
+        )
+        print(
+            f"  workers={workers}: {elapsed:.3f}s, "
+            f"pooled iterations {parallel['parallel_iterations']}, "
+            f"{speedup}x vs setm-columnar",
+            flush=True,
+        )
+        runs.append(
+            {
+                "workers": workers,
+                "elapsed_seconds": elapsed,
+                "iteration_seconds": bench["measurements"][
+                    "iteration_seconds"
+                ],
+                "peak_memory_bytes": bench["measurements"][
+                    "peak_memory_bytes"
+                ],
+                "partitions": {
+                    str(k): p for k, p in parallel["partitions"].items()
+                },
+                "parallel_iterations": parallel["parallel_iterations"],
+                "speedup_vs_columnar": speedup,
+                "agreement": True,
+            }
+        )
+    top = runs[-1]
+    if sweep[-1] > 1 and not top["parallel_iterations"]:
+        raise SystemExit(
+            f"worker sweep on {name}: {sweep[-1]} workers never reached "
+            "the pool (every iteration short-circuited); nothing measured"
+        )
+    if os.cpu_count() == 1 and sweep[-1] > 1:
+        print(
+            "  note: single-CPU host — the >= 2-worker rows measure "
+            "coordination overhead, not parallel speedup",
+            flush=True,
+        )
+    return {
+        "engine": "setm-parallel",
+        "cpus": os.cpu_count(),
+        "parallel_threshold": parallel_threshold,
+        "runs": runs,
+    }
+
+
+def run(
+    tiny: bool,
+    rounds: int,
+    memory_budget: int | None = None,
+    workers: int | None = None,
+) -> dict:
     workloads = []
     for name, factory, minsup in _workloads(tiny):
         database = factory()
@@ -264,6 +378,27 @@ def run(tiny: bool, rounds: int, memory_budget: int | None = None) -> dict:
         if budget is not None:
             workload_entry["constrained_memory"] = _bench_constrained(
                 name, database, minsup, budget, results["setm"], rounds
+            )
+        # --workers narrows the sweep to {1, N} and extends it to the
+        # tiny smoke (with the pool forced on, since the smoke's R'_k
+        # sit below the engine's default threshold).
+        sweep = WORKER_SWEEPS.get(name, ())
+        threshold = None
+        if workers is not None:
+            if name in WORKER_SWEEPS or name == TINY_WORKLOAD:
+                sweep = tuple(sorted({1, workers}))
+            if name == TINY_WORKLOAD:
+                threshold = 0
+        if sweep:
+            workload_entry["worker_sweep"] = _bench_worker_sweep(
+                name,
+                database,
+                minsup,
+                sweep,
+                results["setm"],
+                engines["setm-columnar"]["elapsed_seconds"],
+                rounds,
+                parallel_threshold=threshold,
             )
         workloads.append(workload_entry)
     return {
@@ -350,6 +485,22 @@ def validate(document: dict) -> list[str]:
                         f"{prefix}.max_partitions: scenario must force "
                         ">= 2 spill partitions"
                     )
+        if "worker_sweep" in (workload or {}):
+            sweep = need(workload, "worker_sweep", dict, where)
+            if sweep is not None:
+                prefix = f"{where}.worker_sweep"
+                need(sweep, "engine", str, prefix)
+                need(sweep, "cpus", int, prefix)
+                runs = need(sweep, "runs", list, prefix)
+                if not runs:
+                    errors.append(f"{prefix}.runs: must be a non-empty list")
+                for j, entry in enumerate(runs or ()):
+                    run_prefix = f"{prefix}.runs[{j}]"
+                    need(entry, "workers", int, run_prefix)
+                    need(entry, "elapsed_seconds", (int, float), run_prefix)
+                    need(entry, "agreement", bool, run_prefix)
+                    need(entry, "partitions", dict, run_prefix)
+                    need(entry, "parallel_iterations", list, run_prefix)
     return errors
 
 
@@ -376,6 +527,12 @@ def main(argv: list[str] | None = None) -> int:
              "(default: per-workload values in CONSTRAINED_BUDGETS)",
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="narrow the setm-parallel worker sweep to {1, N} and extend "
+             "it to the tiny smoke (default: per-workload sweeps in "
+             "WORKER_SWEEPS; the CI smoke passes --workers 2)",
+    )
+    parser.add_argument(
         "--validate", type=Path, default=None, metavar="PATH",
         help="validate an existing results file against the schema and exit",
     )
@@ -395,6 +552,7 @@ def main(argv: list[str] | None = None) -> int:
         tiny=args.tiny,
         rounds=max(1, args.rounds),
         memory_budget=args.memory_budget,
+        workers=args.workers,
     )
     errors = validate(document)
     if errors:  # pragma: no cover - the writer always matches its schema

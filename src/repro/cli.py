@@ -21,6 +21,7 @@ Examples::
     python -m repro mine r.basket --engine setm-columnar --json
     python -m repro mine r.basket --engine setm-columnar-disk \\
         --memory-budget 64M
+    python -m repro mine r.basket --engine setm-parallel --workers 4
     python -m repro engines --json
     python -m repro sql --k 3 --strategy sort-merge
     python -m repro analyze
@@ -90,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="resident-memory budget for out-of-core "
                            "engines (e.g. setm-columnar-disk); accepts "
                            "plain bytes or K/M/G suffixes, e.g. 64M")
+    mine.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="worker processes for parallel engines "
+                           "(e.g. setm-parallel; default: the machine's "
+                           "CPU count, 1 forces serial execution)")
     mine.add_argument("--patterns", action="store_true",
                       help="also print every frequent pattern")
     mine.add_argument("--json", action="store_true",
@@ -196,6 +201,8 @@ def _mining_report(result, rules) -> dict:
         "peak_memory_bytes": result.extra.get("peak_memory_bytes"),
         "memory_budget_bytes": result.extra.get("memory_budget_bytes"),
         "spill": result.extra.get("spill"),
+        "workers": result.extra.get("workers"),
+        "parallel": result.extra.get("parallel"),
     }
 
 
@@ -213,6 +220,8 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         options["buffer_pages"] = args.buffer_pages
     if args.memory_budget is not None:
         options["memory_budget_bytes"] = args.memory_budget
+    if args.workers is not None:
+        options["workers"] = args.workers
     config = MiningConfig(
         support=(
             args.minsup_count if args.minsup_count is not None else args.minsup
@@ -257,6 +266,7 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
                 "supports_max_length": spec.supports_max_length,
                 "reports_page_accesses": spec.reports_page_accesses,
                 "out_of_core": spec.out_of_core,
+                "parallel": spec.parallel,
                 "accepted_options": (
                     None
                     if spec.accepted_options is None
@@ -273,6 +283,7 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
             spec.name,
             spec.representation,
             "yes" if spec.out_of_core else "no",
+            "yes" if spec.parallel else "no",
             "yes" if spec.reports_page_accesses else "no",
             (
                 "(unchecked)"
@@ -284,7 +295,8 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
     ]
     print(
         format_table(
-            ["engine", "representation", "out-of-core", "page I/O", "options"],
+            ["engine", "representation", "out-of-core", "parallel",
+             "page I/O", "options"],
             rows,
             title=f"{len(specs)} registered engines",
         ),

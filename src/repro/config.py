@@ -11,8 +11,9 @@ construction, and carries:
   generation;
 * ``algorithm`` — a registry name (see :mod:`repro.registry`);
 * ``max_length`` — optional cap on pattern length;
-* ``options`` — engine options, either plain (``{"buffer_pages": 128}``)
-  or namespaced per engine (``{"setm-disk.buffer_pages": 128}``).
+* ``options`` — engine options, either plain (``{"buffer_pages": 128}``,
+  ``{"workers": 4}``) or namespaced per engine
+  (``{"setm-disk.buffer_pages": 128}``, ``{"setm-parallel.workers": 4}``).
   Namespaced options are only handed to the engine they name, so one
   config can be replayed across engines without tripping option checks.
 

@@ -1,0 +1,498 @@
+"""Partitioned execution layer: first-class ``R'_k`` work units.
+
+The paper's central claim is that Figure 4's merge/count/filter passes
+are pure set operations with no cross-row dependencies.  Two engines
+exploit the same consequence in two directions:
+
+* the **spill** engine (:mod:`repro.core.setm_columnar_disk`) range-
+  partitions ``R'_k`` by packed pattern key into *files* and counts one
+  partition at a time to bound resident memory;
+* the **parallel** engine (:mod:`repro.core.setm_parallel`) range-
+  partitions ``R'_k`` into *picklable payloads* and counts all
+  partitions at once in worker processes.
+
+Both need exactly the same machinery, which this module owns (it used
+to live inline in the spill kernel):
+
+* :class:`Partition` — one key-range slice of a relation as serialized
+  chunks (:meth:`~repro.core.columns.InstanceRelation.to_chunk_bytes`),
+  held either in memory (``payload``) or on disk (``path``).  Picklable
+  either way, so a partition can be handed to a worker process as-is.
+* :class:`PartitionPlan` — partition count and placement priced from
+  :func:`~repro.core.columns.extension_counts` *before* a single
+  ``R'_k`` row is materialized.
+* :func:`choose_boundaries` / :func:`sample_extension_boundaries` /
+  :func:`boundaries_from_keys` — quantile boundary choosers; the
+  extension sampler strides across the *whole* of ``R_{k-1}`` so
+  tid-correlated key drift cannot funnel rows into one partition.
+* :func:`split_by_key_ranges` — route a relation's rows to partitions
+  (one ``searchsorted``/``bisect`` pass plus per-partition compress).
+
+Key-range partitioning (as opposed to hashing or row slicing) is what
+makes per-partition counts *global* counts: every occurrence of a
+pattern lands in exactly one partition, so the support filter can be
+applied locally and results merged by plain concatenation — no
+cross-partition count reconciliation.
+
+This module is a dependency near-leaf: it imports only the standard
+library and :mod:`repro.core.columns`.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from bisect import bisect_right
+from itertools import compress
+from math import ceil
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.columns import (
+    InstanceRelation,
+    SalesIndex,
+    extension_counts,
+    read_chunks,
+    suffix_extend,
+)
+
+try:  # pragma: no cover - same optional dependency as repro.core.columns
+    import numpy as _np
+except ImportError:
+    _np = None
+
+__all__ = [
+    "ROW_BYTES",
+    "Partition",
+    "PartitionPlan",
+    "boundaries_from_keys",
+    "choose_boundaries",
+    "concat_columns",
+    "key_ranges",
+    "output_slices",
+    "sample_extension_boundaries",
+    "slice_rows",
+    "split_by_key_ranges",
+]
+
+#: Resident bytes per relation row: the two int64 columns
+#: (key, last_sid) a loop relation physically carries.  This is the
+#: unit every :class:`PartitionPlan` prices in.
+ROW_BYTES = 16
+
+#: Input rows sampled (strided, across the whole input) to place
+#: partition boundaries.  Bounded so the sample's own extension stays a
+#: sliver of any realistic budget.
+BOUNDARY_SAMPLE_ROWS = 2048
+
+
+def _int64_view(column):
+    """A numpy int64 view of an ``array('q')`` column (zero copy)."""
+    if isinstance(column, _np.ndarray):
+        return column
+    return _np.frombuffer(column, dtype=_np.int64)
+
+
+def concat_columns(columns: list) -> Any:
+    """One column from per-chunk columns (ndarray when uniformly possible)."""
+    if len(columns) == 1:
+        return columns[0]
+    if _np is not None and all(
+        not isinstance(column, list) for column in columns
+    ):
+        return _np.concatenate([_int64_view(column) for column in columns])
+    merged: list[int] = []
+    for column in columns:
+        merged.extend(column)
+    return merged
+
+
+def slice_rows(
+    relation: InstanceRelation, start: int, stop: int
+) -> InstanceRelation:
+    """A zero-or-cheap-copy row range of a loop relation."""
+    return InstanceRelation(
+        None,
+        None,
+        last_sid=relation.last_sid[start:stop],
+        keys=relation.keys[start:stop],
+        k=relation.k,
+        index=relation.index,
+    )
+
+
+def output_slices(counts, target_rows: int) -> list[tuple[int, int]]:
+    """Input row ranges whose summed extension output is ≈ ``target_rows``.
+
+    A single row's extensions are never split, so a slice may overshoot
+    by at most one transaction's length — bounded and tiny relative to
+    any realistic budget share.
+    """
+    n = len(counts)
+    if n == 0:
+        return []
+    if _np is not None and isinstance(counts, _np.ndarray):
+        cumulative = _np.cumsum(counts)
+        total = int(cumulative[-1])
+        if total <= target_rows:
+            return [(0, n)]
+        marks = _np.searchsorted(
+            cumulative,
+            _np.arange(target_rows, total, target_rows),
+            side="left",
+        )
+        edges = [0]
+        for mark in (marks + 1).tolist():
+            if edges[-1] < mark < n:
+                edges.append(mark)
+        edges.append(n)
+        return list(zip(edges, edges[1:]))
+    slices: list[tuple[int, int]] = []
+    start = 0
+    emitted = 0
+    for i, c in enumerate(counts):
+        if emitted >= target_rows and i > start:
+            slices.append((start, i))
+            start, emitted = i, 0
+        emitted += c
+    slices.append((start, n))
+    return slices
+
+
+def choose_boundaries(keys, partitions: int) -> list[int]:
+    """``partitions - 1`` ascending boundary keys (sample quantiles).
+
+    Partition ``p`` then holds the keys ``k`` with
+    ``boundaries[p-1] <= k < boundaries[p]`` under the
+    ``bisect_right`` routing of :func:`split_by_key_ranges` (duplicated
+    boundary values simply leave some partitions empty — coverage stays
+    disjoint and total).
+    """
+    if _np is not None and isinstance(keys, _np.ndarray):
+        ordered = _np.sort(keys)
+        n = len(ordered)
+        return [int(ordered[n * i // partitions]) for i in range(1, partitions)]
+    ordered = sorted(keys)
+    n = len(ordered)
+    return [ordered[n * i // partitions] for i in range(1, partitions)]
+
+
+def boundaries_from_keys(
+    keys: Sequence[int],
+    partitions: int,
+    *,
+    sample_rows: int = BOUNDARY_SAMPLE_ROWS,
+) -> list[int] | None:
+    """Boundaries for an already-materialized key column.
+
+    A strided sample (never the column's prefix, which would inherit
+    the tid-ordered input's position) feeds :func:`choose_boundaries`.
+    Returns ``None`` on an empty column.
+    """
+    n = len(keys)
+    if n == 0:
+        return None
+    stride = max(1, n // sample_rows)
+    if _np is not None and isinstance(keys, (_np.ndarray, array)):
+        sample = _int64_view(keys)[::stride]
+        return choose_boundaries(_np.asarray(sample), partitions)
+    sample = [keys[i] for i in range(0, n, stride)]
+    return choose_boundaries(sample, partitions)
+
+
+def sample_extension_boundaries(
+    chunks: Iterable[InstanceRelation],
+    index: SalesIndex,
+    total_rows: int,
+    partitions: int,
+    *,
+    sample_rows: int = BOUNDARY_SAMPLE_ROWS,
+) -> list[int] | None:
+    """Partition boundaries from a whole-input sample of *output* keys.
+
+    Quantiles of a single merge slice's keys would inherit that slice's
+    position in the tid-ordered input — a database whose packed keys
+    drift with trans_id would then funnel most rows into one partition
+    and void the memory bound.  Instead, rows strided across *all* of
+    ``R_{k-1}`` are extended (exactly the keys the merge will emit for
+    them) and the boundaries are quantiles of that global sample.  For
+    spilled input this re-reads ``R_{k-1}`` once — the small filtered
+    relation, not ``R'_k``.  Returns ``None`` when the sample has no
+    extensions (the caller then falls back to first-slice quantiles).
+    """
+    stride = max(1, total_rows // sample_rows)
+    sample_keys: list[int] = []
+    for chunk in chunks:
+        positions = range(0, len(chunk), stride)
+        sampled = InstanceRelation(
+            None,
+            None,
+            last_sid=[chunk.last_sid[i] for i in positions],
+            keys=[chunk.keys[i] for i in positions],
+            k=chunk.k,
+            index=index,
+        )
+        extended = suffix_extend(sampled, index)
+        if len(extended) == 0:
+            continue
+        sample_keys.extend(int(key) for key in extended.keys)
+    if not sample_keys:
+        return None
+    return choose_boundaries(sample_keys, partitions)
+
+
+def key_ranges(
+    boundaries: list[int] | None, partitions: int
+) -> list[tuple[int | None, int | None]]:
+    """Per-partition ``(key_low, key_high)`` intervals for ``boundaries``.
+
+    The one owner of the boundary-interval semantics both partition
+    consumers label their :class:`Partition` work units with: partition
+    ``p`` covers ``key_low`` inclusive to ``key_high`` exclusive (the
+    :func:`split_by_key_ranges` routing), with ``None`` at unbounded
+    ends.  Without boundaries every interval is unbounded.
+    """
+    if not boundaries:
+        return [(None, None)] * partitions
+    bounds = [None, *boundaries, None]
+    return [(bounds[p], bounds[p + 1]) for p in range(partitions)]
+
+
+def split_by_key_ranges(
+    relation: InstanceRelation, boundaries: list[int]
+) -> Iterator[tuple[int, InstanceRelation]]:
+    """Route rows to key-range partitions; yield non-empty ``(p, rows)``.
+
+    Partition indices ascend, so consuming the iterator in order visits
+    partitions in ascending key-range order.  One ``searchsorted`` /
+    ``bisect`` pass assigns every row; each partition's rows are then a
+    mask/compress copy preserving input order.
+    """
+    keys = relation.keys
+    if _np is not None and isinstance(keys, _np.ndarray):
+        assignment = _np.searchsorted(
+            _np.asarray(boundaries, dtype=_np.int64), keys, side="right"
+        )
+        for p in range(len(boundaries) + 1):
+            mask = assignment == p
+            if not mask.any():
+                continue
+            yield p, InstanceRelation(
+                None,
+                None,
+                last_sid=relation.last_sid[mask],
+                keys=keys[mask],
+                k=relation.k,
+                index=relation.index,
+            )
+        return
+    assignment = [bisect_right(boundaries, key) for key in keys]
+    for p in range(len(boundaries) + 1):
+        selector = [a == p for a in assignment]
+        if not any(selector):
+            continue
+        yield p, InstanceRelation(
+            None,
+            None,
+            last_sid=list(compress(relation.last_sid, selector)),
+            keys=list(compress(keys, selector)),
+            k=relation.k,
+            index=relation.index,
+        )
+
+
+class Partition:
+    """One key-range slice of an ``R'_k`` relation, as serialized chunks.
+
+    The first-class work unit of partitioned execution: it carries the
+    pattern-key range it covers (``key_low`` inclusive, ``key_high``
+    exclusive, ``None`` for unbounded ends) and its rows in the chunk
+    format of :meth:`InstanceRelation.to_chunk_bytes` — either in
+    memory (``payload``) or in a spill file (``path``).  Because every
+    occurrence of a pattern falls in exactly one key range, counting a
+    partition yields *global* counts for every pattern it contains.
+
+    Partitions are picklable (bytes payloads and paths both travel), so
+    the parallel engine can submit them to worker processes unchanged —
+    including the length-prefixed big-key fallback chunks produced when
+    packed keys exceed 64 bits.
+    """
+
+    __slots__ = ("k", "key_low", "key_high", "num_rows", "payload", "path")
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        key_low: int | None = None,
+        key_high: int | None = None,
+        num_rows: int = 0,
+        payload: bytes | None = None,
+        path: str | os.PathLike | None = None,
+    ) -> None:
+        if (payload is None) == (path is None):
+            raise ValueError(
+                "a Partition is backed by exactly one chunk source: "
+                "pass payload= (in memory) or path= (spill file)"
+            )
+        self.k = k
+        self.key_low = key_low
+        self.key_high = key_high
+        self.num_rows = num_rows
+        self.payload = payload
+        self.path = Path(path) if path is not None else None
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation: InstanceRelation,
+        *,
+        key_low: int | None = None,
+        key_high: int | None = None,
+    ) -> "Partition":
+        """An in-memory partition holding ``relation``'s rows."""
+        return cls(
+            relation.k,
+            key_low=key_low,
+            key_high=key_high,
+            num_rows=len(relation),
+            payload=relation.to_chunk_bytes(),
+        )
+
+    def read_bytes(self) -> bytes:
+        """This partition's raw chunk bytes (from memory or disk)."""
+        if self.payload is not None:
+            return self.payload
+        if self.path is None:
+            raise ValueError("partition already deleted; no chunk source left")
+        return self.path.read_bytes()
+
+    def load(
+        self, *, index: SalesIndex | None = None
+    ) -> list[InstanceRelation]:
+        """Deserialize every chunk (``index`` reattaches lazy columns)."""
+        return list(read_chunks(self.read_bytes(), index=index))
+
+    def delete(self) -> None:
+        """Drop the chunk source: unlink the spill file / free the payload.
+
+        Reading a deleted partition raises a clear :class:`ValueError`
+        from :meth:`read_bytes`; deleting twice is a no-op.
+        """
+        if self.path is not None:
+            try:
+                os.remove(self.path)
+            except FileNotFoundError:
+                pass
+            self.path = None
+        self.payload = None
+
+    # __slots__ classes need explicit state plumbing only when a slot
+    # holds something unpicklable; Path and bytes both travel, so the
+    # default protocol-2 reduction applies.  Spelled out anyway so the
+    # pickle contract is visible and version-stable.
+    def __getstate__(self):
+        return {
+            "k": self.k,
+            "key_low": self.key_low,
+            "key_high": self.key_high,
+            "num_rows": self.num_rows,
+            "payload": self.payload,
+            "path": str(self.path) if self.path is not None else None,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.k = state["k"]
+        self.key_low = state["key_low"]
+        self.key_high = state["key_high"]
+        self.num_rows = state["num_rows"]
+        self.payload = state["payload"]
+        path = state["path"]
+        self.path = Path(path) if path is not None else None
+
+    def __repr__(self) -> str:
+        source = "payload" if self.payload is not None else f"path={self.path}"
+        return (
+            f"Partition(k={self.k}, rows={self.num_rows}, "
+            f"range=[{self.key_low}, {self.key_high}), {source})"
+        )
+
+
+class PartitionPlan:
+    """How (and whether) to partition one ``R'_k`` — priced up front.
+
+    Because :func:`~repro.core.columns.extension_counts` prices every
+    ``R_{k-1}`` row's merge output exactly, ``|R'_k|`` is known *before*
+    a single row is materialized; the plan turns that row count into a
+    partition count against a byte budget share.  ``num_partitions == 1``
+    means the relation fits the share and should not be partitioned at
+    all (the spill engine keeps it in memory; the parallel engine
+    counts it in-process).
+    """
+
+    __slots__ = ("predicted_rows", "num_partitions", "share_bytes", "row_bytes")
+
+    def __init__(
+        self,
+        predicted_rows: int,
+        num_partitions: int,
+        *,
+        share_bytes: int | None = None,
+        row_bytes: int = ROW_BYTES,
+    ) -> None:
+        self.predicted_rows = predicted_rows
+        self.num_partitions = num_partitions
+        self.share_bytes = share_bytes
+        self.row_bytes = row_bytes
+
+    @classmethod
+    def from_predicted_rows(
+        cls,
+        predicted_rows: int,
+        share_bytes: int,
+        *,
+        row_bytes: int = ROW_BYTES,
+    ) -> "PartitionPlan":
+        """Plan against a byte budget: spill into ``ceil(bytes/share)``
+        ranges when the priced relation exceeds one share."""
+        if predicted_rows * row_bytes <= share_bytes:
+            partitions = 1
+        else:
+            partitions = max(2, ceil(predicted_rows * row_bytes / share_bytes))
+        return cls(
+            predicted_rows,
+            partitions,
+            share_bytes=share_bytes,
+            row_bytes=row_bytes,
+        )
+
+    @classmethod
+    def from_extension_counts(
+        cls,
+        relation: InstanceRelation,
+        index: SalesIndex,
+        share_bytes: int,
+        *,
+        row_bytes: int = ROW_BYTES,
+    ) -> "PartitionPlan":
+        """Price ``relation``'s merge output exactly, then plan."""
+        predicted = int(sum(extension_counts(relation, index)))
+        return cls.from_predicted_rows(
+            predicted, share_bytes, row_bytes=row_bytes
+        )
+
+    @property
+    def fits_in_memory(self) -> bool:
+        """True when the priced relation needs no partitioning."""
+        return self.num_partitions == 1
+
+    @property
+    def predicted_bytes(self) -> int:
+        """The priced resident size of the unpartitioned relation."""
+        return self.predicted_rows * self.row_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionPlan(rows={self.predicted_rows}, "
+            f"partitions={self.num_partitions}, share={self.share_bytes})"
+        )

@@ -10,14 +10,16 @@ intermediates, not ``SALES``, are the multiplicatively large objects
   ``R_{k-1}`` row's output exactly (one gather over the precomputed
   :class:`~repro.core.columns.SalesIndex`), so input slices are chosen
   to emit at most a budget share of output rows each — ``|R'_k|`` is
-  known exactly *before* a single row is materialized.
-* **Key-range spill partitions.**  When the predicted ``R'_k`` exceeds
+  known exactly *before* a single row is materialized (the
+  :class:`~repro.core.partitioning.PartitionPlan`).
+* **Key-range spill partitions.**  When the planned ``R'_k`` exceeds
   its budget share, slice outputs are range-partitioned by packed
-  pattern key into ``P = ceil(bytes / share)`` spill files (boundaries
-  are quantiles sampled from the first slice, so skewed key
-  distributions still split evenly).  Every occurrence of a pattern
-  lands in exactly one partition, so per-partition counts are global
-  counts.
+  pattern key into ``P = ceil(bytes / share)``
+  :class:`~repro.core.partitioning.Partition` spill files (boundaries
+  are quantiles sampled stride-wise from the *whole* input, so skewed
+  or tid-correlated key distributions still split evenly).  Every
+  occurrence of a pattern lands in exactly one partition, so
+  per-partition counts are global counts.
 * **Partition-at-a-time counting.**  ``C_k`` and the support filter run
   one partition at a time: load, count
   (:func:`~repro.core.columns.count_packed_keys`), filter
@@ -31,9 +33,11 @@ extensions depend only on its own ``last_sid``, and counts are
 per-pattern — slicing and partitioning change *nothing observable*:
 patterns, counts, and :class:`~repro.core.result.IterationStats` are
 identical to ``setm`` and ``setm-columnar`` (the differential tests and
-the benchmark runner hold it to that).  Spill files use the chunk
-format of :meth:`~repro.core.columns.InstanceRelation.to_chunk_bytes`,
-including its length-prefixed fallback for packed keys beyond 64 bits.
+the benchmark runner hold it to that).  The partitioning machinery
+itself — work units, boundary sampling, key-range routing, pricing —
+lives in :mod:`repro.core.partitioning`, shared with the
+``setm-parallel`` engine that counts the same partitions in worker
+processes instead of one at a time.
 """
 
 from __future__ import annotations
@@ -41,9 +45,6 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
-from bisect import bisect_right
-from itertools import compress
-from math import ceil
 from pathlib import Path
 from typing import Any, Literal
 
@@ -54,6 +55,19 @@ from repro.core.columns import (
     filter_by_keys,
     read_chunks,
     suffix_extend,
+)
+from repro.core.partitioning import (
+    ROW_BYTES,
+    Partition,
+    PartitionPlan,
+    _int64_view,
+    choose_boundaries,
+    concat_columns,
+    key_ranges,
+    output_slices,
+    sample_extension_boundaries,
+    slice_rows,
+    split_by_key_ranges,
 )
 from repro.core.result import MiningResult
 from repro.core.setm import run_figure4_loop
@@ -78,10 +92,6 @@ __all__ = [
 #: Default ``memory_budget_bytes``: generous for laptops, small enough
 #: that genuinely large workloads spill instead of swapping.
 DEFAULT_MEMORY_BUDGET = 128 * 2**20
-
-#: Resident bytes per relation row: the two int64 columns (key, last_sid)
-#: a loop relation physically carries.
-_ROW_BYTES = 16
 
 
 class SpilledRelation:
@@ -123,109 +133,27 @@ class SpilledRelation:
 
 
 class SpilledPartitions:
-    """An ``R'_k`` range-partitioned by packed pattern key into spill files.
+    """An ``R'_k`` range-partitioned into :class:`Partition` spill files.
 
-    Partition ``p`` holds exactly the rows whose key falls in the
-    ``p``-th boundary interval, so counting one partition yields global
-    counts for every pattern it contains.
+    Each partition holds exactly the rows whose key falls in its
+    boundary interval, so counting one partition yields global counts
+    for every pattern it contains.
     """
 
-    __slots__ = ("paths", "num_rows", "k")
+    __slots__ = ("partitions", "num_rows", "k")
 
-    def __init__(self, paths: list[Path], num_rows: int, k: int) -> None:
-        self.paths = paths
+    def __init__(
+        self, partitions: list[Partition], num_rows: int, k: int
+    ) -> None:
+        self.partitions = partitions
         self.num_rows = num_rows
         self.k = k
 
     def __repr__(self) -> str:
         return (
             f"SpilledPartitions(k={self.k}, rows={self.num_rows}, "
-            f"partitions={len(self.paths)})"
+            f"partitions={len(self.partitions)})"
         )
-
-
-def _int64_view(column):
-    """A numpy int64 view of an ``array('q')`` column (zero copy)."""
-    if isinstance(column, _np.ndarray):
-        return column
-    return _np.frombuffer(column, dtype=_np.int64)
-
-
-def _concat_columns(columns: list) -> Any:
-    """One column from per-chunk columns (ndarray when uniformly possible)."""
-    if len(columns) == 1:
-        return columns[0]
-    if _np is not None and all(
-        not isinstance(column, list) for column in columns
-    ):
-        return _np.concatenate([_int64_view(column) for column in columns])
-    merged: list[int] = []
-    for column in columns:
-        merged.extend(column)
-    return merged
-
-
-def _slice_relation(
-    relation: InstanceRelation, start: int, stop: int
-) -> InstanceRelation:
-    """A zero-or-cheap-copy row range of a loop relation."""
-    return InstanceRelation(
-        None,
-        None,
-        last_sid=relation.last_sid[start:stop],
-        keys=relation.keys[start:stop],
-        k=relation.k,
-        index=relation.index,
-    )
-
-
-def _output_slices(counts, target_rows: int) -> list[tuple[int, int]]:
-    """Input row ranges whose summed extension output is ≈ ``target_rows``.
-
-    A single row's extensions are never split, so a slice may overshoot
-    by at most one transaction's length — bounded and tiny relative to
-    any realistic budget share.
-    """
-    n = len(counts)
-    if n == 0:
-        return []
-    if _np is not None and isinstance(counts, _np.ndarray):
-        cumulative = _np.cumsum(counts)
-        total = int(cumulative[-1])
-        if total <= target_rows:
-            return [(0, n)]
-        marks = _np.searchsorted(
-            cumulative,
-            _np.arange(target_rows, total, target_rows),
-            side="left",
-        )
-        edges = [0]
-        for mark in (marks + 1).tolist():
-            if edges[-1] < mark < n:
-                edges.append(mark)
-        edges.append(n)
-        return list(zip(edges, edges[1:]))
-    slices: list[tuple[int, int]] = []
-    start = 0
-    emitted = 0
-    for i, c in enumerate(counts):
-        if emitted >= target_rows and i > start:
-            slices.append((start, i))
-            start, emitted = i, 0
-        emitted += c
-    slices.append((start, n))
-    return slices
-
-
-def _quantile_boundaries(keys, partitions: int) -> list[int]:
-    """``partitions - 1`` ascending boundary keys (sample quantiles)."""
-    if _np is not None and isinstance(keys, _np.ndarray):
-        ordered = _np.sort(keys)
-        n = len(ordered)
-        return [int(ordered[n * i // partitions]) for i in range(1, partitions)]
-    ordered = sorted(keys)
-    n = len(ordered)
-    return [ordered[n * i // partitions] for i in range(1, partitions)]
 
 
 class SpillingColumnarKernel(ColumnarKernel):
@@ -235,8 +163,8 @@ class SpillingColumnarKernel(ColumnarKernel):
     the extension slice being materialized, (b) a loaded counting
     partition, leaving headroom for the counting structure, the filter
     copy, and the fixed residents (``SALES`` + index + ``C_k``).  A
-    relation predicted to fit within a share is simply kept in memory —
-    small workloads never touch the disk.
+    relation whose :class:`PartitionPlan` fits within a share is simply
+    kept in memory — small workloads never touch the disk.
     """
 
     def __init__(
@@ -258,8 +186,8 @@ class SpillingColumnarKernel(ColumnarKernel):
                 f"got {memory_budget_bytes!r}"
             )
         self._budget = memory_budget_bytes
-        self._share_bytes = max(_ROW_BYTES, memory_budget_bytes // 4)
-        self._slice_rows = max(1, self._share_bytes // _ROW_BYTES)
+        self._share_bytes = max(ROW_BYTES, memory_budget_bytes // 4)
+        self._slice_rows = max(1, self._share_bytes // ROW_BYTES)
         self._spill_dir_option = spill_dir
         self._spill_root: Path | None = None
         self._sequence = 0
@@ -283,8 +211,7 @@ class SpillingColumnarKernel(ColumnarKernel):
         self._sequence += 1
         return self._spill_root / f"{stem}-{self._sequence:06d}.chunks"
 
-    def _load_chunks(self, path: Path) -> list[InstanceRelation]:
-        data = path.read_bytes()
+    def _decode_chunks(self, data: bytes) -> list[InstanceRelation]:
         self._bytes_read += len(data)
         chunks = list(read_chunks(data, index=self._index))
         if _np is not None:
@@ -296,6 +223,9 @@ class SpillingColumnarKernel(ColumnarKernel):
                     chunk.keys = _int64_view(chunk.keys)
                     chunk.last_sid = _int64_view(chunk.last_sid)
         return chunks
+
+    def _load_chunks(self, path: Path) -> list[InstanceRelation]:
+        return self._decode_chunks(path.read_bytes())
 
     def _iter_chunks(self, r, *, delete: bool = False):
         """Yield a relation's rows as bounded InstanceRelation chunks."""
@@ -321,11 +251,15 @@ class SpillingColumnarKernel(ColumnarKernel):
         index = self._index
         assert index is not None  # make_sales always ran first
         if isinstance(r, InstanceRelation):
-            predicted_rows = int(sum(extension_counts(r, index)))
+            plan = PartitionPlan.from_extension_counts(
+                r, index, self._share_bytes
+            )
         else:
-            predicted_rows = r.extension_rows
+            plan = PartitionPlan.from_predicted_rows(
+                r.extension_rows, self._share_bytes
+            )
 
-        if predicted_rows * _ROW_BYTES <= self._share_bytes:
+        if plan.fits_in_memory:
             # Fits one budget share: materialize in memory, as the plain
             # columnar kernel would.
             pieces = [
@@ -337,17 +271,19 @@ class SpillingColumnarKernel(ColumnarKernel):
             return InstanceRelation(
                 None,
                 None,
-                last_sid=_concat_columns([p.last_sid for p in pieces]),
-                keys=_concat_columns([p.keys for p in pieces]),
+                last_sid=concat_columns([p.last_sid for p in pieces]),
+                keys=concat_columns([p.keys for p in pieces]),
                 k=r.k + 1,
                 index=index,
             )
 
         # Out-of-core: partition R'_k by pattern-key range as it is
         # produced, one bounded slice at a time.
-        partitions = max(2, ceil(predicted_rows * _ROW_BYTES / self._share_bytes))
+        partitions = plan.num_partitions
         self._partitions_per_k[self._k] = partitions
-        boundaries = self._sampled_boundaries(r, partitions)
+        boundaries = sample_extension_boundaries(
+            self._iter_chunks(r), index, self.size(r), partitions
+        )
         paths = [
             self._spill_path(f"rprime-k{self._k}-p{p}")
             for p in range(partitions)
@@ -356,105 +292,27 @@ class SpillingColumnarKernel(ColumnarKernel):
         try:
             for chunk in self._iter_chunks(r, delete=True):
                 counts = extension_counts(chunk, index)
-                for start, stop in _output_slices(counts, self._slice_rows):
-                    out = suffix_extend(
-                        _slice_relation(chunk, start, stop), index
-                    )
+                for start, stop in output_slices(counts, self._slice_rows):
+                    out = suffix_extend(slice_rows(chunk, start, stop), index)
                     if len(out) == 0:
                         continue
                     if boundaries is None:
-                        boundaries = _quantile_boundaries(out.keys, partitions)
-                    self._write_partitioned(out, boundaries, handles)
+                        boundaries = choose_boundaries(out.keys, partitions)
+                    for p, rows in split_by_key_ranges(out, boundaries):
+                        self._write_chunk(rows, handles[p])
         finally:
             for handle in handles:
                 handle.close()
-        return SpilledPartitions(paths, predicted_rows, r.k + 1)
-
-    #: Input rows sampled (strided, across the whole of R_{k-1}) to place
-    #: the partition boundaries.  Bounded so the sample's own extension
-    #: stays a sliver of the budget.
-    _BOUNDARY_SAMPLE_ROWS = 2048
-
-    def _sampled_boundaries(self, r, partitions: int) -> list[int] | None:
-        """Partition boundaries from a whole-input sample of output keys.
-
-        Quantiles of a single slice's keys would inherit that slice's
-        position in the tid-ordered input — a database whose packed keys
-        drift with trans_id would then funnel most rows into one
-        partition and void the memory bound.  Instead, rows strided
-        across *all* of ``R_{k-1}`` are extended (exactly the keys the
-        merge will emit for them) and the boundaries are quantiles of
-        that global sample.  For spilled input this re-reads ``R_{k-1}``
-        once — the small filtered relation, not ``R'_k``.  Returns
-        ``None`` when the sample has no extensions (the caller then
-        falls back to first-slice quantiles).
-        """
-        stride = max(1, self.size(r) // self._BOUNDARY_SAMPLE_ROWS)
-        sample_keys: list[int] = []
-        for chunk in self._iter_chunks(r):
-            positions = range(0, len(chunk), stride)
-            sampled = InstanceRelation(
-                None,
-                None,
-                last_sid=[chunk.last_sid[i] for i in positions],
-                keys=[chunk.keys[i] for i in positions],
-                k=chunk.k,
-                index=self._index,
-            )
-            extended = suffix_extend(sampled, self._index)
-            if len(extended) == 0:
-                continue
-            keys = extended.keys
-            sample_keys.extend(
-                int(key) for key in keys
-            )
-        if not sample_keys:
-            return None
-        return _quantile_boundaries(sample_keys, partitions)
-
-    def _write_partitioned(
-        self,
-        out: InstanceRelation,
-        boundaries: list[int],
-        handles: list,
-    ) -> None:
-        keys = out.keys
-        if _np is not None and isinstance(keys, _np.ndarray):
-            assignment = _np.searchsorted(
-                _np.asarray(boundaries, dtype=_np.int64), keys, side="right"
-            )
-            for p, handle in enumerate(handles):
-                mask = assignment == p
-                if not mask.any():
-                    continue
-                self._write_chunk(
-                    InstanceRelation(
-                        None,
-                        None,
-                        last_sid=out.last_sid[mask],
-                        keys=keys[mask],
-                        k=out.k,
-                        index=self._index,
-                    ),
-                    handle,
+        return SpilledPartitions(
+            [
+                Partition(r.k + 1, key_low=low, key_high=high, path=path)
+                for (low, high), path in zip(
+                    key_ranges(boundaries, partitions), paths
                 )
-            return
-        assignment = [bisect_right(boundaries, key) for key in keys]
-        for p, handle in enumerate(handles):
-            selector = [a == p for a in assignment]
-            if not any(selector):
-                continue
-            self._write_chunk(
-                InstanceRelation(
-                    None,
-                    None,
-                    last_sid=list(compress(out.last_sid, selector)),
-                    keys=list(compress(keys, selector)),
-                    k=out.k,
-                    index=self._index,
-                ),
-                handle,
-            )
+            ],
+            plan.predicted_rows,
+            r.k + 1,
+        )
 
     def count_and_filter(self, r_prime, threshold: int):
         if isinstance(r_prime, InstanceRelation):
@@ -468,15 +326,15 @@ class SpillingColumnarKernel(ColumnarKernel):
         out_rows = 0
         out_extension_rows = 0
         try:
-            for path in list(r_prime.paths):
-                chunks = self._load_chunks(path)
-                os.remove(path)
+            for partition in list(r_prime.partitions):
+                chunks = self._decode_chunks(partition.read_bytes())
+                partition.delete()
                 if not chunks:
                     continue
                 # Key ranges are disjoint across partitions, so these
                 # counts are global — the HAVING clause applies locally.
                 counts = count_packed_keys(
-                    _concat_columns([chunk.keys for chunk in chunks]),
+                    concat_columns([chunk.keys for chunk in chunks]),
                     via=self._count_via,
                 )
                 candidate_patterns += len(counts)
@@ -502,7 +360,7 @@ class SpillingColumnarKernel(ColumnarKernel):
         finally:
             if out_handle is not None:
                 out_handle.close()
-        r_prime.paths = []
+        r_prime.partitions = []
         r_next = SpilledRelation(
             [out_path] if out_path is not None else [],
             out_rows,

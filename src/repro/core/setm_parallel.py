@@ -1,0 +1,374 @@
+"""Partition-parallel SETM: counting ``R'_k`` in worker processes.
+
+Figure 4's count/filter pass has no cross-row dependencies, and
+key-range partitioning makes per-partition counts *global* counts —
+the same two facts the out-of-core engine exploits to count
+partition-at-a-time.  This engine exploits them sideways: the
+:class:`~repro.core.partitioning.Partition` work units are counted
+*simultaneously* in a :mod:`multiprocessing` pool instead of one at a
+time.
+
+The division of labour per iteration:
+
+* the parent builds ``R'_k`` exactly as ``setm-columnar`` does
+  (:func:`~repro.core.columns.suffix_extend`), then splits it into one
+  key-range partition per worker
+  (:func:`~repro.core.partitioning.boundaries_from_keys` +
+  :func:`~repro.core.partitioning.split_by_key_ranges`);
+* each worker receives a picklable :class:`Partition` (chunk bytes in
+  the spill format, including the big-key fallback), counts its keys
+  with :func:`~repro.core.columns.count_packed_keys`, and sends back
+  compact ``(keys, counts)`` arrays;
+* the parent merges results **in submission order** (ascending key
+  range, so disjoint — merging is concatenation, never reconciliation),
+  applies the HAVING threshold, and filters ``R'_k`` in-process.
+
+Because the filter runs on the parent's intact ``R'_k``, the surviving
+relation is *the same object in the same row order* the serial columnar
+kernel would produce — patterns, rules, and
+:class:`~repro.core.result.IterationStats` are identical to ``setm``
+(differentially tested over QUEST × minsup × workers grids).
+
+Small iterations short-circuit to in-process counting below
+``parallel_threshold`` rows: the QUEST tails (a few thousand rows by
+``k = 3``) would pay more in chunk serialization and IPC than the count
+costs.  Worker pools are created lazily, keyed by
+``(start_method, workers)``, and **reused across runs** — a long-lived
+mining session (the ROADMAP's serve layer) pays pool start-up once, not
+per request.  :func:`shutdown_worker_pools` tears them down; an
+``atexit`` hook does the same at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from array import array
+from typing import Any, Literal, Sequence
+
+from repro.core.columns import count_packed_keys, filter_by_keys
+from repro.core.partitioning import (
+    Partition,
+    boundaries_from_keys,
+    concat_columns,
+    key_ranges,
+    split_by_key_ranges,
+)
+from repro.core.result import MiningResult
+from repro.core.setm import run_figure4_loop
+from repro.core.setm_columnar import ColumnarKernel
+from repro.core.transactions import TransactionDatabase
+from repro.errors import InvalidConfigError
+from repro.registry import register_engine
+
+__all__ = [
+    "DEFAULT_PARALLEL_THRESHOLD",
+    "ParallelColumnarKernel",
+    "default_workers",
+    "setm_parallel",
+    "shutdown_worker_pools",
+]
+
+
+def default_workers() -> int:
+    """The worker count a parallel engine uses when none is given.
+
+    One owner for the default: the kernel applies it, and
+    ``Miner.explain`` quotes it when describing a run it has not
+    started.
+    """
+    return os.cpu_count() or 1
+
+#: Rows below which an iteration is counted in-process.  Calibrated to
+#: where the pool stops paying for itself: below ~64k rows the
+#: vectorized count is single-digit milliseconds, less than the chunk
+#: serialization + IPC round trip it would replace.
+DEFAULT_PARALLEL_THRESHOLD = 65536
+
+#: Environment override for the pool start method (the CI matrix runs
+#: the suite under both ``fork`` and ``spawn`` through this).
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+#: Live pools keyed by ``(start_method, workers)``.  Shared across
+#: kernels and runs on purpose: pool start-up (especially under
+#: ``spawn``) costs more than a whole small mining run, and a serving
+#: process should pay it once.
+_POOLS: dict[tuple[str | None, int], Any] = {}
+
+
+def _count_partition(
+    task: tuple[Partition, str],
+) -> tuple[str, Any, bytes]:
+    """Worker body: count one partition's packed keys.
+
+    Runs in the pool process.  The partition arrives pickled (chunk
+    bytes travel as-is); the reply is packed into flat int64 arrays so
+    the return pickle is two buffers, not a list of pair tuples.  Keys
+    beyond 64 bits (the big-key fallback) go back as a plain list.
+    """
+    partition, via = task
+    chunks = partition.load()
+    keys = concat_columns([chunk.keys for chunk in chunks])
+    counts = count_packed_keys(keys, via=via)
+    distinct = [key for key, _ in counts]
+    tallies = array("q", (count for _, count in counts))
+    try:
+        return "q", array("q", map(int, distinct)).tobytes(), tallies.tobytes()
+    except OverflowError:
+        return "big", distinct, tallies.tobytes()
+
+
+def _unpack_counts(
+    packed: tuple[str, Any, bytes],
+) -> tuple[Sequence[int], array]:
+    """Invert the worker's reply into ``(keys, counts)`` columns."""
+    kind, distinct, tally_bytes = packed
+    tallies = array("q")
+    tallies.frombytes(tally_bytes)
+    if kind == "q":
+        keys = array("q")
+        keys.frombytes(distinct)
+        return keys, tallies
+    return distinct, tallies
+
+
+def _shared_pool(start_method: str | None, workers: int):
+    """The (lazily created, cached) pool for this configuration."""
+    key = (start_method, workers)
+    pool = _POOLS.get(key)
+    if pool is None:
+        context = multiprocessing.get_context(start_method)
+        pool = context.Pool(processes=workers)
+        if not _POOLS:
+            atexit.register(shutdown_worker_pools)
+        _POOLS[key] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Terminate every cached worker pool (idempotent).
+
+    Long-lived processes that want to release the workers — or tests
+    that must not leak them across start-method changes — call this;
+    an ``atexit`` hook calls it at interpreter exit regardless.
+    """
+    pools = list(_POOLS.values())
+    _POOLS.clear()
+    for pool in pools:
+        pool.terminate()
+        pool.join()
+
+
+class ParallelColumnarKernel(ColumnarKernel):
+    """The columnar Figure-4 steps with pooled partition counting.
+
+    ``merge_extend`` and the support filter are inherited unchanged
+    from :class:`ColumnarKernel`; only the counting of iterations with
+    at least ``parallel_threshold`` candidate rows is farmed out, one
+    key-range partition per worker.  ``workers=1`` degenerates to the
+    serial columnar kernel (no pool is ever created).
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        *,
+        workers: int | None = None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        count_via: Literal["auto", "sort", "hash"] = "auto",
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(database, count_via=count_via)
+        if workers is None:
+            workers = default_workers()
+        if (
+            isinstance(workers, bool)
+            or not isinstance(workers, int)
+            or workers < 1
+        ):
+            raise InvalidConfigError(
+                f"workers must be a positive integer or None; got {workers!r}"
+            )
+        if (
+            isinstance(parallel_threshold, bool)
+            or not isinstance(parallel_threshold, int)
+            or parallel_threshold < 0
+        ):
+            raise InvalidConfigError(
+                "parallel_threshold must be a non-negative integer; "
+                f"got {parallel_threshold!r}"
+            )
+        if start_method is None:
+            start_method = os.environ.get(START_METHOD_ENV) or None
+        if (
+            start_method is not None
+            and start_method not in multiprocessing.get_all_start_methods()
+        ):
+            raise InvalidConfigError(
+                f"start_method must be one of "
+                f"{multiprocessing.get_all_start_methods()} or None; "
+                f"got {start_method!r}"
+            )
+        self._workers = workers
+        self._parallel_threshold = parallel_threshold
+        self._start_method = start_method
+        self._k = 1
+        self._partitions_per_k: dict[int, int] = {}
+        self._short_circuited: list[int] = []
+
+    # -- Figure-4 steps -------------------------------------------------------------
+
+    def count_and_filter(self, r_prime, threshold: int):
+        if (
+            self._workers <= 1
+            or len(r_prime) < self._parallel_threshold
+        ):
+            if len(r_prime):
+                self._short_circuited.append(self._k)
+            return super().count_and_filter(r_prime, threshold)
+
+        partitions = self._partition(r_prime)
+        if len(partitions) < 2:
+            # Degenerate key distribution (every row the same pattern):
+            # nothing to parallelize over.  Empty iterations are not
+            # "short-circuited" — there was nothing to count at all.
+            if len(r_prime):
+                self._short_circuited.append(self._k)
+            return super().count_and_filter(r_prime, threshold)
+
+        pool = _shared_pool(self._start_method, self._workers)
+        replies = pool.map(
+            _count_partition,
+            [(partition, self._count_via) for partition in partitions],
+            chunksize=1,
+        )
+
+        # Submission order == ascending key range: partition results are
+        # disjoint, so the merge is concatenation and the per-partition
+        # HAVING clause is the global one.
+        candidate_patterns = 0
+        c_k: dict[int, int] = {}
+        for reply in replies:
+            keys, tallies = _unpack_counts(reply)
+            candidate_patterns += len(keys)
+            for key, count in zip(keys, tallies):
+                if count >= threshold:
+                    c_k[int(key)] = count
+        r_next = filter_by_keys(r_prime, set(c_k))
+        self._partitions_per_k[self._k] = len(partitions)
+        return candidate_patterns, c_k, r_next
+
+    def _partition(self, r_prime) -> list[Partition]:
+        """One picklable key-range work unit per worker."""
+        boundaries = boundaries_from_keys(r_prime.keys, self._workers)
+        if not boundaries:
+            return []
+        ranges = key_ranges(boundaries, len(boundaries) + 1)
+        return [
+            Partition.from_relation(
+                rows, key_low=ranges[p][0], key_high=ranges[p][1]
+            )
+            for p, rows in split_by_key_ranges(r_prime, boundaries)
+        ]
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def begin_iteration(self, k: int) -> None:
+        self._k = k
+
+    def extra_stats(self) -> dict[str, Any]:
+        return {
+            "workers": self._workers,
+            "parallel": {
+                "partitions": dict(self._partitions_per_k),
+                "parallel_iterations": sorted(self._partitions_per_k),
+                "short_circuited": sorted(set(self._short_circuited)),
+                "threshold_rows": self._parallel_threshold,
+                "start_method": (
+                    self._start_method
+                    or multiprocessing.get_start_method()
+                ),
+            },
+        }
+
+
+@register_engine(
+    "setm-parallel",
+    description=(
+        "partition-parallel SETM: R'_k key-range partitions counted "
+        "in a multiprocessing pool"
+    ),
+    representation="columnar",
+    parallel=True,
+    accepted_options=(
+        "count_via",
+        "workers",
+        "parallel_threshold",
+        "start_method",
+        "measure_memory",
+    ),
+)
+def setm_parallel(
+    database: TransactionDatabase,
+    minimum_support: float,
+    *,
+    max_length: int | None = None,
+    count_via: Literal["auto", "sort", "hash"] = "auto",
+    workers: int | None = None,
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+    start_method: str | None = None,
+    measure_memory: bool = True,
+) -> MiningResult:
+    """Mine with pooled partition counting; identical results to ``setm``.
+
+    Parameters
+    ----------
+    database:
+        The transactions to mine.
+    minimum_support:
+        Fractional minimum support in ``(0, 1]`` or absolute count.
+    max_length:
+        Optional cap on pattern length.
+    count_via:
+        Counting strategy per partition — see
+        :func:`repro.core.setm_columnar.setm_columnar`.
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.  ``workers=1``
+        forces fully serial execution (no pool, byte-identical to
+        ``setm-columnar``'s behavior).
+    parallel_threshold:
+        Iterations with fewer candidate rows than this are counted
+        in-process — pool IPC costs more than counting small relations.
+        ``0`` parallelizes every non-empty iteration (the differential
+        tests use this to force the pool).
+    start_method:
+        ``multiprocessing`` start method for the pool (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); ``None`` defers to the
+        ``REPRO_MP_START_METHOD`` environment variable, then the
+        platform default.
+
+    Returns
+    -------
+    MiningResult
+        Patterns, counts, and iteration statistics identical to
+        :func:`repro.core.setm.setm`.  ``extra`` additionally carries
+        ``workers`` and a ``"parallel"`` block — partitions per
+        iteration, which iterations went to the pool, which
+        short-circuited, and the resolved start method.
+    """
+    return run_figure4_loop(
+        database,
+        minimum_support,
+        ParallelColumnarKernel(
+            database,
+            workers=workers,
+            parallel_threshold=parallel_threshold,
+            count_via=count_via,
+            start_method=start_method,
+        ),
+        algorithm="setm-parallel",
+        max_length=max_length,
+        extra={"count_via": count_via},
+        measure_memory=measure_memory,
+    )

@@ -179,6 +179,12 @@ class Miner:
                 if spec.out_of_core
                 else "no"
             ),
+            "  parallel: "
+            + (
+                f"yes (workers={self._resolve_workers(options)})"
+                if spec.parallel
+                else "no"
+            ),
             f"  accepted options: {accepted}",
             f"minimum support: {support} -> threshold {threshold}",
             "minimum confidence: "
@@ -198,6 +204,18 @@ class Miner:
             + ("yes" if self._find_cached(config) is not None else "no"),
         ]
         return "\n".join(lines)
+
+    @staticmethod
+    def _resolve_workers(options: dict[str, object]) -> object:
+        """The worker count a parallel engine would actually use."""
+        workers = options.get("workers")
+        if workers is not None:
+            return workers
+        # Imported lazily: explain() must not drag the engine module in
+        # for sessions that never touch the parallel engine.
+        from repro.core.setm_parallel import default_workers
+
+        return default_workers()
 
     # -- post-hoc queries over the cached result ----------------------------------
 

@@ -59,6 +59,7 @@ _BUILTIN_ENGINE_MODULES = (
     "repro.core.setm",
     "repro.core.setm_columnar",
     "repro.core.setm_columnar_disk",
+    "repro.core.setm_parallel",
     "repro.core.setm_disk",
     "repro.core.setm_sql",
     "repro.core.nested_loop",
@@ -101,6 +102,10 @@ class EngineSpec:
         intermediate relations to disk (honours a
         ``memory_budget_bytes`` option), so it can mine databases whose
         ``R'_k`` relations exceed RAM.
+    parallel:
+        Whether the engine distributes iteration work across worker
+        processes (honours a ``workers`` option, defaulting to
+        ``os.cpu_count()``; ``workers=1`` forces serial execution).
     accepted_options:
         Option names the engine accepts beyond the standard
         ``(database, minimum_support, max_length)``.  ``None`` disables
@@ -115,6 +120,7 @@ class EngineSpec:
     reports_page_accesses: bool = False
     representation: str = "tuples"
     out_of_core: bool = False
+    parallel: bool = False
     accepted_options: frozenset[str] | None = frozenset()
 
     def validate_options(
@@ -155,6 +161,7 @@ def register_engine(
     reports_page_accesses: bool = False,
     representation: str = "tuples",
     out_of_core: bool = False,
+    parallel: bool = False,
     accepted_options: Iterable[str] | None = (),
     replace: bool = False,
 ) -> Callable[[Callable[..., "MiningResult"]], Callable[..., "MiningResult"]]:
@@ -177,6 +184,7 @@ def register_engine(
                 reports_page_accesses=reports_page_accesses,
                 representation=representation,
                 out_of_core=out_of_core,
+                parallel=parallel,
                 accepted_options=(
                     None
                     if accepted_options is None

@@ -172,6 +172,19 @@ class TestCapabilityFlags:
             ("setm-columnar", False, "columnar", False,
              {"count_via", "measure_memory"}),
             (
+                "setm-parallel",
+                False,
+                "columnar",
+                False,
+                {
+                    "count_via",
+                    "workers",
+                    "parallel_threshold",
+                    "start_method",
+                    "measure_memory",
+                },
+            ),
+            (
                 "setm-columnar-disk",
                 False,
                 "columnar",
@@ -219,6 +232,11 @@ class TestCapabilityFlags:
     def test_exactly_one_out_of_core_engine_today(self):
         assert [s.name for s in engine_specs() if s.out_of_core] == [
             "setm-columnar-disk"
+        ]
+
+    def test_exactly_one_parallel_engine_today(self):
+        assert [s.name for s in engine_specs() if s.parallel] == [
+            "setm-parallel"
         ]
 
     def test_memory_budget_flows_through_miner(self, example_db):

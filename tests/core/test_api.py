@@ -19,6 +19,7 @@ class TestRegistry:
             "setm",
             "setm-columnar",
             "setm-columnar-disk",
+            "setm-parallel",
             "setm-disk",
             "setm-sql",
             "setm-sqlite",
@@ -124,7 +125,7 @@ class TestRules:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_public_names_importable(self):
         for name in repro.__all__:

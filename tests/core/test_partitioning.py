@@ -1,0 +1,238 @@
+"""The partitioned-execution layer (repro.core.partitioning).
+
+The layer's contract: partitions are first-class, *picklable* work
+units (the parallel engine ships them to worker processes), key-range
+routing is disjoint and total, and plans price ``R'_k`` exactly before
+any row is materialized.  Round-trip coverage runs over relations the
+real kernel pipeline produces on seeded QUEST databases — including
+the length-prefixed big-key fallback.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.columns import (
+    InstanceRelation,
+    extension_counts,
+    suffix_extend,
+)
+from repro.core.partitioning import (
+    ROW_BYTES,
+    Partition,
+    PartitionPlan,
+    boundaries_from_keys,
+    choose_boundaries,
+    concat_columns,
+    key_ranges,
+    sample_extension_boundaries,
+    split_by_key_ranges,
+)
+from repro.core.setm_columnar import ColumnarKernel
+from repro.data.quest import QuestConfig, generate_quest_dataset
+
+
+def _pipeline_relations(db, minsup=0.05):
+    """Every relation the columnar pipeline materializes on ``db``."""
+    kernel = ColumnarKernel(db)
+    sales = kernel.make_sales()
+    relations = [sales]
+    threshold = db.absolute_support(minsup)
+    r = sales
+    while len(r):
+        r_prime = suffix_extend(r, sales.index)
+        relations.append(r_prime)
+        _, _, r = kernel.count_and_filter(r_prime, threshold)
+        relations.append(r)
+    return sales.index, relations
+
+
+def _quest_db(seed, transactions=120):
+    return generate_quest_dataset(
+        QuestConfig(
+            num_transactions=transactions,
+            avg_transaction_len=6,
+            avg_pattern_len=2,
+            seed=seed,
+        )
+    )
+
+
+class TestPartitionPickling:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pipeline_partitions_survive_pickling(self, seed):
+        """Partitions built from real pipeline relations round-trip
+        through pickle with keys, cursors, and ranges intact."""
+        index, relations = _pipeline_relations(_quest_db(seed))
+        checked = 0
+        for relation in relations:
+            if len(relation) < 4:
+                continue
+            boundaries = boundaries_from_keys(relation.keys, 3)
+            for p, rows in split_by_key_ranges(relation, boundaries):
+                bounds = [None, *boundaries, None]
+                partition = Partition.from_relation(
+                    rows, key_low=bounds[p], key_high=bounds[p + 1]
+                )
+                clone = pickle.loads(pickle.dumps(partition))
+                assert clone.k == partition.k
+                assert clone.key_low == partition.key_low
+                assert clone.key_high == partition.key_high
+                assert clone.num_rows == partition.num_rows
+                (restored,) = clone.load(index=index)
+                assert list(restored.keys) == [int(k) for k in rows.keys]
+                assert list(restored.last_sid) == [
+                    int(s) for s in rows.last_sid
+                ]
+                checked += 1
+        assert checked >= 2  # the pipeline really exercised the layer
+
+    def test_big_key_fallback_partition_round_trips(self):
+        """> 64-bit packed keys travel through pickle + chunk format."""
+        keys = [2**63, 2**90 + 17, 3001**9 + 5, 7, 0, 2**63]
+        relation = InstanceRelation(
+            None,
+            None,
+            last_sid=list(range(len(keys))),
+            keys=keys,
+            k=9,
+            index=None,
+        )
+        partition = Partition.from_relation(relation, key_low=0)
+        clone = pickle.loads(pickle.dumps(partition))
+        (restored,) = clone.load()
+        assert list(restored.keys) == keys
+        assert restored.k == 9
+
+    def test_path_backed_partition_round_trips(self, tmp_path):
+        relation = InstanceRelation(
+            None, None, last_sid=[0, 1], keys=[5, 9], k=1, index=None
+        )
+        path = tmp_path / "p0.chunks"
+        path.write_bytes(relation.to_chunk_bytes())
+        partition = Partition(1, key_low=5, key_high=10, path=path, num_rows=2)
+        clone = pickle.loads(pickle.dumps(partition))
+        (restored,) = clone.load()
+        assert list(restored.keys) == [5, 9]
+        partition.delete()
+        assert not path.exists()
+        partition.delete()  # idempotent
+
+    def test_partition_requires_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Partition(1)
+        with pytest.raises(ValueError, match="exactly one"):
+            Partition(1, payload=b"", path="x")
+
+    def test_deleted_partition_reads_fail_clearly(self):
+        relation = InstanceRelation(
+            None, None, last_sid=[0], keys=[5], k=1, index=None
+        )
+        partition = Partition.from_relation(relation)
+        partition.delete()
+        with pytest.raises(ValueError, match="deleted"):
+            partition.read_bytes()
+
+
+class TestKeyRangeRouting:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("partitions", [2, 3, 5])
+    def test_split_is_disjoint_and_total(self, seed, partitions):
+        index, relations = _pipeline_relations(_quest_db(seed))
+        r_prime = relations[1]
+        boundaries = boundaries_from_keys(r_prime.keys, partitions)
+        assert boundaries == sorted(boundaries)
+        pieces = list(split_by_key_ranges(r_prime, boundaries))
+        assert sum(len(rows) for _, rows in pieces) == len(r_prime)
+        seen = []
+        previous_max = None
+        for p, rows in pieces:
+            assert len(rows) > 0
+            seen.append(p)
+            lo = min(int(k) for k in rows.keys)
+            if previous_max is not None:
+                assert lo > previous_max  # ranges really are disjoint
+            previous_max = max(int(k) for k in rows.keys)
+        assert seen == sorted(seen)  # ascending submission order
+
+    def test_split_respects_boundary_semantics(self):
+        relation = InstanceRelation(
+            None,
+            None,
+            last_sid=list(range(6)),
+            keys=[1, 3, 5, 5, 7, 9],
+            k=1,
+            index=None,
+        )
+        pieces = dict(split_by_key_ranges(relation, [5, 8]))
+        assert list(pieces[0].keys) == [1, 3]
+        assert list(pieces[1].keys) == [5, 5, 7]  # low bound inclusive
+        assert list(pieces[2].keys) == [9]
+
+    def test_choose_boundaries_are_quantiles(self):
+        keys = list(range(100))
+        assert choose_boundaries(keys, 4) == [25, 50, 75]
+
+    def test_key_ranges_label_the_boundary_intervals(self):
+        assert key_ranges([5, 8], 3) == [(None, 5), (5, 8), (8, None)]
+        assert key_ranges(None, 2) == [(None, None), (None, None)]
+
+    def test_concat_columns_merges_heterogenous_chunks(self):
+        assert list(concat_columns([[1, 2], [3]])) == [1, 2, 3]
+        assert list(concat_columns([[1, 2]])) == [1, 2]
+
+
+class TestPartitionPlan:
+    def test_small_relations_fit_in_memory(self):
+        plan = PartitionPlan.from_predicted_rows(10, share_bytes=1024)
+        assert plan.fits_in_memory
+        assert plan.num_partitions == 1
+        assert plan.predicted_bytes == 10 * ROW_BYTES
+
+    def test_oversized_relations_get_ceil_partitions(self):
+        # 1000 rows * 16 bytes = 16000 bytes over a 4096-byte share.
+        plan = PartitionPlan.from_predicted_rows(1000, share_bytes=4096)
+        assert not plan.fits_in_memory
+        assert plan.num_partitions == 4
+
+    def test_at_least_two_partitions_once_spilling(self):
+        plan = PartitionPlan.from_predicted_rows(257, share_bytes=4096)
+        assert plan.num_partitions == 2
+
+    def test_pricing_from_extension_counts_is_exact(self):
+        index, relations = _pipeline_relations(_quest_db(2))
+        sales = relations[0]
+        plan = PartitionPlan.from_extension_counts(
+            sales, index, share_bytes=1
+        )
+        assert plan.predicted_rows == len(relations[1])
+        assert plan.predicted_rows == int(
+            sum(extension_counts(sales, index))
+        )
+
+
+class TestBoundarySampling:
+    def test_extension_sample_matches_emitted_keys(self):
+        index, relations = _pipeline_relations(_quest_db(1))
+        sales = relations[0]
+        boundaries = sample_extension_boundaries(
+            iter([sales]), index, len(sales), 3
+        )
+        assert boundaries is not None
+        emitted = sorted(int(k) for k in relations[1].keys)
+        # Sampled quantiles must land inside the emitted key domain.
+        assert emitted[0] <= boundaries[0] <= boundaries[-1] <= emitted[-1]
+
+    def test_empty_sample_returns_none(self):
+        index, relations = _pipeline_relations(_quest_db(1))
+        empty = InstanceRelation(
+            None, None, last_sid=[], keys=[], k=2, index=index
+        )
+        assert (
+            sample_extension_boundaries(iter([empty]), index, 0, 2) is None
+        )
+
+    def test_boundaries_from_keys_empty_column(self):
+        assert boundaries_from_keys([], 4) is None

@@ -219,6 +219,27 @@ class TestHousekeeping:
         assert result.extra["spill"]["bytes_written"] == 0
         assert list(tmp_path.iterdir()) == []
 
+    def test_spill_files_cleaned_up_when_counting_raises(
+        self, tmp_path, make_random_db, monkeypatch
+    ):
+        """run_figure4_loop's finally must close the kernel: an
+        exception mid-iteration (here: inside partition counting, after
+        R'_2's partitions were spilled) cannot leak temp files."""
+        import repro.core.setm_columnar_disk as disk_module
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("counting exploded")
+
+        monkeypatch.setattr(disk_module, "count_packed_keys", boom)
+        with pytest.raises(RuntimeError, match="counting exploded"):
+            setm_columnar_disk(
+                make_random_db(5),
+                0.05,
+                memory_budget_bytes=4096,
+                spill_dir=tmp_path,
+            )
+        assert list(tmp_path.iterdir()) == []
+
     def test_kernel_close_is_idempotent(self, make_random_db):
         kernel = SpillingColumnarKernel(
             make_random_db(2), memory_budget_bytes=4096

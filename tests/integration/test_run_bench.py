@@ -73,9 +73,40 @@ class TestTinyRun:
         assert "well-formed" in capsys.readouterr().out
 
 
+class TestTinyWorkerSweep:
+    """``--workers 2`` (the CI smoke flags) adds the parallel scenario."""
+
+    @pytest.fixture(scope="class")
+    def document(self, run_bench, tmp_path_factory):
+        output = tmp_path_factory.mktemp("bench") / "BENCH_setm.json"
+        code = run_bench.main(
+            [
+                "--tiny", "--rounds", "1", "--workers", "2",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        return json.loads(output.read_text())
+
+    def test_schema_validates(self, run_bench, document):
+        assert run_bench.validate(document) == []
+
+    def test_sweep_recorded_and_pool_exercised(self, document):
+        sweep = document["workloads"][0]["worker_sweep"]
+        assert sweep["engine"] == "setm-parallel"
+        assert sweep["cpus"] >= 1
+        assert sweep["parallel_threshold"] == 0
+        assert [entry["workers"] for entry in sweep["runs"]] == [1, 2]
+        for entry in sweep["runs"]:
+            assert entry["agreement"] is True
+            assert entry["elapsed_seconds"] > 0
+        # The 2-worker run really sent iterations to the pool.
+        assert sweep["runs"][-1]["parallel_iterations"]
+
+
 class TestValidator:
     def test_rejects_missing_workloads(self, run_bench):
-        errors = run_bench.validate({"schema_version": 2})
+        errors = run_bench.validate({"schema_version": 3})
         assert any("workloads" in error for error in errors)
 
     def test_rejects_wrong_version(self, run_bench):
@@ -84,7 +115,7 @@ class TestValidator:
 
     def test_rejects_malformed_engine_block(self, run_bench, tmp_path):
         document = {
-            "schema_version": 2,
+            "schema_version": 3,
             "generated_at": "now",
             "python": "3",
             "tiny": True,
@@ -112,7 +143,7 @@ class TestValidator:
 
     def test_rejects_single_partition_constrained_scenario(self, run_bench):
         document = {
-            "schema_version": 2,
+            "schema_version": 3,
             "generated_at": "now",
             "python": "3",
             "tiny": True,

@@ -219,6 +219,29 @@ class TestMine:
         assert code == 2
         assert "memory_budget_bytes" in output
 
+    def test_workers_flag_reaches_parallel_engine(self, example_basket):
+        import json
+
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--engine", "setm-parallel", "--workers", "2", "--json",
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert document["algorithm"] == "setm-parallel"
+        assert document["workers"] == 2
+        assert document["parallel"]["threshold_rows"] > 0
+
+    def test_workers_rejected_for_serial_engine(self, example_basket):
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--workers", "2",
+        )
+        assert code == 2
+        assert "workers" in output
+
 
 class TestEngines:
     def test_lists_every_registered_engine(self):
@@ -229,6 +252,7 @@ class TestEngines:
         for name in available_engines():
             assert name in output
         assert "out-of-core" in output
+        assert "parallel" in output
         assert "representation" in output
 
     def test_json_document_carries_capabilities(self):
@@ -246,6 +270,8 @@ class TestEngines:
         assert by_name["setm-columnar-disk"]["out_of_core"] is True
         assert by_name["setm-disk"]["reports_page_accesses"] is True
         assert by_name["setm"]["representation"] == "tuples"
+        assert by_name["setm-parallel"]["parallel"] is True
+        assert by_name["setm-columnar"]["parallel"] is False
         assert (
             "memory_budget_bytes"
             in by_name["setm-columnar-disk"]["accepted_options"]
