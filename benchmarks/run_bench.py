@@ -25,11 +25,22 @@ The Table 6.2 workload and the largest QUEST workload also run a
 differentially checked against ``setm`` and recorded with its partition
 counts and its speedup over ``setm-columnar`` (the serial engine it
 shares every non-counting pass with).  The host CPU count is recorded
-alongside — on a single-core machine the ≥ 2-worker rows measure pure
-coordination overhead, which is exactly what they should show there.
-``--workers N`` narrows the sweep to ``{1, N}`` and extends it to the
-tiny smoke (with ``parallel_threshold=0`` so the pool path runs at
-smoke scale), which is how CI exercises the pool on every push.
+alongside, and on a single-CPU host the ≥ 2-worker rows are tagged
+``coordination_overhead_only`` with ``speedup_vs_columnar`` nulled —
+pure coordination overhead must never be recorded as a parallel
+regression (ROADMAP carries the multi-core re-run item).  ``--workers
+N`` narrows the sweep to ``{1, N}`` and extends it to the tiny smoke
+(with ``parallel_threshold=0`` so the pool path runs at smoke scale),
+which is how CI exercises the pool on every push.
+
+The Table 6.2 workload (and the tiny smoke under ``--workers``)
+additionally runs the **spill-parallel sweep**: ``setm-spill-parallel``
+under the same constrained memory budget across the worker counts —
+the pooled counting of *on-disk* partitions.  Every run is
+differentially checked against ``setm``, must actually have spilled
+(≥ 2 partitions) and, above one worker, must actually have reached the
+pool; speedups are measured against ``setm-columnar-disk`` at the same
+budget and carry the same single-CPU tagging.
 
 Unlike the ``pytest-benchmark`` suites in this directory (which
 regenerate the paper's figures), this is a plain script so CI and
@@ -63,10 +74,11 @@ from repro.core.setm import setm  # noqa: E402
 from repro.core.setm_columnar import setm_columnar  # noqa: E402
 from repro.core.setm_columnar_disk import setm_columnar_disk  # noqa: E402
 from repro.core.setm_parallel import setm_parallel  # noqa: E402
+from repro.core.setm_spill_parallel import setm_spill_parallel  # noqa: E402
 from repro.data.quest import QuestConfig, generate_quest_dataset  # noqa: E402
 from repro.data.retail import generate_retail_dataset  # noqa: E402
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 ENGINES = {"setm": setm, "setm-columnar": setm_columnar}
 
 #: Worker counts swept per workload (setm-parallel, differentially
@@ -76,6 +88,12 @@ ENGINES = {"setm": setm, "setm-columnar": setm_columnar}
 WORKER_SWEEPS = {
     "table6.2-retail": (1, 2, 4),
     "quest-T10.I4.D10K": (1, 2, 4),
+}
+
+#: Workloads carrying the combined constrained-memory × worker sweep
+#: (setm-spill-parallel under the workload's CONSTRAINED_BUDGETS entry).
+SPILL_PARALLEL_SWEEPS = {
+    "table6.2-retail": (1, 2, 4),
 }
 
 #: The tiny smoke forces the pool path at smoke scale (its R'_k are far
@@ -233,6 +251,109 @@ def _bench_constrained(
     }
 
 
+def _tag_single_cpu(entry: dict, speedup_key: str) -> bool:
+    """Refuse to record a ≥ 2-worker "speedup" measured on one CPU.
+
+    On a single-CPU host a multi-worker run can only measure pool
+    coordination overhead; recording its sub-1x ratio as a speedup
+    would read as a parallel regression in the committed baseline.
+    Such rows get ``speedup`` nulled and an explicit
+    ``coordination_overhead_only`` tag instead (ROADMAP carries the
+    multi-core re-run item).  Returns True when the row was tagged.
+    """
+    if os.cpu_count() == 1 and entry["workers"] > 1:
+        entry[speedup_key] = None
+        entry["coordination_overhead_only"] = True
+        return True
+    return False
+
+
+def _bench_spill_parallel(
+    name: str,
+    database,
+    minsup: float,
+    budget: int,
+    sweep: tuple[int, ...],
+    reference,
+    spill_serial_elapsed: float,
+    rounds: int,
+) -> dict:
+    """The combined scenario: ``setm-spill-parallel`` budget × workers.
+
+    Every run is differentially checked against the ``setm`` reference,
+    must actually have spilled (≥ 2 partitions — otherwise the budget
+    measured nothing), and, above one worker, must actually have sent
+    partitions to the pool.  Speedups are against ``setm-columnar-disk``
+    at the *same* budget — the serial engine it shares the whole spill
+    pipeline with — and carry the single-CPU tagging.
+    """
+    runs = []
+    for workers in sweep:
+        bench = _bench_engine(
+            setm_spill_parallel,
+            database,
+            minsup,
+            rounds,
+            memory_budget_bytes=budget,
+            workers=workers,
+        )
+        metered = bench["metered_result"]
+        if not (
+            reference.same_patterns_as(metered)
+            and reference.iterations == metered.iterations
+        ):
+            raise SystemExit(
+                f"spill-parallel sweep on {name}: setm-spill-parallel with "
+                f"{workers} workers disagrees with setm; refusing to record"
+            )
+        spill = metered.extra["spill"]
+        parallel = metered.extra["parallel"]
+        if spill["max_partitions"] < 2:
+            raise SystemExit(
+                f"spill-parallel sweep on {name}: budget {budget} forced "
+                f"only {spill['max_partitions']} partitions (need >= 2)"
+            )
+        if workers > 1 and not parallel["parallel_iterations"]:
+            raise SystemExit(
+                f"spill-parallel sweep on {name}: {workers} workers never "
+                "reached the pool; nothing measured"
+            )
+        elapsed = bench["measurements"]["elapsed_seconds"]
+        speedup = (
+            round(spill_serial_elapsed / elapsed, 3) if elapsed > 0 else None
+        )
+        entry = {
+            "workers": workers,
+            "elapsed_seconds": elapsed,
+            "peak_memory_bytes": bench["measurements"]["peak_memory_bytes"],
+            "partitions": {
+                str(k): p for k, p in spill["partitions"].items()
+            },
+            "parallel_iterations": parallel["parallel_iterations"],
+            "spill_bytes_written": spill["bytes_written"],
+            "speedup_vs_spill_serial": speedup,
+            "agreement": True,
+        }
+        note = _tag_single_cpu(entry, "speedup_vs_spill_serial")
+        print(
+            f"  spill-parallel workers={workers}: {elapsed:.3f}s, "
+            f"pooled iterations {parallel['parallel_iterations']}, "
+            + (
+                f"{entry['speedup_vs_spill_serial']}x vs setm-columnar-disk"
+                if not note
+                else "coordination overhead only (1 CPU)"
+            ),
+            flush=True,
+        )
+        runs.append(entry)
+    return {
+        "engine": "setm-spill-parallel",
+        "memory_budget_bytes": budget,
+        "cpus": os.cpu_count(),
+        "runs": runs,
+    }
+
+
 def _bench_worker_sweep(
     name: str,
     database,
@@ -272,41 +393,39 @@ def _bench_worker_sweep(
         speedup = (
             round(columnar_elapsed / elapsed, 3) if elapsed > 0 else None
         )
+        entry = {
+            "workers": workers,
+            "elapsed_seconds": elapsed,
+            "iteration_seconds": bench["measurements"][
+                "iteration_seconds"
+            ],
+            "peak_memory_bytes": bench["measurements"][
+                "peak_memory_bytes"
+            ],
+            "partitions": {
+                str(k): p for k, p in parallel["partitions"].items()
+            },
+            "parallel_iterations": parallel["parallel_iterations"],
+            "speedup_vs_columnar": speedup,
+            "agreement": True,
+        }
+        note = _tag_single_cpu(entry, "speedup_vs_columnar")
         print(
             f"  workers={workers}: {elapsed:.3f}s, "
             f"pooled iterations {parallel['parallel_iterations']}, "
-            f"{speedup}x vs setm-columnar",
+            + (
+                f"{entry['speedup_vs_columnar']}x vs setm-columnar"
+                if not note
+                else "coordination overhead only (1 CPU)"
+            ),
             flush=True,
         )
-        runs.append(
-            {
-                "workers": workers,
-                "elapsed_seconds": elapsed,
-                "iteration_seconds": bench["measurements"][
-                    "iteration_seconds"
-                ],
-                "peak_memory_bytes": bench["measurements"][
-                    "peak_memory_bytes"
-                ],
-                "partitions": {
-                    str(k): p for k, p in parallel["partitions"].items()
-                },
-                "parallel_iterations": parallel["parallel_iterations"],
-                "speedup_vs_columnar": speedup,
-                "agreement": True,
-            }
-        )
+        runs.append(entry)
     top = runs[-1]
     if sweep[-1] > 1 and not top["parallel_iterations"]:
         raise SystemExit(
             f"worker sweep on {name}: {sweep[-1]} workers never reached "
             "the pool (every iteration short-circuited); nothing measured"
-        )
-    if os.cpu_count() == 1 and sweep[-1] > 1:
-        print(
-            "  note: single-CPU host — the >= 2-worker rows measure "
-            "coordination overhead, not parallel speedup",
-            flush=True,
         )
     return {
         "engine": "setm-parallel",
@@ -400,6 +519,24 @@ def run(
                 rounds,
                 parallel_threshold=threshold,
             )
+        # The combined scenario rides on the constrained budget: pooled
+        # counting of on-disk partitions, swept across worker counts.
+        combined_sweep = SPILL_PARALLEL_SWEEPS.get(name, ())
+        if workers is not None and (
+            name in SPILL_PARALLEL_SWEEPS or name == TINY_WORKLOAD
+        ):
+            combined_sweep = tuple(sorted({1, workers}))
+        if combined_sweep and budget is not None:
+            workload_entry["spill_parallel"] = _bench_spill_parallel(
+                name,
+                database,
+                minsup,
+                budget,
+                combined_sweep,
+                results["setm"],
+                workload_entry["constrained_memory"]["elapsed_seconds"],
+                rounds,
+            )
         workloads.append(workload_entry)
     return {
         "schema_version": SCHEMA_VERSION,
@@ -490,7 +627,7 @@ def validate(document: dict) -> list[str]:
             if sweep is not None:
                 prefix = f"{where}.worker_sweep"
                 need(sweep, "engine", str, prefix)
-                need(sweep, "cpus", int, prefix)
+                cpus = need(sweep, "cpus", int, prefix)
                 runs = need(sweep, "runs", list, prefix)
                 if not runs:
                     errors.append(f"{prefix}.runs: must be a non-empty list")
@@ -501,6 +638,74 @@ def validate(document: dict) -> list[str]:
                     need(entry, "agreement", bool, run_prefix)
                     need(entry, "partitions", dict, run_prefix)
                     need(entry, "parallel_iterations", list, run_prefix)
+                    errors.extend(
+                        _check_single_cpu_tag(
+                            entry, cpus, "speedup_vs_columnar", run_prefix
+                        )
+                    )
+        if "spill_parallel" in (workload or {}):
+            combined = need(workload, "spill_parallel", dict, where)
+            if combined is not None:
+                prefix = f"{where}.spill_parallel"
+                need(combined, "engine", str, prefix)
+                need(combined, "memory_budget_bytes", int, prefix)
+                cpus = need(combined, "cpus", int, prefix)
+                runs = need(combined, "runs", list, prefix)
+                if not runs:
+                    errors.append(f"{prefix}.runs: must be a non-empty list")
+                for j, entry in enumerate(runs or ()):
+                    run_prefix = f"{prefix}.runs[{j}]"
+                    need(entry, "workers", int, run_prefix)
+                    need(entry, "elapsed_seconds", (int, float), run_prefix)
+                    need(entry, "agreement", bool, run_prefix)
+                    need(entry, "partitions", dict, run_prefix)
+                    pooled = need(
+                        entry, "parallel_iterations", list, run_prefix
+                    )
+                    need(entry, "spill_bytes_written", int, run_prefix)
+                    workers_value = entry.get("workers")
+                    if (
+                        isinstance(workers_value, int)
+                        and workers_value > 1
+                        and pooled == []
+                    ):
+                        errors.append(
+                            f"{run_prefix}.parallel_iterations: a multi-"
+                            "worker run must have reached the pool"
+                        )
+                    errors.extend(
+                        _check_single_cpu_tag(
+                            entry, cpus, "speedup_vs_spill_serial", run_prefix
+                        )
+                    )
+    return errors
+
+
+def _check_single_cpu_tag(
+    entry: dict, cpus: int | None, speedup_key: str, where: str
+) -> list[str]:
+    """Schema errors for the single-CPU coordination-overhead tagging.
+
+    A ≥ 2-worker row measured on one CPU must carry
+    ``coordination_overhead_only: true`` and a null speedup — a numeric
+    "speedup" there would record pool coordination overhead as a
+    parallel regression (the stale-caveat failure mode this schema
+    version retires).
+    """
+    workers = entry.get("workers")
+    if cpus != 1 or not isinstance(workers, int) or workers <= 1:
+        return []
+    errors = []
+    if entry.get("coordination_overhead_only") is not True:
+        errors.append(
+            f"{where}: a >1-worker run on a 1-CPU host must be tagged "
+            "coordination_overhead_only"
+        )
+    if entry.get(speedup_key) is not None:
+        errors.append(
+            f"{where}.{speedup_key}: must be null on a 1-CPU host "
+            "(coordination overhead is not a speedup)"
+        )
     return errors
 
 

@@ -22,6 +22,8 @@ Examples::
     python -m repro mine r.basket --engine setm-columnar-disk \\
         --memory-budget 64M
     python -m repro mine r.basket --engine setm-parallel --workers 4
+    python -m repro mine r.basket --engine setm-spill-parallel \\
+        --memory-budget 64M --workers 4
     python -m repro engines --json
     python -m repro sql --k 3 --strategy sort-merge
     python -m repro analyze

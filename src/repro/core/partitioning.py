@@ -68,6 +68,7 @@ __all__ = [
     "boundaries_from_keys",
     "choose_boundaries",
     "concat_columns",
+    "decode_vector_chunks",
     "key_ranges",
     "output_slices",
     "sample_extension_boundaries",
@@ -91,6 +92,27 @@ def _int64_view(column):
     if isinstance(column, _np.ndarray):
         return column
     return _np.frombuffer(column, dtype=_np.int64)
+
+
+def decode_vector_chunks(
+    data: bytes, *, index: "SalesIndex | None" = None
+) -> list[InstanceRelation]:
+    """Deserialize a spill blob into chunks with vectorized columns.
+
+    The one decoder both partition consumers read spill bytes through
+    (the serial kernel in-process, the pooled engine inside its
+    workers), so they can never drift: int64 chunks load as
+    ``array('q')`` and are wrapped in zero-copy numpy views for the
+    counting/filter primitives; big-key fallback chunks stay plain
+    lists.  ``index`` reattaches the lazily-derived columns.
+    """
+    chunks = list(read_chunks(data, index=index))
+    if _np is not None:
+        for chunk in chunks:
+            if not isinstance(chunk.keys, list):
+                chunk.keys = _int64_view(chunk.keys)
+                chunk.last_sid = _int64_view(chunk.last_sid)
+    return chunks
 
 
 def concat_columns(columns: list) -> Any:
@@ -224,11 +246,14 @@ def sample_extension_boundaries(
     sample_keys: list[int] = []
     for chunk in chunks:
         positions = range(0, len(chunk), stride)
+        # Plain ints, not np.int64 scalars: the sampled relation may
+        # feed the big-integer fallback of suffix_extend, whose
+        # ``int.__mul__`` packing rejects numpy scalars.
         sampled = InstanceRelation(
             None,
             None,
-            last_sid=[chunk.last_sid[i] for i in positions],
-            keys=[chunk.keys[i] for i in positions],
+            last_sid=[int(chunk.last_sid[i]) for i in positions],
+            keys=[int(chunk.keys[i]) for i in positions],
             k=chunk.k,
             index=index,
         )

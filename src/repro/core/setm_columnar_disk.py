@@ -53,16 +53,15 @@ from repro.core.columns import (
     count_packed_keys,
     extension_counts,
     filter_by_keys,
-    read_chunks,
     suffix_extend,
 )
 from repro.core.partitioning import (
     ROW_BYTES,
     Partition,
     PartitionPlan,
-    _int64_view,
     choose_boundaries,
     concat_columns,
+    decode_vector_chunks,
     key_ranges,
     output_slices,
     sample_extension_boundaries,
@@ -75,11 +74,6 @@ from repro.core.setm_columnar import ColumnarKernel
 from repro.core.transactions import TransactionDatabase
 from repro.errors import InvalidConfigError
 from repro.registry import register_engine
-
-try:  # pragma: no cover - same optional dependency as repro.core.columns
-    import numpy as _np
-except ImportError:
-    _np = None
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET",
@@ -213,16 +207,7 @@ class SpillingColumnarKernel(ColumnarKernel):
 
     def _decode_chunks(self, data: bytes) -> list[InstanceRelation]:
         self._bytes_read += len(data)
-        chunks = list(read_chunks(data, index=self._index))
-        if _np is not None:
-            # int64 chunks load as array('q'); give the counting/filter
-            # primitives their zero-copy vectorized views.  Big-key
-            # fallback chunks stay plain lists.
-            for chunk in chunks:
-                if not isinstance(chunk.keys, list):
-                    chunk.keys = _int64_view(chunk.keys)
-                    chunk.last_sid = _int64_view(chunk.last_sid)
-        return chunks
+        return decode_vector_chunks(data, index=self._index)
 
     def _load_chunks(self, path: Path) -> list[InstanceRelation]:
         return self._decode_chunks(path.read_bytes())

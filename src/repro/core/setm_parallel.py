@@ -45,6 +45,7 @@ import atexit
 import multiprocessing
 import os
 from array import array
+from multiprocessing.pool import RUN as _POOL_RUN
 from typing import Any, Literal, Sequence
 
 from repro.core.columns import count_packed_keys, filter_by_keys
@@ -66,8 +67,12 @@ __all__ = [
     "DEFAULT_PARALLEL_THRESHOLD",
     "ParallelColumnarKernel",
     "default_workers",
+    "pool_map",
+    "resolve_start_method",
+    "resolved_start_method",
     "setm_parallel",
     "shutdown_worker_pools",
+    "validate_workers",
 ]
 
 
@@ -93,8 +98,67 @@ START_METHOD_ENV = "REPRO_MP_START_METHOD"
 #: Live pools keyed by ``(start_method, workers)``.  Shared across
 #: kernels and runs on purpose: pool start-up (especially under
 #: ``spawn``) costs more than a whole small mining run, and a serving
-#: process should pay it once.
+#: process should pay it once.  ``setm-spill-parallel`` dispatches its
+#: on-disk partitions to these same pools.
 _POOLS: dict[tuple[str | None, int], Any] = {}
+
+
+def validate_workers(workers: int | None) -> int:
+    """``workers`` as a validated positive int (``None`` → CPU count).
+
+    Shared by every parallel kernel so the error message — and the
+    ``os.cpu_count()`` default — have exactly one owner.
+    """
+    if workers is None:
+        workers = default_workers()
+    if (
+        isinstance(workers, bool)
+        or not isinstance(workers, int)
+        or workers < 1
+    ):
+        raise InvalidConfigError(
+            f"workers must be a positive integer or None; got {workers!r}"
+        )
+    return workers
+
+
+def resolve_start_method(start_method: str | None) -> str | None:
+    """A validated pool start method (``None`` → env override → platform).
+
+    ``None`` defers first to the ``REPRO_MP_START_METHOD`` environment
+    variable (the CI matrix's knob), then to the platform default at
+    pool-creation time.
+    """
+    if start_method is None:
+        start_method = os.environ.get(START_METHOD_ENV) or None
+    if (
+        start_method is not None
+        and start_method not in multiprocessing.get_all_start_methods()
+    ):
+        raise InvalidConfigError(
+            f"start_method must be one of "
+            f"{multiprocessing.get_all_start_methods()} or None; "
+            f"got {start_method!r}"
+        )
+    return start_method
+
+
+def resolved_start_method(start_method: str | None) -> str:
+    """The concrete method a ``None`` configuration resolves to."""
+    return start_method or multiprocessing.get_start_method()
+
+
+def _pack_counts(counts: Sequence[tuple[int, int]]) -> tuple[str, Any, bytes]:
+    """``(key, count)`` pairs as two flat buffers for the return pickle.
+
+    Keys beyond 64 bits (the big-key fallback) go back as a plain list.
+    """
+    distinct = [key for key, _ in counts]
+    tallies = array("q", (count for _, count in counts))
+    try:
+        return "q", array("q", map(int, distinct)).tobytes(), tallies.tobytes()
+    except OverflowError:
+        return "big", distinct, tallies.tobytes()
 
 
 def _count_partition(
@@ -104,19 +168,12 @@ def _count_partition(
 
     Runs in the pool process.  The partition arrives pickled (chunk
     bytes travel as-is); the reply is packed into flat int64 arrays so
-    the return pickle is two buffers, not a list of pair tuples.  Keys
-    beyond 64 bits (the big-key fallback) go back as a plain list.
+    the return pickle is two buffers, not a list of pair tuples.
     """
     partition, via = task
     chunks = partition.load()
     keys = concat_columns([chunk.keys for chunk in chunks])
-    counts = count_packed_keys(keys, via=via)
-    distinct = [key for key, _ in counts]
-    tallies = array("q", (count for _, count in counts))
-    try:
-        return "q", array("q", map(int, distinct)).tobytes(), tallies.tobytes()
-    except OverflowError:
-        return "big", distinct, tallies.tobytes()
+    return _pack_counts(count_packed_keys(keys, via=via))
 
 
 def _unpack_counts(
@@ -133,10 +190,30 @@ def _unpack_counts(
     return distinct, tallies
 
 
+def _pool_alive(pool: Any) -> bool:
+    """Whether a pool can still accept work.
+
+    A pool survives *worker* exceptions (they propagate out of ``map``
+    and the processes live on), but a terminated/closed/broken pool is
+    permanently dead — ``map`` would raise ``ValueError: Pool not
+    running`` forever.  The state attribute is CPython-internal, so an
+    implementation without it is conservatively treated as alive.
+    """
+    return getattr(pool, "_state", _POOL_RUN) == _POOL_RUN
+
+
 def _shared_pool(start_method: str | None, workers: int):
-    """The (lazily created, cached) pool for this configuration."""
+    """The (lazily created, cached) pool for this configuration.
+
+    A cached pool that died since the last run (terminated by a test,
+    broken by a crashed worker) is discarded and transparently
+    recreated — a stale cache entry must never fail a fresh run.
+    """
     key = (start_method, workers)
     pool = _POOLS.get(key)
+    if pool is not None and not _pool_alive(pool):
+        del _POOLS[key]
+        pool = None
     if pool is None:
         context = multiprocessing.get_context(start_method)
         pool = context.Pool(processes=workers)
@@ -144,6 +221,27 @@ def _shared_pool(start_method: str | None, workers: int):
             atexit.register(shutdown_worker_pools)
         _POOLS[key] = pool
     return pool
+
+
+def pool_map(
+    start_method: str | None, workers: int, func: Any, tasks: Sequence
+) -> list:
+    """Map ``func`` over ``tasks`` on the cached pool for this config.
+
+    Worker exceptions propagate unchanged (the pool itself survives
+    them and stays cached for the next run).  If the dispatch itself
+    fails because the pool broke mid-flight, the dead pool is evicted
+    from the cache so the next run starts a fresh one instead of
+    hitting ``Pool not running`` forever.
+    """
+    key = (start_method, workers)
+    pool = _shared_pool(start_method, workers)
+    try:
+        return pool.map(func, tasks, chunksize=1)
+    except BaseException:
+        if not _pool_alive(pool) and _POOLS.get(key) is pool:
+            del _POOLS[key]
+        raise
 
 
 def shutdown_worker_pools() -> None:
@@ -180,16 +278,6 @@ class ParallelColumnarKernel(ColumnarKernel):
         start_method: str | None = None,
     ) -> None:
         super().__init__(database, count_via=count_via)
-        if workers is None:
-            workers = default_workers()
-        if (
-            isinstance(workers, bool)
-            or not isinstance(workers, int)
-            or workers < 1
-        ):
-            raise InvalidConfigError(
-                f"workers must be a positive integer or None; got {workers!r}"
-            )
         if (
             isinstance(parallel_threshold, bool)
             or not isinstance(parallel_threshold, int)
@@ -199,20 +287,9 @@ class ParallelColumnarKernel(ColumnarKernel):
                 "parallel_threshold must be a non-negative integer; "
                 f"got {parallel_threshold!r}"
             )
-        if start_method is None:
-            start_method = os.environ.get(START_METHOD_ENV) or None
-        if (
-            start_method is not None
-            and start_method not in multiprocessing.get_all_start_methods()
-        ):
-            raise InvalidConfigError(
-                f"start_method must be one of "
-                f"{multiprocessing.get_all_start_methods()} or None; "
-                f"got {start_method!r}"
-            )
-        self._workers = workers
+        self._workers = validate_workers(workers)
         self._parallel_threshold = parallel_threshold
-        self._start_method = start_method
+        self._start_method = resolve_start_method(start_method)
         self._k = 1
         self._partitions_per_k: dict[int, int] = {}
         self._short_circuited: list[int] = []
@@ -237,11 +314,11 @@ class ParallelColumnarKernel(ColumnarKernel):
                 self._short_circuited.append(self._k)
             return super().count_and_filter(r_prime, threshold)
 
-        pool = _shared_pool(self._start_method, self._workers)
-        replies = pool.map(
+        replies = pool_map(
+            self._start_method,
+            self._workers,
             _count_partition,
             [(partition, self._count_via) for partition in partitions],
-            chunksize=1,
         )
 
         # Submission order == ascending key range: partition results are
@@ -285,10 +362,7 @@ class ParallelColumnarKernel(ColumnarKernel):
                 "parallel_iterations": sorted(self._partitions_per_k),
                 "short_circuited": sorted(set(self._short_circuited)),
                 "threshold_rows": self._parallel_threshold,
-                "start_method": (
-                    self._start_method
-                    or multiprocessing.get_start_method()
-                ),
+                "start_method": resolved_start_method(self._start_method),
             },
         }
 

@@ -197,6 +197,20 @@ class TestCapabilityFlags:
                 },
             ),
             (
+                "setm-spill-parallel",
+                False,
+                "columnar",
+                True,
+                {
+                    "count_via",
+                    "memory_budget_bytes",
+                    "spill_dir",
+                    "workers",
+                    "start_method",
+                    "measure_memory",
+                },
+            ),
+            (
                 "setm-disk",
                 True,
                 "paged",
@@ -229,15 +243,22 @@ class TestCapabilityFlags:
         assert spec.accepted_options == frozenset(accepted)
         assert spec.supports_max_length is True
 
-    def test_exactly_one_out_of_core_engine_today(self):
+    def test_out_of_core_engines(self):
         assert [s.name for s in engine_specs() if s.out_of_core] == [
-            "setm-columnar-disk"
+            "setm-columnar-disk",
+            "setm-spill-parallel",
         ]
 
-    def test_exactly_one_parallel_engine_today(self):
+    def test_parallel_engines(self):
         assert [s.name for s in engine_specs() if s.parallel] == [
-            "setm-parallel"
+            "setm-parallel",
+            "setm-spill-parallel",
         ]
+
+    def test_exactly_one_engine_with_both_capabilities(self):
+        assert [
+            s.name for s in engine_specs() if s.parallel and s.out_of_core
+        ] == ["setm-spill-parallel"]
 
     def test_memory_budget_flows_through_miner(self, example_db):
         result = Miner(example_db).frequent_itemsets(

@@ -20,6 +20,7 @@ class TestRegistry:
             "setm-columnar",
             "setm-columnar-disk",
             "setm-parallel",
+            "setm-spill-parallel",
             "setm-disk",
             "setm-sql",
             "setm-sqlite",
@@ -125,7 +126,7 @@ class TestRules:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_public_names_importable(self):
         for name in repro.__all__:

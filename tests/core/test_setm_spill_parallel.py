@@ -1,0 +1,359 @@
+"""Tests for the spill-AND-parallel engine (repro.core.setm_spill_parallel).
+
+The acceptance bar: ``setm-spill-parallel`` must produce patterns,
+rules, and iteration statistics identical to ``setm`` across a QUEST ×
+minsup × workers grid under a memory budget small enough to force at
+least two spill partitions — with telemetry proving the pooled by-path
+counting branch actually ran, not a silent fallback to either parent
+engine.
+
+Failure injection (ISSUE 5 satellite): a worker raising mid-partition
+must leave no spill files behind (the Figure-4 loop's ``finally``
+closes the kernel, which removes the spill root), and the shared pool
+must stay usable after a worker exception — or be cleanly recreated
+after an outright pool break.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce
+from repro.core.rules import generate_rules
+from repro.core.setm import run_figure4_loop, setm
+from repro.core.setm_columnar_disk import SpilledPartitions, setm_columnar_disk
+from repro.core.setm_spill_parallel import (
+    SpillParallelKernel,
+    setm_spill_parallel,
+)
+from repro.core.transactions import TransactionDatabase
+from repro.data.quest import QuestConfig, generate_quest_dataset
+from repro.errors import InvalidConfigError
+
+#: Small enough to force >= 2 spill partitions on the grid databases
+#: below (their R'_2 runs to a few thousand 16-byte rows).
+GRID_BUDGET = 48 * 1024
+
+
+def _quest_db(seed, transactions=400):
+    return generate_quest_dataset(
+        QuestConfig(
+            num_transactions=transactions,
+            avg_transaction_len=7,
+            avg_pattern_len=3,
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def quest_references():
+    """``setm`` oracles per (seed, minsup) grid point."""
+    grid = {}
+    for seed in (0, 1):
+        db = _quest_db(seed)
+        for minsup in (0.01, 0.03):
+            grid[(seed, minsup)] = (db, setm(db, minsup, measure_memory=False))
+    return grid
+
+
+class TestDifferentialGrid:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("minsup", [0.01, 0.03])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_setm_across_grid(
+        self, quest_references, seed, minsup, workers
+    ):
+        db, reference = quest_references[(seed, minsup)]
+        result = setm_spill_parallel(
+            db,
+            minsup,
+            workers=workers,
+            memory_budget_bytes=GRID_BUDGET,
+            measure_memory=False,
+        )
+        assert result.same_patterns_as(reference)
+        assert result.iterations == reference.iterations
+        assert result.unfiltered_item_counts == (
+            reference.unfiltered_item_counts
+        )
+        assert result.extra["workers"] == workers
+        # The budget really forced spilling...
+        assert result.extra["spill"]["max_partitions"] >= 2
+        if workers > 1:
+            # ... and the spilled iterations really went to the pool.
+            assert result.extra["parallel"]["parallel_iterations"]
+        else:
+            assert result.extra["parallel"]["parallel_iterations"] == []
+
+    def test_matches_bruteforce_on_example(self, example_db):
+        result = setm_spill_parallel(
+            example_db, 0.30, workers=2, memory_budget_bytes=1024
+        )
+        assert result.same_patterns_as(bruteforce(example_db, 0.30))
+
+    def test_rules_identical_to_setm(self, quest_references):
+        db, reference = quest_references[(0, 0.01)]
+        result = setm_spill_parallel(
+            db,
+            0.01,
+            workers=2,
+            memory_budget_bytes=GRID_BUDGET,
+            measure_memory=False,
+        )
+        assert generate_rules(result, 0.5) == generate_rules(reference, 0.5)
+
+    def test_max_length(self, quest_references):
+        db, _ = quest_references[(0, 0.01)]
+        result = setm_spill_parallel(
+            db,
+            0.01,
+            workers=2,
+            memory_budget_bytes=GRID_BUDGET,
+            max_length=2,
+        )
+        assert result.max_pattern_length <= 2
+
+    def test_spawn_start_method_agrees(self, quest_references):
+        """The spawn leg: tasks, paths, and replies must all pickle."""
+        db, reference = quest_references[(1, 0.03)]
+        result = setm_spill_parallel(
+            db,
+            0.03,
+            workers=2,
+            memory_budget_bytes=GRID_BUDGET,
+            start_method="spawn",
+            measure_memory=False,
+        )
+        assert result.same_patterns_as(reference)
+        assert result.iterations == reference.iterations
+        assert result.extra["parallel"]["start_method"] == "spawn"
+        assert result.extra["parallel"]["parallel_iterations"]
+
+    def test_agrees_with_serial_spill_engine(self, quest_references):
+        """Same patterns, same spill partitioning as setm-columnar-disk."""
+        db, _ = quest_references[(0, 0.01)]
+        pooled = setm_spill_parallel(
+            db,
+            0.01,
+            workers=2,
+            memory_budget_bytes=GRID_BUDGET,
+            measure_memory=False,
+        )
+        serial = setm_columnar_disk(
+            db, 0.01, memory_budget_bytes=GRID_BUDGET, measure_memory=False
+        )
+        assert pooled.same_patterns_as(serial)
+        assert pooled.iterations == serial.iterations
+        # Same budget => same partition plan; only the consumer differs.
+        assert (
+            pooled.extra["spill"]["partitions"]
+            == serial.extra["spill"]["partitions"]
+        )
+
+
+class TestBigKeyFallback:
+    def test_overflow_keys_travel_through_the_pooled_disk_path(self):
+        import random
+
+        rng = random.Random(0)
+        items = list(range(1, 3001))  # base 3001: 3001**7 > 2**63
+        transactions = [
+            (tid, rng.sample(items, 10)) for tid in range(1, 41)
+        ]
+        core = rng.sample(items, 8)
+        transactions += [
+            (tid, core + rng.sample(items, 2)) for tid in range(100, 125)
+        ]
+        db = TransactionDatabase(transactions)
+        reference = setm(db, 0.25, measure_memory=False)
+        assert reference.max_pattern_length >= 8  # keys really overflow
+        result = setm_spill_parallel(
+            db,
+            0.25,
+            workers=2,
+            memory_budget_bytes=1024,
+            measure_memory=False,
+        )
+        assert result.same_patterns_as(reference)
+        assert result.iterations == reference.iterations
+        assert result.extra["parallel"]["parallel_iterations"]
+
+
+class TestGating:
+    def test_generous_budget_never_spills_or_pools(self, example_db):
+        result = setm_spill_parallel(example_db, 0.30, workers=4)
+        assert result.extra["spill"]["partitions"] == {}
+        parallel = result.extra["parallel"]
+        assert parallel["partitions"] == {}
+        assert parallel["parallel_iterations"] == []
+        assert parallel["short_circuited"]
+
+    def test_workers_one_never_builds_a_pool(self, example_db):
+        from repro.core import setm_parallel as pools
+
+        before = dict(pools._POOLS)
+        result = setm_spill_parallel(
+            example_db, 0.30, workers=1, memory_budget_bytes=1024
+        )
+        assert pools._POOLS == before
+        assert result.extra["workers"] == 1
+        assert result.extra["spill"]["max_partitions"] >= 2
+
+
+class TestValidation:
+    @pytest.mark.parametrize("workers", [0, -2, 1.5, True, "4"])
+    def test_bad_workers_rejected(self, example_db, workers):
+        with pytest.raises((InvalidConfigError, ValueError)):
+            setm_spill_parallel(example_db, 0.30, workers=workers)
+
+    @pytest.mark.parametrize("budget", [0, -1, 0.5, True])
+    def test_bad_budget_rejected(self, example_db, budget):
+        with pytest.raises((InvalidConfigError, ValueError)):
+            setm_spill_parallel(
+                example_db, 0.30, memory_budget_bytes=budget
+            )
+
+    def test_bad_start_method_rejected(self, example_db):
+        with pytest.raises(InvalidConfigError, match="start_method"):
+            setm_spill_parallel(example_db, 0.30, start_method="teleport")
+
+
+class TestPlumbing:
+    def test_registry_capabilities(self):
+        from repro.registry import get_engine
+
+        spec = get_engine("setm-spill-parallel")
+        assert spec.parallel is True
+        assert spec.out_of_core is True
+        assert spec.representation == "columnar"
+        assert "workers" in spec.accepted_options
+        assert "memory_budget_bytes" in spec.accepted_options
+        assert "parallel_threshold" not in spec.accepted_options
+
+    def test_miner_explain_reports_both_capabilities(self, example_db):
+        from repro.config import MiningConfig
+        from repro.miner import Miner
+
+        text = Miner(example_db).explain(
+            MiningConfig(
+                support=0.3,
+                algorithm="setm-spill-parallel",
+                options={"workers": 3, "memory_budget_bytes": 4096},
+            )
+        )
+        assert "out of core: yes" in text
+        assert "parallel: yes (workers=3)" in text
+
+    def test_options_flow_through_miner(self, example_db):
+        from repro.config import MiningConfig
+        from repro.miner import Miner
+
+        result = Miner(example_db).frequent_itemsets(
+            MiningConfig(
+                support=0.3,
+                algorithm="setm-spill-parallel",
+                options={"workers": 2, "memory_budget_bytes": 1024},
+            )
+        )
+        assert result.extra["workers"] == 2
+        assert result.extra["memory_budget_bytes"] == 1024
+        assert result.same_patterns_as(bruteforce(example_db, 0.30))
+
+
+class _PoisoningKernel(SpillParallelKernel):
+    """Deletes one spill partition file right before pooled counting.
+
+    The worker assigned the poisoned partition raises
+    ``FileNotFoundError`` mid-iteration — exactly the shape of a disk
+    failing under a live run.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seen_root = None
+        self.poisoned = False
+
+    def count_and_filter(self, r_prime, threshold):
+        self.seen_root = self._spill_root
+        if (
+            isinstance(r_prime, SpilledPartitions)
+            and len(r_prime.partitions) >= 2
+            and not self.poisoned
+        ):
+            os.remove(r_prime.partitions[0].path)
+            self.poisoned = True
+        return super().count_and_filter(r_prime, threshold)
+
+
+class TestFailureInjection:
+    def _grid_db(self):
+        return _quest_db(0, transactions=200)
+
+    def test_worker_failure_leaves_no_spill_files(self):
+        from repro.core import setm_parallel as pools
+
+        db = self._grid_db()
+        kernel = _PoisoningKernel(
+            db, memory_budget_bytes=GRID_BUDGET, workers=2
+        )
+        with pytest.raises(FileNotFoundError):
+            run_figure4_loop(
+                db, 0.01, kernel, algorithm="setm-spill-parallel"
+            )
+        assert kernel.poisoned, "the pooled branch never ran"
+        # The loop's finally closed the kernel: spill root and every
+        # partial partition / half-written R_k file under it are gone.
+        assert kernel.seen_root is not None
+        assert not kernel.seen_root.exists()
+        # The pool survived the worker exception and stays cached...
+        key = (kernel._start_method, 2)
+        pool = pools._POOLS.get(key)
+        assert pool is not None
+        # ... and is genuinely usable: the next run reuses it and wins.
+        result = setm_spill_parallel(
+            db,
+            0.01,
+            workers=2,
+            memory_budget_bytes=GRID_BUDGET,
+            measure_memory=False,
+        )
+        assert pools._POOLS.get(key) is pool
+        assert result.same_patterns_as(setm(db, 0.01, measure_memory=False))
+        assert result.extra["parallel"]["parallel_iterations"]
+
+    def test_broken_pool_is_recreated_for_the_next_run(self):
+        from repro.core import setm_parallel as pools
+
+        db = self._grid_db()
+        reference = setm(db, 0.01, measure_memory=False)
+        # Prime the cache, then break the pool outright.
+        first = setm_spill_parallel(
+            db,
+            0.01,
+            workers=2,
+            memory_budget_bytes=GRID_BUDGET,
+            measure_memory=False,
+        )
+        assert first.same_patterns_as(reference)
+        key = (first.extra["parallel"]["start_method"], 2)
+        key = (
+            key if key in pools._POOLS else (None, 2)
+        )
+        broken = pools._POOLS[key]
+        broken.terminate()
+        broken.join()
+        # The stale cache entry must not fail the next run: it is
+        # evicted and a fresh pool is created transparently.
+        result = setm_spill_parallel(
+            db,
+            0.01,
+            workers=2,
+            memory_budget_bytes=GRID_BUDGET,
+            measure_memory=False,
+        )
+        assert result.same_patterns_as(reference)
+        assert result.extra["parallel"]["parallel_iterations"]
+        assert pools._POOLS[key] is not broken

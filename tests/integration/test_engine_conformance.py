@@ -1,0 +1,292 @@
+"""The engine conformance matrix: every registered engine, one suite.
+
+This replaces the per-engine copy-pasted differential suites with a
+single matrix parametrized directly over
+:func:`repro.registry.engine_specs`: **every** registered engine is
+checked against the ``bruteforce`` oracle for patterns and rules, and
+against the ``setm`` reference for iteration statistics, on seeded
+QUEST × minsup grids.  A registry entry with no conformance row is
+itself a test failure (:class:`TestRegistryCoverage`), so a future
+engine cannot land without differential coverage.
+
+Per-engine knobs live in one place — the :data:`CONFORMANCE` table —
+including the options that force an engine's interesting path to
+actually run (a budget small enough to spill, a worker count that
+reaches the pool, a zero parallel threshold).
+
+Iteration-statistics conformance comes in tiers, because not every
+engine *should* reproduce SETM's trace:
+
+* ``"exact"`` — the engine runs Figure 4 and must reproduce ``setm``'s
+  :class:`IterationStats` bit-for-bit;
+* ``"instances"`` — SQL engines: instance cardinalities and supported
+  pattern counts match, but SQL's ``GROUP BY … HAVING`` never
+  materializes the pre-HAVING distinct count, so ``candidate_patterns``
+  equals ``supported_patterns`` by construction;
+* ``"own"`` — the algorithm has its own iteration semantics (Apriori's
+  candidate generation, AIS, the oracle itself): only patterns and
+  rules are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import bruteforce
+from repro.core.rules import generate_rules
+from repro.core.setm import setm
+from repro.core.setm_sql import setm_sql
+from repro.core.transactions import TransactionDatabase
+from repro.data.quest import QuestConfig, generate_quest_dataset
+from repro.registry import engine_specs, get_engine
+from repro.sqlbridge.sqlite_miner import sqlite_mine
+
+#: Budget small enough to force >= 2 spill partitions on every QUEST
+#: grid point below (R'_2 is a few thousand rows there).
+_SPILL_BUDGET = 16 * 1024
+
+
+@dataclass(frozen=True)
+class ConformanceRow:
+    """How one engine participates in the matrix."""
+
+    #: Engine options forcing the interesting path (spill, pool, ...).
+    options: dict = field(default_factory=dict)
+    #: IterationStats tier: "exact" | "instances" | "own".
+    iterations: str = "own"
+    #: Why the row is shaped the way it is (documentation only).
+    note: str = ""
+
+
+#: One row per registered engine.  TestRegistryCoverage fails when this
+#: table and the registry drift apart — in either direction.
+CONFORMANCE: dict[str, ConformanceRow] = {
+    "setm": ConformanceRow(iterations="exact", note="the Figure-4 reference"),
+    "setm-columnar": ConformanceRow(iterations="exact"),
+    "setm-columnar-disk": ConformanceRow(
+        iterations="exact",
+        options={"memory_budget_bytes": _SPILL_BUDGET},
+        note="budget forces >= 2 spill partitions on the grid",
+    ),
+    "setm-parallel": ConformanceRow(
+        iterations="exact",
+        options={"workers": 2, "parallel_threshold": 0},
+        note="zero threshold forces the pool at grid scale",
+    ),
+    "setm-spill-parallel": ConformanceRow(
+        iterations="exact",
+        options={"memory_budget_bytes": _SPILL_BUDGET, "workers": 2},
+        note="budget forces spilling; 2 workers force pooled counting",
+    ),
+    "setm-disk": ConformanceRow(iterations="exact"),
+    "setm-sql": ConformanceRow(
+        iterations="instances",
+        note="HAVING prunes before counts are observable",
+    ),
+    "setm-sqlite": ConformanceRow(
+        iterations="instances",
+        note="HAVING prunes before counts are observable",
+    ),
+    "nested-loop": ConformanceRow(note="Section 3.1 candidate semantics"),
+    "nested-loop-disk": ConformanceRow(note="Section 3.2 physical plan"),
+    "apriori": ConformanceRow(note="Apriori-gen candidate semantics"),
+    "ais": ConformanceRow(note="AIS candidate semantics"),
+    "bruteforce": ConformanceRow(note="the oracle itself"),
+}
+
+#: The QUEST × minsup grid every engine runs.
+GRID_SEEDS = (0, 1)
+GRID_MINSUPS = (0.02, 0.05)
+
+ENGINE_NAMES = [spec.name for spec in engine_specs()]
+
+
+def _grid_db(seed: int) -> TransactionDatabase:
+    return generate_quest_dataset(
+        QuestConfig(
+            num_transactions=150,
+            avg_transaction_len=6,
+            avg_pattern_len=2,
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_references():
+    """Oracle + ``setm`` reference per (seed, minsup) grid point."""
+    grid = {}
+    for seed in GRID_SEEDS:
+        db = _grid_db(seed)
+        for minsup in GRID_MINSUPS:
+            grid[(seed, minsup)] = (
+                db,
+                bruteforce(db, minsup),
+                setm(db, minsup, measure_memory=False),
+            )
+    return grid
+
+
+def _row(name: str) -> ConformanceRow:
+    row = CONFORMANCE.get(name)
+    if row is None:
+        pytest.fail(
+            f"engine {name!r} is registered but has no conformance row; "
+            "add it to CONFORMANCE in test_engine_conformance.py"
+        )
+    return row
+
+
+def _run(name: str, database, minsup: float):
+    spec = get_engine(name)
+    options = dict(_row(name).options)
+    if spec.accepted_options and "measure_memory" in spec.accepted_options:
+        options["measure_memory"] = False
+    return spec, spec.run(database, minsup, options=options)
+
+
+class TestRegistryCoverage:
+    """The matrix and the registry must not drift apart."""
+
+    def test_every_registered_engine_has_a_conformance_row(self):
+        registered = {spec.name for spec in engine_specs()}
+        missing = registered - set(CONFORMANCE)
+        assert not missing, (
+            f"engines registered without conformance coverage: "
+            f"{sorted(missing)}; add rows to CONFORMANCE"
+        )
+
+    def test_no_stale_conformance_rows(self):
+        registered = {spec.name for spec in engine_specs()}
+        stale = set(CONFORMANCE) - registered
+        assert not stale, (
+            f"conformance rows for unregistered engines: {sorted(stale)}"
+        )
+
+    def test_iteration_tiers_are_valid(self):
+        assert all(
+            row.iterations in {"exact", "instances", "own"}
+            for row in CONFORMANCE.values()
+        )
+
+
+class TestConformanceMatrix:
+    """Every engine × the example database and the QUEST grid."""
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_patterns_and_rules_on_example(self, name, example_db):
+        oracle = bruteforce(example_db, 0.30)
+        _, result = _run(name, example_db, 0.30)
+        assert result.same_patterns_as(oracle), name
+        assert set(generate_rules(result, 0.7)) == set(
+            generate_rules(oracle, 0.7)
+        ), name
+
+    @pytest.mark.parametrize("minsup", GRID_MINSUPS)
+    @pytest.mark.parametrize("seed", GRID_SEEDS)
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_quest_grid(self, name, seed, minsup, grid_references):
+        db, oracle, reference = grid_references[(seed, minsup)]
+        row = _row(name)
+        _, result = _run(name, db, minsup)
+
+        assert result.same_patterns_as(oracle), name
+        assert set(generate_rules(result, 0.5)) == set(
+            generate_rules(reference, 0.5)
+        ), name
+
+        if row.iterations == "exact":
+            assert result.iterations == reference.iterations, name
+        elif row.iterations == "instances":
+            for got, want in zip(result.iterations, reference.iterations):
+                assert got.k == want.k
+                assert got.candidate_instances == want.candidate_instances
+                assert got.supported_instances == want.supported_instances
+                assert got.supported_patterns == want.supported_patterns
+            assert len(result.iterations) == len(reference.iterations)
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_patterns_on_small_retail(self, name, small_retail_db):
+        """The calibrated retail distribution (long-tail item
+        frequencies, ~2,300 transactions) — a different shape from the
+        QUEST synthetics, kept from the pre-matrix agreement suite."""
+        oracle = bruteforce(small_retail_db, 0.02)
+        _, result = _run(name, small_retail_db, 0.02)
+        assert result.same_patterns_as(oracle), name
+
+    def test_sql_engines_agree_on_larger_quest_data(self):
+        """400-transaction QUEST workload for the SQL engines (their
+        statement pipelines scale differently from the kernels)."""
+        db = generate_quest_dataset(
+            QuestConfig(num_transactions=400, avg_transaction_len=6)
+        )
+        reference = setm(db, 0.02, measure_memory=False)
+        assert sqlite_mine(db, 0.02).same_patterns_as(reference)
+        assert setm_sql(db, 0.02).same_patterns_as(reference)
+
+    def test_interesting_paths_really_ran(self, grid_references):
+        """The options in CONFORMANCE force spill/pool paths, provably."""
+        db, _, _ = grid_references[(0, 0.02)]
+        _, spilled = _run("setm-columnar-disk", db, 0.02)
+        assert spilled.extra["spill"]["max_partitions"] >= 2
+        _, pooled = _run("setm-parallel", db, 0.02)
+        assert pooled.extra["parallel"]["parallel_iterations"]
+        _, both = _run("setm-spill-parallel", db, 0.02)
+        assert both.extra["spill"]["max_partitions"] >= 2
+        assert both.extra["parallel"]["parallel_iterations"]
+
+
+class TestPropertyAgreement:
+    """Hypothesis-generated small databases against the SQL engines."""
+
+    databases = st.lists(
+        st.frozensets(
+            st.integers(min_value=1, max_value=10), min_size=1, max_size=5
+        ),
+        min_size=1,
+        max_size=15,
+    ).map(
+        lambda baskets: TransactionDatabase(
+            (tid, tuple(basket))
+            for tid, basket in enumerate(baskets, start=1)
+        )
+    )
+
+    @settings(max_examples=15, deadline=None)
+    @given(db=databases, minsup=st.sampled_from([0.2, 0.5]))
+    def test_sqlite_agrees_with_setm(self, db, minsup):
+        assert sqlite_mine(db, minsup).same_patterns_as(setm(db, minsup))
+
+    @settings(max_examples=10, deadline=None)
+    @given(db=databases)
+    def test_sql_nested_loop_agrees(self, db):
+        result = setm_sql(db, 0.3, strategy="nested-loop")
+        assert result.same_patterns_as(setm(db, 0.3))
+
+
+class TestApiDispatch:
+    def test_unknown_algorithm_lists_choices(self, example_db):
+        from repro.api import mine_frequent_itemsets
+
+        with pytest.raises(ValueError, match="apriori"):
+            mine_frequent_itemsets(example_db, 0.3, algorithm="magic")
+
+    def test_options_forwarded(self, example_db):
+        from repro.api import mine_frequent_itemsets
+
+        result = mine_frequent_itemsets(
+            example_db, 0.3, algorithm="setm", max_length=2
+        )
+        assert result.max_pattern_length == 2
+
+    def test_mine_association_rules_end_to_end(self, example_db):
+        from repro.api import mine_association_rules
+
+        result, rules = mine_association_rules(
+            example_db, 0.30, 0.70, algorithm="setm-sqlite"
+        )
+        assert len(rules) == 11  # 8 from C_2 + 3 from C_3 (Section 5)

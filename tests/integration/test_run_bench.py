@@ -103,10 +103,37 @@ class TestTinyWorkerSweep:
         # The 2-worker run really sent iterations to the pool.
         assert sweep["runs"][-1]["parallel_iterations"]
 
+    def test_single_cpu_rows_are_tagged_not_recorded_as_regressions(
+        self, document
+    ):
+        """On a 1-CPU host, >1-worker rows must never carry a numeric
+        'speedup' (it would read as a parallel regression)."""
+        sweep = document["workloads"][0]["worker_sweep"]
+        if sweep["cpus"] != 1:
+            pytest.skip("multi-core host: real speedups are recordable")
+        for entry in sweep["runs"]:
+            if entry["workers"] > 1:
+                assert entry["coordination_overhead_only"] is True
+                assert entry["speedup_vs_columnar"] is None
+
+    def test_spill_parallel_scenario_recorded(self, document):
+        """--workers extends the combined scenario to the tiny smoke:
+        pooled counting of on-disk partitions runs on every CI push."""
+        combined = document["workloads"][0]["spill_parallel"]
+        assert combined["engine"] == "setm-spill-parallel"
+        assert combined["memory_budget_bytes"] > 0
+        assert [entry["workers"] for entry in combined["runs"]] == [1, 2]
+        for entry in combined["runs"]:
+            assert entry["agreement"] is True
+            assert entry["elapsed_seconds"] > 0
+            assert entry["partitions"]
+            assert entry["spill_bytes_written"] > 0
+        assert combined["runs"][-1]["parallel_iterations"]
+
 
 class TestValidator:
     def test_rejects_missing_workloads(self, run_bench):
-        errors = run_bench.validate({"schema_version": 3})
+        errors = run_bench.validate({"schema_version": 4})
         assert any("workloads" in error for error in errors)
 
     def test_rejects_wrong_version(self, run_bench):
@@ -115,7 +142,7 @@ class TestValidator:
 
     def test_rejects_malformed_engine_block(self, run_bench, tmp_path):
         document = {
-            "schema_version": 3,
+            "schema_version": 4,
             "generated_at": "now",
             "python": "3",
             "tiny": True,
@@ -143,7 +170,7 @@ class TestValidator:
 
     def test_rejects_single_partition_constrained_scenario(self, run_bench):
         document = {
-            "schema_version": 3,
+            "schema_version": 4,
             "generated_at": "now",
             "python": "3",
             "tiny": True,
@@ -172,3 +199,83 @@ class TestValidator:
         }
         errors = run_bench.validate(document)
         assert any("max_partitions" in error for error in errors)
+
+    def test_rejects_untagged_single_cpu_speedup(self, run_bench):
+        """The stale worker-sweep caveat: a numeric speedup from a
+        1-CPU host must fail validation unless tagged."""
+        document = {
+            "schema_version": 4,
+            "generated_at": "now",
+            "python": "3",
+            "tiny": True,
+            "workloads": [
+                {
+                    "name": "w",
+                    "minsup": 0.1,
+                    "agreement": True,
+                    "dataset": {
+                        "transactions": 1,
+                        "sales_rows": 1,
+                        "distinct_items": 1,
+                    },
+                    "engines": {"setm": {}, "setm-columnar": {}},
+                    "worker_sweep": {
+                        "engine": "setm-parallel",
+                        "cpus": 1,
+                        "runs": [
+                            {
+                                "workers": 2,
+                                "elapsed_seconds": 0.2,
+                                "agreement": True,
+                                "partitions": {"2": 2},
+                                "parallel_iterations": [2],
+                                "speedup_vs_columnar": 0.51,
+                            }
+                        ],
+                    },
+                }
+            ],
+        }
+        errors = run_bench.validate(document)
+        assert any("coordination_overhead_only" in e for e in errors)
+        assert any("speedup_vs_columnar" in e for e in errors)
+
+    def test_rejects_pool_less_multiworker_spill_parallel_run(
+        self, run_bench
+    ):
+        document = {
+            "schema_version": 4,
+            "generated_at": "now",
+            "python": "3",
+            "tiny": True,
+            "workloads": [
+                {
+                    "name": "w",
+                    "minsup": 0.1,
+                    "agreement": True,
+                    "dataset": {
+                        "transactions": 1,
+                        "sales_rows": 1,
+                        "distinct_items": 1,
+                    },
+                    "engines": {"setm": {}, "setm-columnar": {}},
+                    "spill_parallel": {
+                        "engine": "setm-spill-parallel",
+                        "memory_budget_bytes": 65536,
+                        "cpus": 2,
+                        "runs": [
+                            {
+                                "workers": 2,
+                                "elapsed_seconds": 0.2,
+                                "agreement": True,
+                                "partitions": {"2": 2},
+                                "parallel_iterations": [],
+                                "spill_bytes_written": 10,
+                            }
+                        ],
+                    },
+                }
+            ],
+        }
+        errors = run_bench.validate(document)
+        assert any("must have reached the pool" in e for e in errors)

@@ -242,6 +242,31 @@ class TestMine:
         assert code == 2
         assert "workers" in output
 
+    def test_budget_and_workers_combine_on_spill_parallel(
+        self, example_basket
+    ):
+        """--memory-budget and --workers reach the combined engine at once,
+        and the JSON document merges spill and pool telemetry."""
+        import json
+
+        code, output = run_cli(
+            "mine", example_basket,
+            "--minsup", "0.3", "--minconf", "0.7",
+            "--engine", "setm-spill-parallel",
+            "--memory-budget", "1K", "--workers", "2",
+            "--json",
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert document["algorithm"] == "setm-spill-parallel"
+        assert document["memory_budget_bytes"] == 1024
+        assert document["workers"] == 2
+        assert document["num_patterns"] == 13
+        # The 1 KiB budget forces spilling even on the 10-transaction
+        # example, so both telemetry blocks carry real content.
+        assert document["spill"]["max_partitions"] >= 2
+        assert document["parallel"]["parallel_iterations"]
+
 
 class TestEngines:
     def test_lists_every_registered_engine(self):
