@@ -42,6 +42,18 @@ differentially checked against ``setm``, must actually have spilled
 pool; speedups are measured against ``setm-columnar-disk`` at the same
 budget and carry the same single-CPU tagging.
 
+The Table 6.2 workload (and the tiny smoke) also runs the **serve
+scenario**: an in-process ``MiningService`` hosting the workload's
+database, hammered by N concurrent clients with result caching
+disabled so every request really mines.  Each run records p50/p95
+request latency and throughput, normalized against the direct
+single-threaded ``setm-columnar`` time for the same config; every
+response's result document is byte-checked against the direct run's
+serialization before anything is recorded.  Multi-client rows on a
+1-CPU host carry the same ``coordination_overhead_only`` tagging with
+``throughput_vs_direct`` nulled — queueing overhead must never be
+recorded as a serving regression.
+
 Unlike the ``pytest-benchmark`` suites in this directory (which
 regenerate the paper's figures), this is a plain script so CI and
 humans can run it without plugins::
@@ -63,6 +75,7 @@ import json
 import os
 import platform
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -77,8 +90,10 @@ from repro.core.setm_parallel import setm_parallel  # noqa: E402
 from repro.core.setm_spill_parallel import setm_spill_parallel  # noqa: E402
 from repro.data.quest import QuestConfig, generate_quest_dataset  # noqa: E402
 from repro.data.retail import generate_retail_dataset  # noqa: E402
+from repro.serve.protocol import result_payload  # noqa: E402
+from repro.serve.service import MiningService  # noqa: E402
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 ENGINES = {"setm": setm, "setm-columnar": setm_columnar}
 
 #: Worker counts swept per workload (setm-parallel, differentially
@@ -95,6 +110,16 @@ WORKER_SWEEPS = {
 SPILL_PARALLEL_SWEEPS = {
     "table6.2-retail": (1, 2, 4),
 }
+
+#: Client counts swept through the in-process serve scenario (the tiny
+#: smoke carries it so CI validates the schema branch on every push).
+SERVE_SWEEPS = {
+    "table6.2-retail": (1, 4),
+    "quest-T5.I2.D300-tiny": (1, 4),
+}
+
+#: Requests each serve-scenario client issues inside the timed window.
+SERVE_REQUESTS_PER_CLIENT = 8
 
 #: The tiny smoke forces the pool path at smoke scale (its R'_k are far
 #: below the engine's default parallel threshold).
@@ -251,17 +276,19 @@ def _bench_constrained(
     }
 
 
-def _tag_single_cpu(entry: dict, speedup_key: str) -> bool:
-    """Refuse to record a ≥ 2-worker "speedup" measured on one CPU.
+def _tag_single_cpu(
+    entry: dict, speedup_key: str, *, count_key: str = "workers"
+) -> bool:
+    """Refuse to record a ≥ 2-way "speedup" measured on one CPU.
 
-    On a single-CPU host a multi-worker run can only measure pool
-    coordination overhead; recording its sub-1x ratio as a speedup
-    would read as a parallel regression in the committed baseline.
-    Such rows get ``speedup`` nulled and an explicit
+    On a single-CPU host a multi-worker (or multi-client) run can only
+    measure coordination overhead; recording its sub-1x ratio as a
+    speedup would read as a regression in the committed baseline.
+    Such rows get ``speedup_key`` nulled and an explicit
     ``coordination_overhead_only`` tag instead (ROADMAP carries the
     multi-core re-run item).  Returns True when the row was tagged.
     """
-    if os.cpu_count() == 1 and entry["workers"] > 1:
+    if os.cpu_count() == 1 and entry[count_key] > 1:
         entry[speedup_key] = None
         entry["coordination_overhead_only"] = True
         return True
@@ -350,6 +377,148 @@ def _bench_spill_parallel(
         "engine": "setm-spill-parallel",
         "memory_budget_bytes": budget,
         "cpus": os.cpu_count(),
+        "runs": runs,
+    }
+
+
+def _bench_serve(
+    name: str,
+    database,
+    minsup: float,
+    sweep: tuple[int, ...],
+    reference,
+    direct_elapsed: float,
+) -> dict:
+    """The serving scenario: N concurrent clients vs the direct Miner.
+
+    An in-process ``MiningService`` hosts the workload's database with
+    result caching *disabled* (``cache_entries=0``) so every request
+    pays the full mining cost — the honest comparison against the
+    direct single-threaded ``setm-columnar`` run.  Each client issues
+    ``SERVE_REQUESTS_PER_CLIENT`` back-to-back ``mine`` requests;
+    every response's result document must serialize byte-identically
+    to the direct run's before anything is recorded.
+    """
+    expected = json.dumps(result_payload(reference), sort_keys=True)
+    payload = {
+        "op": "mine",
+        "dataset": name,
+        "config": {
+            "support": minsup,
+            "algorithm": "setm-columnar",
+            # Unmetered, like the direct timing rounds (tracemalloc
+            # taxes every allocation and would poison the latencies).
+            "options": {"measure_memory": False},
+        },
+    }
+    direct_rps = 1.0 / direct_elapsed if direct_elapsed > 0 else None
+    runs = []
+    for clients in sweep:
+        service = MiningService(
+            {name: database},
+            queue_depth=max(8, 2 * clients),
+            workers=clients,
+            default_timeout=600.0,
+            cache_entries=0,
+        )
+        latencies: list[float] = []
+        failures: list[str] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(clients)
+
+        def client_loop():
+            try:
+                barrier.wait(timeout=60)
+                mine = []
+                for _ in range(SERVE_REQUESTS_PER_CLIENT):
+                    started = time.perf_counter()
+                    status, document = service.handle(payload)
+                    elapsed = time.perf_counter() - started
+                    if status != 200:
+                        raise RuntimeError(
+                            f"request failed: {status} {document}"
+                        )
+                    served = json.dumps(
+                        document["result"], sort_keys=True
+                    )
+                    if served != expected:
+                        raise RuntimeError(
+                            "served result differs from the direct run"
+                        )
+                    mine.append(elapsed)
+                with lock:
+                    latencies.extend(mine)
+            except Exception as exc:  # recorded, re-raised by the driver
+                with lock:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+
+        try:
+            # Warm-up (and first differential check) outside the clock.
+            status, document = service.handle(payload)
+            if status != 200 or (
+                json.dumps(document["result"], sort_keys=True) != expected
+            ):
+                raise SystemExit(
+                    f"serve scenario on {name}: warm-up response "
+                    "disagrees with the direct run; refusing to record"
+                )
+            threads = [
+                threading.Thread(target=client_loop, daemon=True)
+                for _ in range(clients)
+            ]
+            wall_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_started
+        finally:
+            service.drain()
+        if failures:
+            raise SystemExit(
+                f"serve scenario on {name} with {clients} clients: "
+                + "; ".join(failures)
+            )
+        total = clients * SERVE_REQUESTS_PER_CLIENT
+        ordered = sorted(latencies)
+        p50 = ordered[(total - 1) // 2]
+        p95 = ordered[int(0.95 * (total - 1))]
+        throughput = total / wall if wall > 0 else None
+        entry = {
+            "clients": clients,
+            "requests": total,
+            "p50_seconds": round(p50, 6),
+            "p95_seconds": round(p95, 6),
+            "throughput_rps": (
+                round(throughput, 3) if throughput is not None else None
+            ),
+            "throughput_vs_direct": (
+                round(throughput / direct_rps, 3)
+                if throughput is not None and direct_rps
+                else None
+            ),
+            "agreement": True,
+        }
+        note = _tag_single_cpu(
+            entry, "throughput_vs_direct", count_key="clients"
+        )
+        print(
+            f"  serve clients={clients}: p50 {entry['p50_seconds']:.3f}s, "
+            f"p95 {entry['p95_seconds']:.3f}s, "
+            f"{entry['throughput_rps']} req/s"
+            + (
+                f" ({entry['throughput_vs_direct']}x direct)"
+                if not note
+                else " (coordination overhead only, 1 CPU)"
+            ),
+            flush=True,
+        )
+        runs.append(entry)
+    return {
+        "engine": "setm-columnar",
+        "cpus": os.cpu_count(),
+        "direct_seconds_per_request": direct_elapsed,
+        "requests_per_client": SERVE_REQUESTS_PER_CLIENT,
         "runs": runs,
     }
 
@@ -537,6 +706,19 @@ def run(
                 workload_entry["constrained_memory"]["elapsed_seconds"],
                 rounds,
             )
+        # The serving scenario: concurrent clients through the
+        # in-process MiningService, normalized against the direct
+        # setm-columnar time measured above.
+        serve_sweep = SERVE_SWEEPS.get(name, ())
+        if serve_sweep:
+            workload_entry["serve"] = _bench_serve(
+                name,
+                database,
+                minsup,
+                serve_sweep,
+                results["setm-columnar"],
+                engines["setm-columnar"]["elapsed_seconds"],
+            )
         workloads.append(workload_entry)
     return {
         "schema_version": SCHEMA_VERSION,
@@ -678,28 +860,73 @@ def validate(document: dict) -> list[str]:
                             entry, cpus, "speedup_vs_spill_serial", run_prefix
                         )
                     )
+        if "serve" in (workload or {}):
+            serve = need(workload, "serve", dict, where)
+            if serve is not None:
+                prefix = f"{where}.serve"
+                need(serve, "engine", str, prefix)
+                cpus = need(serve, "cpus", int, prefix)
+                need(
+                    serve, "direct_seconds_per_request", (int, float), prefix
+                )
+                need(serve, "requests_per_client", int, prefix)
+                runs = need(serve, "runs", list, prefix)
+                if not runs:
+                    errors.append(f"{prefix}.runs: must be a non-empty list")
+                for j, entry in enumerate(runs or ()):
+                    run_prefix = f"{prefix}.runs[{j}]"
+                    need(entry, "clients", int, run_prefix)
+                    need(entry, "requests", int, run_prefix)
+                    need(entry, "p50_seconds", (int, float), run_prefix)
+                    need(entry, "p95_seconds", (int, float), run_prefix)
+                    need(entry, "throughput_rps", (int, float), run_prefix)
+                    need(entry, "agreement", bool, run_prefix)
+                    p50 = entry.get("p50_seconds")
+                    p95 = entry.get("p95_seconds")
+                    if (
+                        isinstance(p50, (int, float))
+                        and isinstance(p95, (int, float))
+                        and p95 < p50
+                    ):
+                        errors.append(
+                            f"{run_prefix}: p95 below p50 is not a "
+                            "latency distribution"
+                        )
+                    errors.extend(
+                        _check_single_cpu_tag(
+                            entry,
+                            cpus,
+                            "throughput_vs_direct",
+                            run_prefix,
+                            count_key="clients",
+                        )
+                    )
     return errors
 
 
 def _check_single_cpu_tag(
-    entry: dict, cpus: int | None, speedup_key: str, where: str
+    entry: dict,
+    cpus: int | None,
+    speedup_key: str,
+    where: str,
+    *,
+    count_key: str = "workers",
 ) -> list[str]:
     """Schema errors for the single-CPU coordination-overhead tagging.
 
-    A ≥ 2-worker row measured on one CPU must carry
+    A ≥ 2-worker (or ≥ 2-client) row measured on one CPU must carry
     ``coordination_overhead_only: true`` and a null speedup — a numeric
-    "speedup" there would record pool coordination overhead as a
-    parallel regression (the stale-caveat failure mode this schema
-    version retires).
+    "speedup" there would record pure coordination overhead as a
+    regression (the stale-caveat failure mode schema v4 retired).
     """
-    workers = entry.get("workers")
-    if cpus != 1 or not isinstance(workers, int) or workers <= 1:
+    count = entry.get(count_key)
+    if cpus != 1 or not isinstance(count, int) or count <= 1:
         return []
     errors = []
     if entry.get("coordination_overhead_only") is not True:
         errors.append(
-            f"{where}: a >1-worker run on a 1-CPU host must be tagged "
-            "coordination_overhead_only"
+            f"{where}: a >1-{count_key.rstrip('s')} run on a 1-CPU host "
+            "must be tagged coordination_overhead_only"
         )
     if entry.get(speedup_key) is not None:
         errors.append(

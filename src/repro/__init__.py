@@ -18,7 +18,10 @@ This package rebuilds the whole system:
 * :mod:`repro.data` — the Figure 1 example, a generator calibrated to the
   paper's retail data set, Quest workloads, and the hypothetical analysis
   database;
-* :mod:`repro.analysis` — the Section 3.2 / 4.3 cost models, to the page.
+* :mod:`repro.analysis` — the Section 3.2 / 4.3 cost models, to the page;
+* :mod:`repro.serve` — mining as a service: a long-lived JSON/HTTP
+  server (``python -m repro serve``) with admission control, shared
+  session caches, and graceful drain.
 
 The public API is the typed session layer: a :class:`MiningConfig`
 (validated support as fraction *or* absolute count, confidence,
@@ -63,6 +66,7 @@ from repro.errors import (
     InvalidConfigError,
     InvalidSupportError,
     ReproError,
+    ServeError,
     UnknownAlgorithmError,
 )
 from repro.miner import Miner
@@ -74,7 +78,7 @@ from repro.registry import (
     register_engine,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -89,6 +93,7 @@ __all__ = [
     "MiningResult",
     "ReproError",
     "Rule",
+    "ServeError",
     "Transaction",
     "TransactionDatabase",
     "UnknownAlgorithmError",

@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the library's main workflows without writing any
+Six subcommands cover the library's main workflows without writing any
 Python:
 
 * ``mine`` — mine a transaction file (``.basket`` or ``SALES`` CSV) and
   print patterns and rules;
+* ``serve`` — host transaction files behind the long-lived JSON/HTTP
+  mining service (:mod:`repro.serve`);
 * ``engines`` — list every registered mining engine with its
   representation and capability metadata;
 * ``generate`` — produce one of the bundled data sets as a file;
@@ -27,6 +29,8 @@ Examples::
     python -m repro engines --json
     python -m repro sql --k 3 --strategy sort-merge
     python -m repro analyze
+    python -m repro serve r.basket --port 8937 --queue-depth 16
+    python -m repro serve sales=r.basket other=o.csv --port 0
 """
 
 from __future__ import annotations
@@ -103,6 +107,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit a JSON document (patterns, rules, "
                            "iteration stats, per-iteration timings) "
                            "instead of text")
+
+    serve = commands.add_parser(
+        "serve", help="host transaction files behind the mining service"
+    )
+    serve.add_argument(
+        "inputs", nargs="+", metavar="[NAME=]PATH",
+        help=".basket/.csv files to host; NAME defaults to the "
+             "file's stem"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8937,
+                       help="port to listen on; 0 picks a free port "
+                            "(the printed 'listening on' line has it)")
+    serve.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                       help="bounded request queue size; requests beyond "
+                            "it are rejected as busy (default 16)")
+    serve.add_argument("--serve-workers", type=int, default=2, metavar="N",
+                       help="request worker threads (default 2; mining "
+                            "itself may use engine worker processes)")
+    serve.add_argument("--request-timeout", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="default per-request deadline (default 60)")
+    serve.add_argument("--cache-entries", type=int, default=32, metavar="N",
+                       help="per-dataset result-cache bound (default 32)")
+    serve.add_argument("--spill-root", default=None, metavar="DIR",
+                       help="directory out-of-core engines spill under "
+                            "(default: a private temporary directory)")
 
     generate = commands.add_parser("generate", help="write a bundled data set")
     generate.add_argument("--dataset", required=True,
@@ -254,6 +286,40 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
     for rule in rules:
         print(f"  {rule}", file=out)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """Load the datasets, start the service, serve until drained."""
+    # Imported here: the serve machinery (HTTP plumbing, scheduler) is
+    # only worth importing for this one subcommand.
+    from repro.serve.server import run_server
+    from repro.serve.service import MiningService
+
+    datasets: dict[str, TransactionDatabase] = {}
+    for spec in args.inputs:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = Path(spec).stem, spec
+        if name in datasets:
+            print(f"error: duplicate dataset name {name!r}", file=out)
+            return 2
+        database = _load(path)
+        datasets[name] = database
+        print(
+            f"hosting {name!r}: {database.num_transactions:,} transactions, "
+            f"{database.num_sales_rows:,} rows",
+            file=out,
+        )
+    service = MiningService(
+        datasets,
+        queue_depth=args.queue_depth,
+        workers=args.serve_workers,
+        default_timeout=args.request_timeout,
+        cache_entries=args.cache_entries,
+        spill_root=args.spill_root,
+    )
+    out.flush()
+    return run_server(service, host=args.host, port=args.port, out=out)
 
 
 def _cmd_engines(args: argparse.Namespace, out) -> int:
@@ -410,6 +476,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         if args.command == "mine":
             return _cmd_mine(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         if args.command == "engines":
             return _cmd_engines(args, out)
         if args.command == "generate":

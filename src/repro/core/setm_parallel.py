@@ -44,6 +44,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import threading
 from array import array
 from multiprocessing.pool import RUN as _POOL_RUN
 from typing import Any, Literal, Sequence
@@ -68,6 +69,7 @@ __all__ = [
     "ParallelColumnarKernel",
     "default_workers",
     "pool_map",
+    "pool_stats",
     "resolve_start_method",
     "resolved_start_method",
     "setm_parallel",
@@ -101,6 +103,13 @@ START_METHOD_ENV = "REPRO_MP_START_METHOD"
 #: process should pay it once.  ``setm-spill-parallel`` dispatches its
 #: on-disk partitions to these same pools.
 _POOLS: dict[tuple[str | None, int], Any] = {}
+
+#: Guards every read-modify-write of ``_POOLS``.  The serve layer's
+#: scheduler threads hit the cache concurrently; without the lock two
+#: threads could both miss and each start a pool (leaking one), or one
+#: could evict an entry mid-lookup of another.  Reentrant because an
+#: eviction path may run inside a section that already holds it.
+_POOLS_LOCK = threading.RLock()
 
 
 def validate_workers(workers: int | None) -> int:
@@ -208,19 +217,24 @@ def _shared_pool(start_method: str | None, workers: int):
     A cached pool that died since the last run (terminated by a test,
     broken by a crashed worker) is discarded and transparently
     recreated — a stale cache entry must never fail a fresh run.
+
+    Thread-safe: concurrent callers of the same configuration get the
+    *same* pool object (one of them creates it; the others wait on the
+    lock), never two racing pools.
     """
     key = (start_method, workers)
-    pool = _POOLS.get(key)
-    if pool is not None and not _pool_alive(pool):
-        del _POOLS[key]
-        pool = None
-    if pool is None:
-        context = multiprocessing.get_context(start_method)
-        pool = context.Pool(processes=workers)
-        if not _POOLS:
-            atexit.register(shutdown_worker_pools)
-        _POOLS[key] = pool
-    return pool
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and not _pool_alive(pool):
+            del _POOLS[key]
+            pool = None
+        if pool is None:
+            context = multiprocessing.get_context(start_method)
+            pool = context.Pool(processes=workers)
+            if not _POOLS:
+                atexit.register(shutdown_worker_pools)
+            _POOLS[key] = pool
+        return pool
 
 
 def pool_map(
@@ -239,20 +253,44 @@ def pool_map(
     try:
         return pool.map(func, tasks, chunksize=1)
     except BaseException:
-        if not _pool_alive(pool) and _POOLS.get(key) is pool:
-            del _POOLS[key]
+        with _POOLS_LOCK:
+            if not _pool_alive(pool) and _POOLS.get(key) is pool:
+                del _POOLS[key]
         raise
 
 
+def pool_stats() -> list[dict[str, Any]]:
+    """A snapshot of the cached pools: configuration and liveness.
+
+    One entry per cached pool, sorted by configuration.  ``start_method``
+    reports the *resolved* method (what ``None`` meant at creation
+    time), ``alive`` whether the pool can still accept work.  The serve
+    layer's ``stats`` op surfaces this.
+    """
+    with _POOLS_LOCK:
+        snapshot = list(_POOLS.items())
+    return [
+        {
+            "start_method": resolved_start_method(start_method),
+            "workers": workers,
+            "alive": _pool_alive(pool),
+        }
+        for (start_method, workers), pool in sorted(
+            snapshot, key=lambda item: (item[0][0] or "", item[0][1])
+        )
+    ]
+
+
 def shutdown_worker_pools() -> None:
-    """Terminate every cached worker pool (idempotent).
+    """Terminate every cached worker pool (idempotent and thread-safe).
 
     Long-lived processes that want to release the workers — or tests
     that must not leak them across start-method changes — call this;
     an ``atexit`` hook calls it at interpreter exit regardless.
     """
-    pools = list(_POOLS.values())
-    _POOLS.clear()
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
     for pool in pools:
         pool.terminate()
         pool.join()

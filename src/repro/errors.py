@@ -13,7 +13,18 @@ Hierarchy::
     ├── InvalidConfigError (+ ValueError)     bad MiningConfig field
     │   └── InvalidSupportError               bad support / confidence value
     ├── UnknownAlgorithmError (+ ValueError)  name not in the registry
-    └── EngineOptionError (+ TypeError)       option the engine rejects
+    ├── EngineOptionError (+ TypeError)       option the engine rejects
+    └── ServeError                            mining-as-a-service layer
+        ├── ProtocolError (+ ValueError)      malformed serve request
+        ├── UnknownDatasetError (+ LookupError)  dataset not hosted
+        ├── ServerBusyError                   request queue at capacity
+        ├── ServerDrainingError               server is shutting down
+        ├── RequestTimeoutError (+ TimeoutError)  per-request deadline hit
+        └── WorkerCrashError                  work lost to a crashed worker
+
+The serve family carries a ``status`` attribute — the HTTP-ish status
+code the protocol layer answers with — so the transport never has to
+maintain its own exception-to-status table.
 """
 
 from __future__ import annotations
@@ -24,8 +35,15 @@ __all__ = [
     "EngineOptionError",
     "InvalidConfigError",
     "InvalidSupportError",
+    "ProtocolError",
     "ReproError",
+    "RequestTimeoutError",
+    "ServeError",
+    "ServerBusyError",
+    "ServerDrainingError",
     "UnknownAlgorithmError",
+    "UnknownDatasetError",
+    "WorkerCrashError",
 ]
 
 
@@ -104,3 +122,115 @@ class EngineOptionError(ReproError, TypeError):
             f"engine {engine!r} does not accept option(s) {rejected}; "
             f"accepted options: {legal}"
         )
+
+
+class ServeError(ReproError):
+    """Base class of mining-as-a-service errors (:mod:`repro.serve`).
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code the protocol layer maps this error to.
+    """
+
+    status = 500
+
+
+class ProtocolError(ServeError, ValueError):
+    """A serve request was structurally malformed (not a mining failure)."""
+
+    status = 400
+
+
+class UnknownDatasetError(ServeError, LookupError):
+    """The requested dataset is not hosted by this server.
+
+    Attributes
+    ----------
+    dataset:
+        The unknown dataset name as requested.
+    known:
+        The dataset names the server does host.
+    """
+
+    status = 404
+
+    def __init__(self, dataset: str, known: Iterable[str] = ()) -> None:
+        self.dataset = dataset
+        self.known = tuple(sorted(known))
+        hosted = ", ".join(self.known) or "(none)"
+        super().__init__(
+            f"unknown dataset {dataset!r}; hosted datasets: {hosted}"
+        )
+
+
+class ServerBusyError(ServeError):
+    """The bounded request queue is full — admission control rejected.
+
+    This is back-pressure, not failure: the client should retry later
+    (or against a replica).  ``queue_depth`` is the configured bound the
+    request bounced off.
+    """
+
+    status = 429
+
+    def __init__(
+        self, message: str | None = None, *, queue_depth: int | None = None
+    ) -> None:
+        self.queue_depth = queue_depth
+        if message is None:
+            bound = "" if queue_depth is None else f" (depth {queue_depth})"
+            message = f"server busy: request queue is full{bound}"
+        super().__init__(message)
+
+
+class ServerDrainingError(ServeError):
+    """The server is draining: finishing in-flight work, accepting nothing."""
+
+    status = 503
+
+    def __init__(self, message: str | None = None) -> None:
+        super().__init__(
+            message or "server is draining and not accepting new requests"
+        )
+
+
+class RequestTimeoutError(ServeError, TimeoutError):
+    """A request exceeded its (per-request or server-default) deadline."""
+
+    status = 504
+
+    def __init__(
+        self,
+        message: str | None = None,
+        *,
+        timeout_seconds: float | None = None,
+    ) -> None:
+        self.timeout_seconds = timeout_seconds
+        if message is None:
+            deadline = (
+                "" if timeout_seconds is None else f" of {timeout_seconds:g}s"
+            )
+            message = f"request exceeded its deadline{deadline}"
+        super().__init__(message)
+
+
+class WorkerCrashError(ServeError):
+    """A request was lost to crashed workers even after requeueing.
+
+    Attributes
+    ----------
+    attempts:
+        How many executions were attempted before giving up.
+    """
+
+    status = 500
+
+    def __init__(
+        self, message: str | None = None, *, attempts: int | None = None
+    ) -> None:
+        self.attempts = attempts
+        if message is None:
+            tries = "" if attempts is None else f" after {attempts} attempts"
+            message = f"request failed on crashed workers{tries}"
+        super().__init__(message)

@@ -21,7 +21,9 @@ rule generation of Hahsler et al.: mine once, then ask narrow questions.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 
 from repro.config import MiningConfig, _validate_confidence
@@ -33,7 +35,7 @@ from repro.registry import EngineSpec, get_engine
 
 __all__ = ["Miner"]
 
-#: Results cached per Miner; a session rarely sweeps more configs than this.
+#: Default result-cache bound; a session rarely sweeps more configs.
 _CACHE_LIMIT = 8
 
 
@@ -47,6 +49,10 @@ class Miner:
     default_config:
         Config used when a call omits one (default: ``MiningConfig()``,
         i.e. SETM at 1% support).
+    cache_entries:
+        Bound of the per-config result cache (LRU eviction).  ``0``
+        disables caching entirely — every call re-mines, though
+        :attr:`last_result` still tracks the latest run.
     """
 
     def __init__(
@@ -54,11 +60,27 @@ class Miner:
         database: TransactionDatabase,
         *,
         default_config: MiningConfig | None = None,
+        cache_entries: int = _CACHE_LIMIT,
     ) -> None:
+        if (
+            isinstance(cache_entries, bool)
+            or not isinstance(cache_entries, int)
+            or cache_entries < 0
+        ):
+            raise InvalidConfigError(
+                f"cache_entries must be an integer >= 0; got {cache_entries!r}"
+            )
         self._database = database
         self._default_config = default_config or MiningConfig()
-        # Most-recent-last cache of (pattern-key config, result).
-        self._results: list[tuple[MiningConfig, MiningResult]] = []
+        # LRU (least-recently-used first) cache of mined results, keyed
+        # by the config fields that determine the pattern set.
+        self._results: OrderedDict[tuple, MiningResult] = OrderedDict()
+        self._cache_entries = cache_entries
+        self._cache_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._last_result: MiningResult | None = None
 
     # -- config plumbing ----------------------------------------------------------
 
@@ -82,9 +104,22 @@ class Miner:
         return base.replace(**overrides) if overrides else base
 
     @staticmethod
-    def _pattern_key(config: MiningConfig) -> MiningConfig:
-        """The fields that determine the pattern set (confidence does not)."""
-        return config.replace(confidence=None)
+    def _pattern_key(config: MiningConfig) -> tuple:
+        """A hashable key of the fields that determine the pattern set.
+
+        Confidence is excluded (it only shapes rule generation), the
+        support *type* is included (``support=1`` means one absolute
+        transaction; ``support=1.0`` means everything — ``==`` on the
+        config would conflate them), and option values are keyed by
+        ``repr`` so unhashable values (lists, dicts) never break caching.
+        """
+        return (
+            config.support,
+            config.is_absolute_support,
+            config.algorithm,
+            config.max_length,
+            tuple(sorted((k, repr(v)) for k, v in config.options.items())),
+        )
 
     # -- mining -------------------------------------------------------------------
 
@@ -106,9 +141,14 @@ class Miner:
         """
         config = self._resolve_config(config, overrides)
         key = self._pattern_key(config)
-        for cached_key, cached in self._results:
-            if cached_key == key:
+        with self._cache_lock:
+            cached = self._results.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._results.move_to_end(key)
+                self._last_result = cached
                 return cached
+            self._misses += 1
         spec = get_engine(config.algorithm)
         started = time.perf_counter()
         result = spec.run(
@@ -121,8 +161,14 @@ class Miner:
         result.extra.setdefault("session", {}).update(
             {"engine": spec.name, "api_elapsed_seconds": elapsed}
         )
-        self._results.append((key, result))
-        del self._results[:-_CACHE_LIMIT]
+        with self._cache_lock:
+            self._last_result = result
+            if self._cache_entries > 0:
+                self._results[key] = result
+                self._results.move_to_end(key)
+                while len(self._results) > self._cache_entries:
+                    self._results.popitem(last=False)
+                    self._evictions += 1
         return result
 
     def rules(
@@ -220,18 +266,15 @@ class Miner:
     # -- post-hoc queries over the cached result ----------------------------------
 
     def _find_cached(self, config: MiningConfig | None) -> MiningResult | None:
-        if config is None:
-            return self._results[-1][1] if self._results else None
-        key = self._pattern_key(config)
-        for cached_key, cached in self._results:
-            if cached_key == key:
-                return cached
-        return None
+        with self._cache_lock:
+            if config is None:
+                return self._last_result
+            return self._results.get(self._pattern_key(config))
 
     @property
     def last_result(self) -> MiningResult | None:
-        """The most recently mined :class:`MiningResult`, if any."""
-        return self._results[-1][1] if self._results else None
+        """The most recently mined (or cache-served) result, if any."""
+        return self._last_result
 
     def _require_result(self) -> MiningResult:
         result = self.last_result
@@ -309,6 +352,25 @@ class Miner:
         """The :class:`EngineSpec` that ``config`` resolves to."""
         config = self._resolve_config(config, {})
         return get_engine(config.algorithm)
+
+    def cache_info(self) -> dict[str, object]:
+        """A snapshot of the result cache: bound, fill, and hit counters.
+
+        ``hit_rate`` is ``hits / (hits + misses)`` rounded to 4 places,
+        or ``None`` before the first lookup.
+        """
+        with self._cache_lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._results),
+                "max_entries": self._cache_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (
+                    round(self._hits / lookups, 4) if lookups else None
+                ),
+            }
 
     def __repr__(self) -> str:
         return (

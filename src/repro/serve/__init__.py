@@ -1,0 +1,38 @@
+"""Mining as a service: a long-lived process in front of the miners.
+
+The paper's thesis is that association-rule mining belongs *inside* the
+database system rather than in one-shot batch programs; this package
+finishes the thought operationally — a resident service that owns the
+shared dictionary-encoded :class:`~repro.core.transactions.TransactionDatabase`,
+the per-config :class:`~repro.miner.Miner` session caches, and the warm
+``setm_parallel`` worker pools, and answers small targeted questions
+(``mine`` / ``patterns`` / ``support_of`` / ``rules_about``) cheaply
+enough to serve interactively.
+
+Layering (each module usable on its own):
+
+* :mod:`repro.serve.protocol` — the JSON request/response vocabulary and
+  the mapping from the :class:`~repro.errors.ReproError` hierarchy to
+  structured error payloads;
+* :mod:`repro.serve.scheduler` — a bounded request queue with admission
+  control, per-request deadlines, and requeue-or-fail semantics over
+  crashed workers;
+* :mod:`repro.serve.service` — the transport-agnostic core: datasets,
+  miners, stats, graceful drain;
+* :mod:`repro.serve.server` — the stdlib-HTTP transport
+  (``repro serve`` runs this);
+* :mod:`repro.serve.client` — a stdlib client that raises the same
+  typed errors the server answered with.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.scheduler import RequestScheduler
+from repro.serve.server import MiningServer
+from repro.serve.service import MiningService
+
+__all__ = [
+    "MiningServer",
+    "MiningService",
+    "RequestScheduler",
+    "ServeClient",
+]

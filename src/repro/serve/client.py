@@ -1,0 +1,211 @@
+"""A stdlib client for ``repro serve`` — same exceptions, over the wire.
+
+:class:`ServeClient` speaks the :mod:`repro.serve.protocol` JSON
+vocabulary and, on an ``ok: false`` response, re-raises the *same typed
+exception* the server raised (via
+:func:`~repro.serve.protocol.rebuild_error`), so calling code handles a
+remote miner exactly like a local one::
+
+    client = ServeClient(port=8937)
+    try:
+        document = client.mine("quest", support=0.05, confidence=0.7)
+    except ServerBusyError:
+        ...back off and retry...
+    except UnknownDatasetError as error:
+        print(error.known)
+
+One HTTP connection per request: the server speaks HTTP/1.0 and the
+interesting state (pools, caches, queue) all lives server-side, so a
+client is just a stateless address.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import rebuild_error
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """A client bound to one ``repro serve`` address.
+
+    Parameters
+    ----------
+    host, port:
+        Where the server listens (the ``listening on HOST:PORT`` line).
+    timeout:
+        Socket timeout in seconds for each request.  This bounds the
+        *transport*; the server-side per-request deadline is the
+        ``timeout`` field of the request itself.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8937,
+        *,
+        timeout: float | None = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST one protocol request; return the ``ok`` document.
+
+        Raises the rebuilt typed error on an ``ok: false`` response and
+        :class:`ProtocolError` on a response that is not protocol JSON.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "POST",
+                "/",
+                body=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            body = connection.getresponse().read()
+        finally:
+            connection.close()
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ProtocolError(
+                f"server answered non-JSON ({body[:80]!r})"
+            ) from None
+        if not isinstance(document, dict):
+            raise ProtocolError(
+                f"server answered non-object JSON ({document!r})"
+            )
+        if not document.get("ok"):
+            raise rebuild_error(document.get("error") or {})
+        return document
+
+    # -- ops ------------------------------------------------------------------------
+
+    @staticmethod
+    def _config_payload(
+        config: dict[str, Any] | None, fields: dict[str, Any]
+    ) -> dict[str, Any]:
+        merged = dict(config or {})
+        merged.update(fields)
+        return merged
+
+    def mine(
+        self,
+        dataset: str,
+        *,
+        config: dict[str, Any] | None = None,
+        include_rules: bool | None = None,
+        timeout: float | None = None,
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """Run ``mine``: the full deterministic result document.
+
+        Config fields may be given as a ``config`` dict, as keyword
+        arguments (``support=0.05``), or both (keywords win).
+        """
+        payload: dict[str, Any] = {
+            "op": "mine",
+            "dataset": dataset,
+            "config": self._config_payload(config, fields),
+        }
+        if include_rules is not None:
+            payload["include_rules"] = include_rules
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request(payload)
+
+    def patterns(
+        self,
+        dataset: str,
+        *,
+        config: dict[str, Any] | None = None,
+        length: int | None = None,
+        containing: list[Any] | None = None,
+        min_count: int | None = None,
+        timeout: float | None = None,
+        **fields: Any,
+    ) -> list[dict[str, Any]]:
+        """Run ``patterns``: the filtered pattern list."""
+        payload: dict[str, Any] = {
+            "op": "patterns",
+            "dataset": dataset,
+            "config": self._config_payload(config, fields),
+        }
+        for key, value in (
+            ("length", length),
+            ("containing", containing),
+            ("min_count", min_count),
+            ("timeout", timeout),
+        ):
+            if value is not None:
+                payload[key] = value
+        return self.request(payload)["patterns"]
+
+    def support_of(
+        self,
+        dataset: str,
+        items: list[Any],
+        *,
+        config: dict[str, Any] | None = None,
+        timeout: float | None = None,
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """Run ``support_of``: ``{"items", "count", "support"}``."""
+        payload: dict[str, Any] = {
+            "op": "support_of",
+            "dataset": dataset,
+            "config": self._config_payload(config, fields),
+            "items": list(items),
+        }
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request(payload)
+
+    def rules_about(
+        self,
+        dataset: str,
+        item: Any,
+        *,
+        config: dict[str, Any] | None = None,
+        confidence: float | None = None,
+        timeout: float | None = None,
+        **fields: Any,
+    ) -> list[dict[str, Any]]:
+        """Run ``rules_about``: rules mentioning ``item`` on either side."""
+        payload: dict[str, Any] = {
+            "op": "rules_about",
+            "dataset": dataset,
+            "config": self._config_payload(config, fields),
+            "item": item,
+        }
+        if confidence is not None:
+            payload["confidence"] = confidence
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request(payload)["rules"]
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness: server status, version, hosted datasets."""
+        return self.request({"op": "ping"})["result"]
+
+    def stats(self) -> dict[str, Any]:
+        """Introspection: queue, caches, pools, per-engine traffic."""
+        return self.request({"op": "stats"})["result"]
+
+    def drain(self) -> dict[str, Any]:
+        """Gracefully drain the server; returns the drain report."""
+        return self.request({"op": "drain"})["result"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServeClient({self.host}:{self.port})"

@@ -1,0 +1,182 @@
+"""The stdlib-HTTP transport in front of a :class:`MiningService`.
+
+Deliberately boring: ``http.server.ThreadingHTTPServer`` (one handler
+thread per connection — the *real* concurrency bound is the service's
+scheduler, not the socket layer), JSON bodies both ways, no streaming,
+no dependencies.  The transport knows nothing about mining; it decodes
+the body, hands the object to :meth:`MiningService.handle`, and writes
+back whatever ``(status, document)`` comes out.
+
+Two conveniences on top of the POST protocol:
+
+* ``GET /health`` and ``GET /stats`` answer the ``ping`` / ``stats``
+  ops for curl-shaped monitoring;
+* an ``ok`` drain response triggers server shutdown *after* the
+  response is written — ``repro serve`` exits cleanly when a client
+  drains it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, TextIO
+
+from repro.serve.service import MiningService
+
+__all__ = ["MiningServer", "run_server"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One JSON request per connection (HTTP/1.0 keeps this simple)."""
+
+    server: "MiningServer"
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path not in ("/", "/request"):
+            self._respond(
+                404,
+                {
+                    "ok": False,
+                    "error": {
+                        "type": "ProtocolError",
+                        "status": 404,
+                        "message": f"no such endpoint {self.path!r}; "
+                        "POST requests go to /",
+                    },
+                },
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._respond(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "type": "ProtocolError",
+                        "status": 400,
+                        "message": "request body is not valid JSON",
+                    },
+                },
+            )
+            return
+        status, document = self.server.service.handle(payload)
+        self._respond(status, document)
+        if document.get("ok") and document.get("op") == "drain":
+            self.server.initiate_shutdown()
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        op = {"/health": "ping", "/stats": "stats"}.get(self.path)
+        if op is None:
+            self._respond(
+                404,
+                {
+                    "ok": False,
+                    "error": {
+                        "type": "ProtocolError",
+                        "status": 404,
+                        "message": f"no such endpoint {self.path!r}; "
+                        "GET endpoints: /health, /stats",
+                    },
+                },
+            )
+            return
+        status, document = self.server.service.handle({"op": op})
+        self._respond(status, document)
+
+    def _respond(self, status: int, document: dict[str, Any]) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Quiet by default: the CLI owns stdout, and per-request access
+        # logging belongs to the stats op, not stderr.
+        pass
+
+
+class MiningServer(ThreadingHTTPServer):
+    """An HTTP server bound to one :class:`MiningService`.
+
+    ``serve_forever`` runs until a client's drain request (or
+    :meth:`initiate_shutdown`) stops it.  Handler threads are
+    *non-daemon* and ``server_close`` joins them, so the process never
+    exits with a response half-written.
+    """
+
+    daemon_threads = False
+    # Accept queue beyond the scheduler bound: admission control must
+    # get the chance to answer 429, not the kernel to drop SYNs.
+    request_queue_size = 32
+
+    def __init__(
+        self,
+        service: MiningService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def initiate_shutdown(self) -> None:
+        """Stop ``serve_forever`` from a handler thread (idempotent).
+
+        ``shutdown()`` blocks until the serve loop exits, so a handler
+        must not call it directly — it would deadlock waiting for
+        itself.  A one-shot helper thread does the blocking part.
+        """
+        with self._shutdown_lock:
+            if self._shutdown_thread is not None:
+                return
+            self._shutdown_thread = threading.Thread(
+                target=self.shutdown, name="repro-serve-shutdown", daemon=True
+            )
+            self._shutdown_thread.start()
+
+
+def run_server(
+    service: MiningService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    out: TextIO | None = None,
+) -> int:
+    """Serve until drained; returns 0.
+
+    Prints (and flushes) ``listening on HOST:PORT`` once the socket is
+    bound — with ``port=0`` the line is how callers learn the real
+    port, so it must hit the pipe before the first request can be sent.
+    """
+    with MiningServer(service, host, port) as server:
+        if out is not None:
+            print(f"listening on {server.host}:{server.port}", file=out)
+            out.flush()
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:
+            pass
+    # Belt and braces: a drain request already did this; an interrupt
+    # (or a test closing the socket) has not.
+    service.drain()
+    return 0

@@ -1,0 +1,114 @@
+"""Thread-safety of the shared worker-pool cache (``pool_map``).
+
+The serve layer's scheduler threads call ``pool_map`` concurrently for
+the same ``(start_method, workers)`` key.  Before the cache was locked,
+two threads could both miss and each start a pool (leaking one), or an
+eviction could race a lookup.  These tests hammer exactly those paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.setm_parallel import (
+    _POOLS,
+    pool_map,
+    pool_stats,
+    shutdown_worker_pools,
+)
+
+
+def square(x: int) -> int:
+    """Module-level so it pickles under every start method."""
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def clean_pools():
+    shutdown_worker_pools()
+    yield
+    shutdown_worker_pools()
+
+
+class TestConcurrentPoolMap:
+    def test_hammer_creates_exactly_one_pool(self):
+        barrier = threading.Barrier(8)
+        results = []
+        lock = threading.Lock()
+
+        def work(i: int):
+            barrier.wait(timeout=30)  # maximize the create race
+            reply = pool_map(None, 2, square, list(range(i, i + 4)))
+            with lock:
+                results.append((i, reply))
+
+        with ThreadPoolExecutor(max_workers=8) as executor:
+            list(executor.map(work, range(8)))
+
+        assert len(results) == 8
+        for i, reply in results:
+            assert reply == [x * x for x in range(i, i + 4)]
+        # The race never leaks a second pool for the same key.
+        assert len(_POOLS) == 1
+        stats = pool_stats()
+        assert len(stats) == 1
+        assert stats[0]["workers"] == 2
+        assert stats[0]["alive"] is True
+
+    def test_concurrent_recreate_after_pool_death(self):
+        # Prime the cache, then kill the pool behind the cache's back.
+        pool_map(None, 2, square, [1, 2])
+        (pool,) = _POOLS.values()
+        pool.terminate()
+        pool.join()
+        assert pool_stats()[0]["alive"] is False
+
+        barrier = threading.Barrier(6)
+        results = []
+        lock = threading.Lock()
+
+        def work(i: int):
+            barrier.wait(timeout=30)
+            reply = pool_map(None, 2, square, [i])
+            with lock:
+                results.append(reply)
+
+        with ThreadPoolExecutor(max_workers=6) as executor:
+            list(executor.map(work, range(6)))
+
+        assert sorted(results) == [[i * i] for i in range(6)]
+        # Everyone agreed on one fresh pool.
+        assert len(_POOLS) == 1
+        assert pool_stats()[0]["alive"] is True
+
+    def test_concurrent_shutdown_is_safe(self):
+        pool_map(None, 2, square, [1])
+        barrier = threading.Barrier(4)
+
+        def shutdown(_):
+            barrier.wait(timeout=30)
+            shutdown_worker_pools()
+
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            list(executor.map(shutdown, range(4)))
+        assert pool_stats() == []
+        # The cache still works after a racing shutdown.
+        assert pool_map(None, 2, square, [3]) == [9]
+
+
+class TestPoolStats:
+    def test_empty_when_no_pools(self):
+        assert pool_stats() == []
+
+    def test_reports_resolved_start_method(self):
+        import multiprocessing
+
+        pool_map(None, 1, square, [2])
+        (entry,) = pool_stats()
+        assert entry["start_method"] in (
+            multiprocessing.get_all_start_methods()
+        )
+        assert entry["workers"] == 1

@@ -1,0 +1,281 @@
+"""RequestScheduler: admission control, deadlines, requeue-or-fail."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    InvalidConfigError,
+    RequestTimeoutError,
+    ServerBusyError,
+    ServerDrainingError,
+    WorkerCrashError,
+)
+from repro.serve.scheduler import RequestScheduler
+
+
+def make(**kwargs) -> RequestScheduler:
+    kwargs.setdefault("queue_depth", 4)
+    kwargs.setdefault("workers", 2)
+    return RequestScheduler(**kwargs).start()
+
+
+class TestBasics:
+    def test_submit_returns_the_result(self):
+        scheduler = make()
+        try:
+            assert scheduler.submit(lambda: 41 + 1) == 42
+        finally:
+            scheduler.drain()
+
+    def test_submit_reraises_the_task_error(self):
+        scheduler = make()
+        try:
+            with pytest.raises(ZeroDivisionError):
+                scheduler.submit(lambda: 1 / 0)
+        finally:
+            scheduler.drain()
+
+    def test_unstarted_scheduler_rejects(self):
+        scheduler = RequestScheduler(queue_depth=1, workers=1)
+        with pytest.raises(ServerDrainingError):
+            scheduler.submit(lambda: 1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_depth": 0},
+            {"queue_depth": True},
+            {"workers": 0},
+            {"max_attempts": 0},
+            {"default_timeout": 0},
+            {"default_timeout": "fast"},
+        ],
+    )
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(InvalidConfigError):
+            RequestScheduler(**kwargs)
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_typed_busy(self):
+        release = threading.Event()
+        scheduler = make(queue_depth=1, workers=1)
+        try:
+            threads = []
+            # One task occupies the worker; one sits in the queue.
+            # qsize() is what admission checks, so wait for the first
+            # task to be *running* (not merely dequeued) before filling
+            # the queue slot.
+            running = threading.Event()
+
+            def blocked():
+                running.set()
+                release.wait(10)
+
+            first = threading.Thread(
+                target=lambda: scheduler.submit(blocked)
+            )
+            first.start()
+            threads.append(first)
+            assert running.wait(5)
+            second = threading.Thread(
+                target=lambda: scheduler.submit(release.wait)
+            )
+            second.start()
+            threads.append(second)
+            deadline = time.monotonic() + 5
+            while scheduler.stats()["depth"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+
+            with pytest.raises(ServerBusyError) as info:
+                scheduler.submit(lambda: 3)
+            assert info.value.queue_depth == 1
+            assert scheduler.stats()["rejected"] == 1
+        finally:
+            release.set()
+            for thread in threads:
+                thread.join(10)
+            scheduler.drain()
+
+    def test_draining_scheduler_rejects(self):
+        scheduler = make()
+        scheduler.drain()
+        with pytest.raises(ServerDrainingError):
+            scheduler.submit(lambda: 1)
+
+
+class TestDeadlines:
+    def test_timeout_raises_and_marks_abandoned(self):
+        release = threading.Event()
+        scheduler = make(workers=1)
+        try:
+            with pytest.raises(RequestTimeoutError) as info:
+                scheduler.submit(
+                    lambda: release.wait(10), timeout=0.05
+                )
+            assert info.value.timeout_seconds == 0.05
+            assert scheduler.stats()["timed_out"] == 1
+        finally:
+            release.set()
+            scheduler.drain()
+
+    def test_default_timeout_applies(self):
+        release = threading.Event()
+        scheduler = make(workers=1, default_timeout=0.05)
+        try:
+            with pytest.raises(RequestTimeoutError):
+                scheduler.submit(lambda: release.wait(10))
+        finally:
+            release.set()
+            scheduler.drain()
+
+    def test_timeout_none_overrides_the_default(self):
+        scheduler = make(default_timeout=0.05)
+        try:
+            # Outlives the default deadline, but timeout=None disables it.
+            def slow():
+                time.sleep(0.2)
+                return "done"
+
+            assert scheduler.submit(slow, timeout=None) == "done"
+        finally:
+            scheduler.drain()
+
+
+class FlakyOnce:
+    """Fails with the given error on the first call, then succeeds."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls == 1:
+            raise self.error
+        return "recovered"
+
+
+class TestRequeue:
+    def test_retryable_failure_requeues_once_and_succeeds(self):
+        scheduler = make(
+            retryable=lambda exc: isinstance(exc, EOFError)
+        )
+        try:
+            flaky = FlakyOnce(EOFError("pool died"))
+            assert scheduler.submit(flaky) == "recovered"
+            assert flaky.calls == 2
+            stats = scheduler.stats()
+            assert stats["requeued"] == 1
+            assert stats["completed"] == 1
+        finally:
+            scheduler.drain()
+
+    def test_exhausted_retries_fail_with_worker_crash(self):
+        scheduler = make(
+            retryable=lambda exc: isinstance(exc, EOFError),
+            max_attempts=2,
+        )
+        try:
+            def always():
+                raise EOFError("pool died again")
+
+            with pytest.raises(WorkerCrashError) as info:
+                scheduler.submit(always)
+            assert info.value.attempts == 2
+            assert isinstance(info.value.__cause__, EOFError)
+        finally:
+            scheduler.drain()
+
+    def test_non_retryable_failure_is_not_requeued(self):
+        scheduler = make(
+            retryable=lambda exc: isinstance(exc, EOFError)
+        )
+        try:
+            flaky = FlakyOnce(ValueError("real bug"))
+            with pytest.raises(ValueError):
+                scheduler.submit(flaky)
+            assert flaky.calls == 1
+            assert scheduler.stats()["requeued"] == 0
+        finally:
+            scheduler.drain()
+
+    def test_no_retryable_predicate_means_no_requeue(self):
+        scheduler = make()
+        try:
+            flaky = FlakyOnce(EOFError("pool died"))
+            with pytest.raises(EOFError):
+                scheduler.submit(flaky)
+            assert flaky.calls == 1
+        finally:
+            scheduler.drain()
+
+
+class TestDrain:
+    def test_drain_finishes_queued_work(self):
+        scheduler = make(queue_depth=8, workers=2)
+        results: list[int] = []
+        lock = threading.Lock()
+
+        def work(i):
+            time.sleep(0.01)
+            with lock:
+                results.append(i)
+            return i
+
+        threads = [
+            threading.Thread(target=scheduler.submit, args=(lambda i=i: work(i),))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5
+        while scheduler.stats()["accepted"] < 6:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        scheduler.drain()
+        for thread in threads:
+            thread.join(10)
+        assert sorted(results) == list(range(6))
+        stats = scheduler.stats()
+        assert stats["draining"] is True
+        assert stats["depth"] == 0
+        assert stats["in_flight"] == 0
+
+    def test_drain_is_idempotent(self):
+        scheduler = make()
+        scheduler.drain()
+        scheduler.drain()
+        assert scheduler.stats()["draining"] is True
+
+    def test_drain_without_start_is_safe(self):
+        RequestScheduler(queue_depth=1, workers=1).drain()
+
+    def test_start_after_drain_refuses(self):
+        scheduler = make()
+        scheduler.drain()
+        with pytest.raises(ServerDrainingError):
+            scheduler.start()
+
+
+class TestStats:
+    def test_counters_add_up(self):
+        scheduler = make()
+        try:
+            for _ in range(3):
+                scheduler.submit(lambda: 1)
+            with pytest.raises(ZeroDivisionError):
+                scheduler.submit(lambda: 1 / 0)
+            stats = scheduler.stats()
+            assert stats["accepted"] == 4
+            assert stats["completed"] == 3
+            assert stats["failed"] == 1
+            assert stats["queue_depth"] == 4
+            assert stats["workers"] == 2
+        finally:
+            scheduler.drain()
