@@ -42,6 +42,19 @@ differentially checked against ``setm``, must actually have spilled
 pool; speedups are measured against ``setm-columnar-disk`` at the same
 budget and carry the same single-CPU tagging.
 
+The Table 6.2 workload (and the tiny smoke under ``--transport``) also
+runs the **transport sweep**: ``setm-parallel`` across the payload
+transports (``pickle`` vs ``shm`` vs ``mmap``) at each sweep worker
+count.  The ``pickle`` rows are the baseline; every other row records
+``bytes_copied_reduction`` — the fraction of task/reply bytes that
+left the pickle stream for shared memory or the spool — and the run
+refuses to record a reduction below 50%.  Byte counters are
+deterministic, so they are honest even on one CPU; wall-clock ratios
+(``speedup_vs_pickle``) carry the same ``coordination_overhead_only``
+tagging as every other sweep.  ``--transport T`` narrows the sweep to
+``{pickle, T}`` and extends it to the tiny smoke, which is how CI
+exercises the shm and mmap legs on every push.
+
 The Table 6.2 workload (and the tiny smoke) also runs the **serve
 scenario**: an in-process ``MiningService`` hosting the workload's
 database, hammered by N concurrent clients with result caching
@@ -93,7 +106,7 @@ from repro.data.retail import generate_retail_dataset  # noqa: E402
 from repro.serve.protocol import result_payload  # noqa: E402
 from repro.serve.service import MiningService  # noqa: E402
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 ENGINES = {"setm": setm, "setm-columnar": setm_columnar}
 
 #: Worker counts swept per workload (setm-parallel, differentially
@@ -110,6 +123,22 @@ WORKER_SWEEPS = {
 SPILL_PARALLEL_SWEEPS = {
     "table6.2-retail": (1, 2, 4),
 }
+
+#: Workloads carrying the transport sweep (setm-parallel across payload
+#: transports, ``pickle`` first — it is the reduction baseline).
+TRANSPORT_SWEEPS = {
+    "table6.2-retail": ("pickle", "shm", "mmap"),
+}
+
+#: Worker counts each transport is swept across (``--workers N``
+#: narrows this to {1, N} alongside the worker sweep).
+TRANSPORT_SWEEP_WORKERS = (1, 2, 4)
+
+#: The acceptance floor for the non-pickle transports: at least this
+#: fraction of the pickle transport's task+reply bytes must have left
+#: the pickle stream (byte counters are deterministic — this holds on
+#: any host, unlike wall-clock speedups).
+TRANSPORT_REDUCTION_FLOOR = 0.5
 
 #: Client counts swept through the in-process serve scenario (the tiny
 #: smoke carries it so CI validates the schema branch on every push).
@@ -381,6 +410,132 @@ def _bench_spill_parallel(
     }
 
 
+def _bench_transport_sweep(
+    name: str,
+    database,
+    minsup: float,
+    transports: tuple[str, ...],
+    sweep: tuple[int, ...],
+    reference,
+    *,
+    parallel_threshold: int | None = None,
+) -> dict:
+    """The transport scenario: ``setm-parallel`` across payload transports.
+
+    One timed run per (transport, workers) cell — the interesting
+    numbers here are the *byte counters*, which are deterministic, so
+    best-of-N timing rounds would only slow the bench down.  The
+    ``pickle`` rows are the baseline: every other row's
+    ``bytes_copied_reduction`` is the fraction of pickle-stream bytes
+    (task payloads + reply buffers) the transport moved out-of-band,
+    and anything below :data:`TRANSPORT_REDUCTION_FLOOR` on a pooled
+    run aborts the bench.  Wall-clock ratios carry the standard
+    single-CPU ``coordination_overhead_only`` tagging.
+    """
+    if transports[0] != "pickle":
+        raise SystemExit(
+            f"transport sweep on {name}: 'pickle' must come first "
+            "(it is the bytes_copied_reduction baseline)"
+        )
+    options: dict = {"measure_memory": False}
+    if parallel_threshold is not None:
+        options["parallel_threshold"] = parallel_threshold
+    pickle_rows: dict[int, dict] = {}  # workers -> baseline entry
+    runs = []
+    for transport in transports:
+        for workers in sweep:
+            started = time.perf_counter()
+            result = setm_parallel(
+                database,
+                minsup,
+                workers=workers,
+                transport=transport,
+                **options,
+            )
+            elapsed = round(time.perf_counter() - started, 6)
+            if not (
+                reference.same_patterns_as(result)
+                and reference.iterations == result.iterations
+            ):
+                raise SystemExit(
+                    f"transport sweep on {name}: setm-parallel over "
+                    f"{transport!r} with {workers} workers disagrees with "
+                    "setm; refusing to record"
+                )
+            block = result.extra["transport"]
+            pickled_bytes = (
+                block["task_bytes_inline"] + block["reply_bytes_inline"]
+            )
+            entry = {
+                "transport": transport,
+                "workers": workers,
+                "mode": block["mode"],
+                "elapsed_seconds": elapsed,
+                "pickled_bytes": pickled_bytes,
+                "task_bytes_inline": block["task_bytes_inline"],
+                "task_bytes_shared": block["task_bytes_shared"],
+                "task_bytes_spooled": block["task_bytes_spooled"],
+                "reply_bytes_inline": block["reply_bytes_inline"],
+                "reply_bytes_shared": block["reply_bytes_shared"],
+                "zero_copy_bytes": block["zero_copy_bytes"],
+                "bytes_copied_reduction": None,
+                "speedup_vs_pickle": None,
+                "agreement": True,
+            }
+            if transport == "pickle":
+                pickle_rows[workers] = entry
+            else:
+                baseline = pickle_rows.get(workers)
+                if workers > 1:
+                    if baseline is None or baseline["pickled_bytes"] <= 0:
+                        raise SystemExit(
+                            f"transport sweep on {name}: no pickle-transport "
+                            f"bytes at {workers} workers to compare against "
+                            "(the pool never ran); nothing measured"
+                        )
+                    reduction = round(
+                        1 - pickled_bytes / baseline["pickled_bytes"], 4
+                    )
+                    if reduction < TRANSPORT_REDUCTION_FLOOR:
+                        raise SystemExit(
+                            f"transport sweep on {name}: {transport!r} at "
+                            f"{workers} workers moved only "
+                            f"{reduction:.0%} of the pickle bytes "
+                            "out-of-band (floor "
+                            f"{TRANSPORT_REDUCTION_FLOOR:.0%}); "
+                            "refusing to record"
+                        )
+                    entry["bytes_copied_reduction"] = reduction
+                    if baseline["elapsed_seconds"] > 0 and elapsed > 0:
+                        entry["speedup_vs_pickle"] = round(
+                            baseline["elapsed_seconds"] / elapsed, 3
+                        )
+            tagged = _tag_single_cpu(entry, "speedup_vs_pickle")
+            reduction = entry["bytes_copied_reduction"]
+            print(
+                f"  transport={transport} workers={workers}: {elapsed:.3f}s"
+                + (
+                    f", {reduction:.0%} fewer pickled bytes"
+                    if reduction is not None
+                    else ""
+                )
+                + (
+                    ""
+                    if not tagged
+                    else " (timing is coordination overhead only, 1 CPU)"
+                ),
+                flush=True,
+            )
+            runs.append(entry)
+    return {
+        "engine": "setm-parallel",
+        "cpus": os.cpu_count(),
+        "parallel_threshold": parallel_threshold,
+        "reduction_floor": TRANSPORT_REDUCTION_FLOOR,
+        "runs": runs,
+    }
+
+
 def _bench_serve(
     name: str,
     database,
@@ -609,6 +764,7 @@ def run(
     rounds: int,
     memory_budget: int | None = None,
     workers: int | None = None,
+    transport: str | None = None,
 ) -> dict:
     workloads = []
     for name, factory, minsup in _workloads(tiny):
@@ -687,6 +843,32 @@ def run(
                 engines["setm-columnar"]["elapsed_seconds"],
                 rounds,
                 parallel_threshold=threshold,
+            )
+        # The transport sweep: pickle vs shm vs mmap byte accounting
+        # (--transport narrows it to {pickle, T} and extends it to the
+        # tiny smoke, where the pool is forced on like the worker sweep).
+        transport_sweep = TRANSPORT_SWEEPS.get(name, ())
+        transport_threshold = None
+        if transport is not None and (
+            name in TRANSPORT_SWEEPS or name == TINY_WORKLOAD
+        ):
+            transport_sweep = tuple(
+                dict.fromkeys(("pickle", transport))
+            )
+        if transport_sweep:
+            transport_workers = TRANSPORT_SWEEP_WORKERS
+            if workers is not None:
+                transport_workers = tuple(sorted({1, workers}))
+            if name == TINY_WORKLOAD:
+                transport_threshold = 0
+            workload_entry["transport_sweep"] = _bench_transport_sweep(
+                name,
+                database,
+                minsup,
+                transport_sweep,
+                transport_workers,
+                results["setm"],
+                parallel_threshold=transport_threshold,
             )
         # The combined scenario rides on the constrained budget: pooled
         # counting of on-disk partitions, swept across worker counts.
@@ -823,6 +1005,60 @@ def validate(document: dict) -> list[str]:
                     errors.extend(
                         _check_single_cpu_tag(
                             entry, cpus, "speedup_vs_columnar", run_prefix
+                        )
+                    )
+        if "transport_sweep" in (workload or {}):
+            sweep = need(workload, "transport_sweep", dict, where)
+            if sweep is not None:
+                prefix = f"{where}.transport_sweep"
+                need(sweep, "engine", str, prefix)
+                cpus = need(sweep, "cpus", int, prefix)
+                floor = need(
+                    sweep, "reduction_floor", (int, float), prefix
+                )
+                runs = need(sweep, "runs", list, prefix)
+                if not runs:
+                    errors.append(f"{prefix}.runs: must be a non-empty list")
+                for j, entry in enumerate(runs or ()):
+                    run_prefix = f"{prefix}.runs[{j}]"
+                    transport = need(entry, "transport", str, run_prefix)
+                    workers_value = need(entry, "workers", int, run_prefix)
+                    need(entry, "elapsed_seconds", (int, float), run_prefix)
+                    need(entry, "agreement", bool, run_prefix)
+                    for counter in (
+                        "pickled_bytes",
+                        "task_bytes_inline",
+                        "task_bytes_shared",
+                        "task_bytes_spooled",
+                        "reply_bytes_inline",
+                        "reply_bytes_shared",
+                        "zero_copy_bytes",
+                    ):
+                        need(entry, counter, int, run_prefix)
+                    if (
+                        transport in ("shm", "mmap")
+                        and isinstance(workers_value, int)
+                        and workers_value > 1
+                    ):
+                        reduction = entry.get("bytes_copied_reduction")
+                        minimum = (
+                            floor
+                            if isinstance(floor, (int, float))
+                            else TRANSPORT_REDUCTION_FLOOR
+                        )
+                        if (
+                            not isinstance(reduction, (int, float))
+                            or reduction < minimum
+                        ):
+                            errors.append(
+                                f"{run_prefix}.bytes_copied_reduction: a "
+                                f"pooled {transport} run must move at least "
+                                f"{minimum:.0%} of the pickle-transport "
+                                "bytes out-of-band"
+                            )
+                    errors.extend(
+                        _check_single_cpu_tag(
+                            entry, cpus, "speedup_vs_pickle", run_prefix
                         )
                     )
         if "spill_parallel" in (workload or {}):
@@ -965,6 +1201,12 @@ def main(argv: list[str] | None = None) -> int:
              "WORKER_SWEEPS; the CI smoke passes --workers 2)",
     )
     parser.add_argument(
+        "--transport", choices=["pickle", "shm", "mmap"], default=None,
+        help="narrow the transport sweep to {pickle, TRANSPORT} and "
+             "extend it to the tiny smoke (default: per-workload sweeps "
+             "in TRANSPORT_SWEEPS; the CI smoke passes shm and mmap legs)",
+    )
+    parser.add_argument(
         "--validate", type=Path, default=None, metavar="PATH",
         help="validate an existing results file against the schema and exit",
     )
@@ -985,6 +1227,7 @@ def main(argv: list[str] | None = None) -> int:
         rounds=max(1, args.rounds),
         memory_budget=args.memory_budget,
         workers=args.workers,
+        transport=args.transport,
     )
     errors = validate(document)
     if errors:  # pragma: no cover - the writer always matches its schema

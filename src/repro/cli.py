@@ -101,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for parallel engines "
                            "(e.g. setm-parallel; default: the machine's "
                            "CPU count, 1 forces serial execution)")
+    mine.add_argument("--transport", default=None,
+                      choices=["auto", "pickle", "shm", "mmap"],
+                      help="how parallel engines move partition bytes to "
+                           "workers: pickle (serialize), shm (zero-copy "
+                           "shared-memory views), mmap (map spill/spool "
+                           "files); auto picks per engine")
     mine.add_argument("--patterns", action="store_true",
                       help="also print every frequent pattern")
     mine.add_argument("--json", action="store_true",
@@ -237,6 +243,7 @@ def _mining_report(result, rules) -> dict:
         "spill": result.extra.get("spill"),
         "workers": result.extra.get("workers"),
         "parallel": result.extra.get("parallel"),
+        "transport": result.extra.get("transport"),
     }
 
 
@@ -256,6 +263,8 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         options["memory_budget_bytes"] = args.memory_budget
     if args.workers is not None:
         options["workers"] = args.workers
+    if args.transport is not None:
+        options["transport"] = args.transport
     config = MiningConfig(
         support=(
             args.minsup_count if args.minsup_count is not None else args.minsup

@@ -98,6 +98,7 @@ except ImportError:  # minimal installs (e.g. CI) use the stdlib path
 __all__ = [
     "InstanceRelation",
     "SalesIndex",
+    "chunk_frames",
     "count_packed_keys",
     "count_sorted_rows",
     "extension_counts",
@@ -449,6 +450,33 @@ def read_chunks(
             data, offset, index=index
         )
         yield relation
+
+
+def chunk_frames(
+    data,
+) -> Iterator[tuple[int, int, int, int, int, int, int]]:
+    """Walk chunk *framing* in ``data`` without decoding any column.
+
+    Yields ``(flags, k, n, start, sid_offset, key_offset, end)`` per
+    chunk: the header fields plus the byte offsets of the ``last_sid``
+    column, the ``keys`` column, and the chunk's end.  ``data`` may be
+    any buffer (bytes, a :class:`memoryview` over shared memory, an
+    ``mmap``) — nothing is sliced or copied, which is the point: the
+    zero-copy transport decoders use these offsets to construct int64
+    column views directly over the source buffer instead of copying the
+    payload through intermediate ``bytes``.
+    """
+    offset = 0
+    total = len(data)
+    while offset < total:
+        magic, flags, k, n, payload_len = _CHUNK_HEADER.unpack_from(
+            data, offset
+        )
+        if magic != _CHUNK_MAGIC:
+            raise ValueError(f"bad chunk magic {magic!r} at offset {offset}")
+        body = offset + _CHUNK_HEADER.size
+        yield flags, k, n, offset, body, body + 8 * n, body + payload_len
+        offset = body + payload_len
 
 
 def extension_counts(
@@ -808,8 +836,12 @@ def filter_by_keys(
         items = tuple(
             _column(compress(column, selector)) for column in relation._items
         )
+    # The cursor column stays a flat int64 buffer (array('q'), never a
+    # Python-int list): cursors always fit 64 bits, and downstream
+    # consumers — chunk serialization, the workers' survivor replies —
+    # round-trip it buffer-to-buffer via .tobytes()/.frombytes().
     last_sid = (
-        list(compress(relation.last_sid, selector))
+        _column(compress(relation.last_sid, selector))
         if relation.last_sid is not None
         else None
     )

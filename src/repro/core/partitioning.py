@@ -49,12 +49,15 @@ from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.columns import (
+    _CHUNK_FLAG_BIG_KEYS,
     InstanceRelation,
     SalesIndex,
+    chunk_frames,
     extension_counts,
     read_chunks,
     suffix_extend,
 )
+from repro.errors import PartitionFormatError
 
 try:  # pragma: no cover - same optional dependency as repro.core.columns
     import numpy as _np
@@ -62,12 +65,14 @@ except ImportError:
     _np = None
 
 __all__ = [
+    "PARTITION_PICKLE_VERSION",
     "ROW_BYTES",
     "Partition",
     "PartitionPlan",
     "boundaries_from_keys",
     "choose_boundaries",
     "concat_columns",
+    "decode_buffer_chunks",
     "decode_vector_chunks",
     "key_ranges",
     "output_slices",
@@ -113,6 +118,54 @@ def decode_vector_chunks(
                 chunk.keys = _int64_view(chunk.keys)
                 chunk.last_sid = _int64_view(chunk.last_sid)
     return chunks
+
+
+def decode_buffer_chunks(
+    data, *, index: "SalesIndex | None" = None
+) -> tuple[list[InstanceRelation], int]:
+    """Decode chunks from *any* buffer, int64 columns as zero-copy views.
+
+    The transport-aware sibling of :func:`decode_vector_chunks`:
+    ``data`` may be a :class:`memoryview` over a shared-memory segment
+    or an ``mmap``-ed spill file, and when numpy is available the int64
+    ``keys``/``last_sid`` columns are built with ``np.frombuffer``
+    *directly over that buffer* — no intermediate ``bytes``, no
+    ``array`` copy.  Big-key fallback chunks (arbitrary-precision
+    Python integers) and the stdlib path necessarily copy, exactly as
+    :func:`decode_vector_chunks` does.
+
+    Returns ``(chunks, zero_copy_bytes)`` where ``zero_copy_bytes``
+    counts the column bytes that were *viewed* rather than copied — the
+    transport telemetry's ``copies_avoided`` evidence.
+
+    The views borrow ``data``: the caller must drop every chunk before
+    releasing the underlying segment or map (the worker bodies do, by
+    construction — replies are packed into fresh buffers).
+    """
+    if _np is None:
+        payload = data if isinstance(data, bytes) else bytes(data)
+        return decode_vector_chunks(payload, index=index), 0
+    chunks: list[InstanceRelation] = []
+    zero_copy_bytes = 0
+    for flags, k, n, start, sid_off, key_off, end in chunk_frames(data):
+        if flags & _CHUNK_FLAG_BIG_KEYS:
+            chunk, _ = InstanceRelation.from_chunk_bytes(
+                data, start, index=index
+            )
+            if not isinstance(chunk.keys, list):
+                chunk.keys = _int64_view(chunk.keys)
+                chunk.last_sid = _int64_view(chunk.last_sid)
+            chunks.append(chunk)
+            continue
+        sids = _np.frombuffer(data, dtype=_np.int64, count=n, offset=sid_off)
+        keys = _np.frombuffer(data, dtype=_np.int64, count=n, offset=key_off)
+        zero_copy_bytes += 16 * n
+        chunks.append(
+            InstanceRelation(
+                None, None, last_sid=sids, keys=keys, k=k, index=index
+            )
+        )
+    return chunks, zero_copy_bytes
 
 
 def concat_columns(columns: list) -> Any:
@@ -326,24 +379,47 @@ def split_by_key_ranges(
         )
 
 
+#: Version tag written into every :class:`Partition` pickle.  Bumped
+#: whenever the descriptor layout changes; a pool member reading a
+#: different version raises the typed
+#: :class:`~repro.errors.PartitionFormatError` instead of a garbled
+#: unpickle (mixed-version pools are a deployment error, not a data
+#: corruption).
+PARTITION_PICKLE_VERSION = 2
+
+
 class Partition:
     """One key-range slice of an ``R'_k`` relation, as serialized chunks.
 
     The first-class work unit of partitioned execution: it carries the
     pattern-key range it covers (``key_low`` inclusive, ``key_high``
-    exclusive, ``None`` for unbounded ends) and its rows in the chunk
-    format of :meth:`InstanceRelation.to_chunk_bytes` — either in
-    memory (``payload``) or in a spill file (``path``).  Because every
-    occurrence of a pattern falls in exactly one key range, counting a
-    partition yields *global* counts for every pattern it contains.
+    exclusive, ``None`` for unbounded ends) and a *descriptor* of its
+    rows in the chunk format of
+    :meth:`InstanceRelation.to_chunk_bytes` — exactly one of
 
-    Partitions are picklable (bytes payloads and paths both travel), so
-    the parallel engine can submit them to worker processes unchanged —
-    including the length-prefixed big-key fallback chunks produced when
-    packed keys exceed 64 bits.
+    * ``payload`` — the chunk bytes inline (they travel inside the
+      task pickle: the ``pickle`` transport);
+    * ``shm`` — a ``(segment_name, offset, length)`` slice of a
+      :mod:`multiprocessing.shared_memory` segment (the pickle shrinks
+      to the descriptor; workers view the bytes in place: the ``shm``
+      transport);
+    * ``path`` — a spill file (workers read — or ``mmap`` — the file
+      themselves: the spill engines and the ``mmap`` transport).
+
+    Because every occurrence of a pattern falls in exactly one key
+    range, counting a partition yields *global* counts for every
+    pattern it contains.
+
+    Partitions are picklable whatever the descriptor (including the
+    length-prefixed big-key fallback chunks produced when packed keys
+    exceed 64 bits); the pickle carries
+    :data:`PARTITION_PICKLE_VERSION` so version skew inside a pool
+    fails typed and early.
     """
 
-    __slots__ = ("k", "key_low", "key_high", "num_rows", "payload", "path")
+    __slots__ = (
+        "k", "key_low", "key_high", "num_rows", "payload", "path", "shm"
+    )
 
     def __init__(
         self,
@@ -354,11 +430,16 @@ class Partition:
         num_rows: int = 0,
         payload: bytes | None = None,
         path: str | os.PathLike | None = None,
+        shm: tuple[str, int, int] | None = None,
     ) -> None:
-        if (payload is None) == (path is None):
+        sources = sum(
+            source is not None for source in (payload, path, shm)
+        )
+        if sources != 1:
             raise ValueError(
                 "a Partition is backed by exactly one chunk source: "
-                "pass payload= (in memory) or path= (spill file)"
+                "pass payload= (in memory), path= (spill file), or "
+                "shm= (shared-memory slice)"
             )
         self.k = k
         self.key_low = key_low
@@ -366,6 +447,7 @@ class Partition:
         self.num_rows = num_rows
         self.payload = payload
         self.path = Path(path) if path is not None else None
+        self.shm = tuple(shm) if shm is not None else None
 
     @classmethod
     def from_relation(
@@ -385,9 +467,20 @@ class Partition:
         )
 
     def read_bytes(self) -> bytes:
-        """This partition's raw chunk bytes (from memory or disk)."""
+        """This partition's raw chunk bytes (memory, shared memory, or disk).
+
+        For ``shm``-backed partitions this *copies* the slice out of
+        the segment — the convenience accessor; the zero-copy path is
+        :func:`repro.core.transport.partition_buffer`.
+        """
         if self.payload is not None:
             return self.payload
+        if self.shm is not None:
+            # Imported lazily: this module stays a dependency near-leaf
+            # and the transport module imports Partition from here.
+            from repro.core.transport import read_segment_slice
+
+            return read_segment_slice(self.shm)
         if self.path is None:
             raise ValueError("partition already deleted; no chunk source left")
         return self.path.read_bytes()
@@ -401,6 +494,9 @@ class Partition:
     def delete(self) -> None:
         """Drop the chunk source: unlink the spill file / free the payload.
 
+        A ``shm`` descriptor is only *detached* here — the segment's
+        create/unlink lifecycle belongs to the parent-side transport
+        session, never to the (possibly many) partitions viewing it.
         Reading a deleted partition raises a clear :class:`ValueError`
         from :meth:`read_bytes`; deleting twice is a no-op.
         """
@@ -411,22 +507,28 @@ class Partition:
                 pass
             self.path = None
         self.payload = None
+        self.shm = None
 
-    # __slots__ classes need explicit state plumbing only when a slot
-    # holds something unpicklable; Path and bytes both travel, so the
-    # default protocol-2 reduction applies.  Spelled out anyway so the
-    # pickle contract is visible and version-stable.
+    # Explicit, versioned pickle state: the descriptor travels to pool
+    # processes on every dispatch, so its layout is a wire format.  The
+    # "v" tag turns a mixed-version pool into a typed refusal instead
+    # of a garbled unpickle.
     def __getstate__(self):
         return {
+            "v": PARTITION_PICKLE_VERSION,
             "k": self.k,
             "key_low": self.key_low,
             "key_high": self.key_high,
             "num_rows": self.num_rows,
             "payload": self.payload,
             "path": str(self.path) if self.path is not None else None,
+            "shm": self.shm,
         }
 
     def __setstate__(self, state) -> None:
+        version = state.get("v") if isinstance(state, dict) else None
+        if version != PARTITION_PICKLE_VERSION:
+            raise PartitionFormatError(PARTITION_PICKLE_VERSION, version)
         self.k = state["k"]
         self.key_low = state["key_low"]
         self.key_high = state["key_high"]
@@ -434,9 +536,16 @@ class Partition:
         self.payload = state["payload"]
         path = state["path"]
         self.path = Path(path) if path is not None else None
+        shm = state["shm"]
+        self.shm = tuple(shm) if shm is not None else None
 
     def __repr__(self) -> str:
-        source = "payload" if self.payload is not None else f"path={self.path}"
+        if self.payload is not None:
+            source = "payload"
+        elif self.shm is not None:
+            source = f"shm={self.shm[0]}+{self.shm[1]}"
+        else:
+            source = f"path={self.path}"
         return (
             f"Partition(k={self.k}, rows={self.num_rows}, "
             f"range=[{self.key_low}, {self.key_high}), {source})"

@@ -54,6 +54,7 @@ from repro.core.partitioning import (
     Partition,
     boundaries_from_keys,
     concat_columns,
+    decode_buffer_chunks,
     key_ranges,
     split_by_key_ranges,
 )
@@ -61,12 +62,20 @@ from repro.core.result import MiningResult
 from repro.core.setm import run_figure4_loop
 from repro.core.setm_columnar import ColumnarKernel
 from repro.core.transactions import TransactionDatabase
+from repro.core.transport import (
+    TransportSession,
+    negotiate_pool_transport,
+    pack_buffers,
+    partition_buffer,
+    resolve_transport,
+)
 from repro.errors import InvalidConfigError
 from repro.registry import register_engine
 
 __all__ = [
     "DEFAULT_PARALLEL_THRESHOLD",
     "ParallelColumnarKernel",
+    "PoolTransportMixin",
     "default_workers",
     "pool_map",
     "pool_stats",
@@ -171,18 +180,33 @@ def _pack_counts(counts: Sequence[tuple[int, int]]) -> tuple[str, Any, bytes]:
 
 
 def _count_partition(
-    task: tuple[Partition, str],
-) -> tuple[str, Any, bytes]:
+    task: tuple[Partition, str, str, str | None],
+) -> tuple[str, tuple, int]:
     """Worker body: count one partition's packed keys.
 
-    Runs in the pool process.  The partition arrives pickled (chunk
-    bytes travel as-is); the reply is packed into flat int64 arrays so
-    the return pickle is two buffers, not a list of pair tuples.
+    Runs in the pool process.  The partition arrives as whatever
+    descriptor the session's transport published — inline bytes, a
+    shared-memory slice, or a spool/spill path — and is decoded
+    straight over that buffer
+    (:func:`~repro.core.partitioning.decode_buffer_chunks`).  The
+    reply's flat ``(keys, counts)`` buffers leave through the same
+    transport: a parent-named reply segment under ``shm``, the result
+    pickle otherwise.  Returns ``(kind, envelope, zero_copy_bytes)``.
     """
-    partition, via = task
-    chunks = partition.load()
-    keys = concat_columns([chunk.keys for chunk in chunks])
-    return _pack_counts(count_packed_keys(keys, via=via))
+    partition, via, mode, reply_name = task
+    with partition_buffer(partition, mode) as (buffer, source):
+        chunks, zero_copy = decode_buffer_chunks(buffer)
+        keys = concat_columns([chunk.keys for chunk in chunks])
+        counts = count_packed_keys(keys, via=via)
+        # The chunk columns borrow the shm/mmap buffer; drop them (and
+        # any single-chunk key view) before the context releases it.
+        del chunks, keys
+    if source not in ("shm", "mmap"):
+        # Inline/whole-read payloads were already copied to reach this
+        # process; viewing them saves nothing worth reporting.
+        zero_copy = 0
+    kind, distinct, tally_bytes = _pack_counts(counts)
+    return kind, pack_buffers([distinct, tally_bytes], reply_name), zero_copy
 
 
 def _unpack_counts(
@@ -296,7 +320,91 @@ def shutdown_worker_pools() -> None:
         pool.join()
 
 
-class ParallelColumnarKernel(ColumnarKernel):
+class PoolTransportMixin:
+    """Transport negotiation + telemetry shared by the pooled kernels.
+
+    Expects the host kernel to provide ``self._workers`` and
+    ``self._start_method`` before :meth:`_init_transport` runs.  Both
+    pooled kernels (in-memory and spill) dispatch through
+    :meth:`_dispatch` — the one seam the crash-injection tests
+    override — and report :meth:`transport_stats` in their
+    ``extra_stats``.
+    """
+
+    #: What ``transport="auto"`` means for this kernel's partitions:
+    #: ``shm`` for in-memory payloads, ``mmap`` for spill files.
+    _AUTO_TRANSPORT = "shm"
+
+    def _init_transport(self, transport: str | None) -> None:
+        self._transport_requested = resolve_transport(transport)
+        self._transport_mode: str | None = None
+        self._transport_fallback: str | None = None
+        self._transport_sessions = 0
+        self._transport_counters: dict[str, int] = {}
+
+    def _dispatch(self, func, tasks: list) -> list:
+        """Run one iteration's tasks on the shared pool.
+
+        The one seam between the kernel and the pool — the
+        crash-injection tests override it to poison tasks mid-flight
+        and prove the transport session cleans up anyway.
+        """
+        return pool_map(self._start_method, self._workers, func, tasks)
+
+    def _negotiated_transport(self) -> str:
+        """The concrete transport for this kernel's pool (cached).
+
+        ``auto`` prefers the kernel's class default; ``shm`` (chosen or
+        preferred) is proven through the real pool first and demotes to
+        ``pickle`` — reason recorded in the telemetry — if the
+        handshake fails.
+        """
+        if self._transport_mode is None:
+            requested = self._transport_requested
+            concrete = (
+                self._AUTO_TRANSPORT if requested == "auto" else requested
+            )
+            self._transport_mode, self._transport_fallback = (
+                negotiate_pool_transport(
+                    concrete,
+                    start_method=self._start_method,
+                    workers=self._workers,
+                    mapper=self._dispatch,
+                )
+            )
+        return self._transport_mode
+
+    def _record_transport(self, session: TransportSession) -> None:
+        """Fold one closed session's counters into the run telemetry."""
+        session.close()
+        self._transport_sessions += 1
+        for key, value in session.counters.items():
+            self._transport_counters[key] = (
+                self._transport_counters.get(key, 0) + value
+            )
+
+    def transport_stats(self) -> dict[str, Any]:
+        """The ``extra["transport"]`` telemetry block for this run."""
+        return {
+            "requested": self._transport_requested,
+            "mode": self._transport_mode,
+            "fallback_reason": self._transport_fallback,
+            "sessions": self._transport_sessions,
+            **{
+                key: self._transport_counters.get(key, 0)
+                for key in (
+                    "task_bytes_inline",
+                    "task_bytes_shared",
+                    "task_bytes_spooled",
+                    "reply_bytes_inline",
+                    "reply_bytes_shared",
+                    "zero_copy_bytes",
+                )
+            },
+        }
+
+
+class ParallelColumnarKernel(PoolTransportMixin, ColumnarKernel):
     """The columnar Figure-4 steps with pooled partition counting.
 
     ``merge_extend`` and the support filter are inherited unchanged
@@ -314,6 +422,7 @@ class ParallelColumnarKernel(ColumnarKernel):
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
         count_via: Literal["auto", "sort", "hash"] = "auto",
         start_method: str | None = None,
+        transport: str | None = None,
     ) -> None:
         super().__init__(database, count_via=count_via)
         if (
@@ -328,6 +437,7 @@ class ParallelColumnarKernel(ColumnarKernel):
         self._workers = validate_workers(workers)
         self._parallel_threshold = parallel_threshold
         self._start_method = resolve_start_method(start_method)
+        self._init_transport(transport)
         self._k = 1
         self._partitions_per_k: dict[int, int] = {}
         self._short_circuited: list[int] = []
@@ -352,24 +462,28 @@ class ParallelColumnarKernel(ColumnarKernel):
                 self._short_circuited.append(self._k)
             return super().count_and_filter(r_prime, threshold)
 
-        replies = pool_map(
-            self._start_method,
-            self._workers,
-            _count_partition,
-            [(partition, self._count_via) for partition in partitions],
-        )
-
-        # Submission order == ascending key range: partition results are
-        # disjoint, so the merge is concatenation and the per-partition
-        # HAVING clause is the global one.
+        mode = self._negotiated_transport()
         candidate_patterns = 0
         c_k: dict[int, int] = {}
-        for reply in replies:
-            keys, tallies = _unpack_counts(reply)
-            candidate_patterns += len(keys)
-            for key, count in zip(keys, tallies):
-                if count >= threshold:
-                    c_k[int(key)] = count
+        with TransportSession(mode) as session:
+            tasks = [
+                (published, self._count_via, mode, session.reply_name(i))
+                for i, published in enumerate(session.publish(partitions))
+            ]
+            replies = self._dispatch(_count_partition, tasks)
+
+            # Submission order == ascending key range: partition results
+            # are disjoint, so the merge is concatenation and the
+            # per-partition HAVING clause is the global one.
+            for kind, envelope, zero_copy in replies:
+                session.note_zero_copy(zero_copy)
+                distinct, tally_bytes = session.collect(envelope)
+                keys, tallies = _unpack_counts((kind, distinct, tally_bytes))
+                candidate_patterns += len(keys)
+                for key, count in zip(keys, tallies):
+                    if count >= threshold:
+                        c_k[int(key)] = count
+            self._record_transport(session)
         r_next = filter_by_keys(r_prime, set(c_k))
         self._partitions_per_k[self._k] = len(partitions)
         return candidate_patterns, c_k, r_next
@@ -402,6 +516,7 @@ class ParallelColumnarKernel(ColumnarKernel):
                 "threshold_rows": self._parallel_threshold,
                 "start_method": resolved_start_method(self._start_method),
             },
+            "transport": self.transport_stats(),
         }
 
 
@@ -418,6 +533,7 @@ class ParallelColumnarKernel(ColumnarKernel):
         "workers",
         "parallel_threshold",
         "start_method",
+        "transport",
         "measure_memory",
     ),
 )
@@ -430,6 +546,7 @@ def setm_parallel(
     workers: int | None = None,
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
     start_method: str | None = None,
+    transport: str | None = None,
     measure_memory: bool = True,
 ) -> MiningResult:
     """Mine with pooled partition counting; identical results to ``setm``.
@@ -459,15 +576,25 @@ def setm_parallel(
         ``"spawn"``, ``"forkserver"``); ``None`` defers to the
         ``REPRO_MP_START_METHOD`` environment variable, then the
         platform default.
+    transport:
+        How partition payloads cross the process boundary —
+        ``"pickle"`` (inside the task pickle), ``"shm"``
+        (shared-memory descriptors, zero-copy worker views),
+        ``"mmap"`` (spooled to files workers map), or
+        ``"auto"``/``None`` (prefer ``shm``, proven by a per-pool
+        handshake, demoting to ``pickle`` on failure).  Results are
+        byte-identical on every transport.
 
     Returns
     -------
     MiningResult
         Patterns, counts, and iteration statistics identical to
         :func:`repro.core.setm.setm`.  ``extra`` additionally carries
-        ``workers`` and a ``"parallel"`` block — partitions per
+        ``workers``, a ``"parallel"`` block — partitions per
         iteration, which iterations went to the pool, which
-        short-circuited, and the resolved start method.
+        short-circuited, and the resolved start method — and a
+        ``"transport"`` block with the negotiated mode and
+        bytes-moved / copies-avoided counters.
     """
     return run_figure4_loop(
         database,
@@ -478,6 +605,7 @@ def setm_parallel(
             parallel_threshold=parallel_threshold,
             count_via=count_via,
             start_method=start_method,
+            transport=transport,
         ),
         algorithm="setm-parallel",
         max_length=max_length,

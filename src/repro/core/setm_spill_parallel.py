@@ -54,11 +54,15 @@ from array import array
 from pathlib import Path
 from typing import Any, Literal
 
-from repro.core.columns import count_packed_keys, filter_by_keys
+from repro.core.columns import (
+    _int64_column_bytes,
+    count_packed_keys,
+    filter_by_keys,
+)
 from repro.core.partitioning import (
     Partition,
     concat_columns,
-    decode_vector_chunks,
+    decode_buffer_chunks,
 )
 from repro.core.result import MiningResult
 from repro.core.setm import run_figure4_loop
@@ -69,14 +73,19 @@ from repro.core.setm_columnar_disk import (
     SpillingColumnarKernel,
 )
 from repro.core.setm_parallel import (
+    PoolTransportMixin,
     _pack_counts,
     _unpack_counts,
-    pool_map,
     resolve_start_method,
     resolved_start_method,
     validate_workers,
 )
 from repro.core.transactions import TransactionDatabase
+from repro.core.transport import (
+    TransportSession,
+    pack_buffers,
+    partition_buffer,
+)
 from repro.registry import register_engine
 
 try:  # pragma: no cover - same optional dependency as repro.core.columns
@@ -88,70 +97,88 @@ __all__ = ["SpillParallelKernel", "setm_spill_parallel"]
 
 
 def _count_filter_partition(
-    task: tuple[Partition, str, int, str],
-) -> tuple[int, tuple[str, Any, bytes], int, int, int, int, bytes]:
+    task: tuple[Partition, str, int, str, str, str | None],
+) -> tuple[int, str, tuple, int, int, int, int, int]:
     """Worker body: count one on-disk partition and spill its survivors.
 
     Runs in the pool process.  The :class:`Partition` arrives by
-    *path* — the worker reads the spill file itself, so the task pickle
-    is a file name plus a threshold.  The whole per-partition pipeline
-    of the serial spill engine runs here: count packed keys, apply the
+    *path* — the worker opens the spill file itself, so the task pickle
+    is a file name plus a threshold; under the ``mmap`` transport the
+    file is mapped and the int64 columns decoded as views over the map
+    instead of a whole-blob read.  The whole per-partition pipeline of
+    the serial spill engine runs here: count packed keys, apply the
     HAVING threshold (global, because key ranges are disjoint), filter
     the chunks, write the survivors to ``out_path`` in the same chunk
     format, and delete the consumed input partition.
 
-    Returns ``(candidate_patterns, packed_supported_counts,
-    rows_written, chunks_written, bytes_written, bytes_read,
-    survivor_last_sid_bytes)``.  The survivor cursors go back as one
-    flat int64 buffer so the parent can price ``|R'_{k+1}|`` exactly
-    against its resident extension index.
+    Returns ``(candidate_patterns, kind, reply_envelope, rows_written,
+    chunks_written, bytes_written, bytes_read, zero_copy_bytes)``.  The
+    envelope carries the supported ``(keys, counts)`` buffers plus the
+    survivors' ``last_sid`` column — one flat int64 buffer end to end,
+    never an intermediate Python list, so the parent can price
+    ``|R'_{k+1}|`` exactly against its resident extension index.
     """
-    partition, out_path, threshold, via = task
-    data = partition.read_bytes()
-    bytes_read = len(data)
-    chunks = decode_vector_chunks(data)
-    if not chunks:
-        partition.delete()
-        return (0, ("q", b"", b""), 0, 0, 0, bytes_read, b"")
-    keys = concat_columns([chunk.keys for chunk in chunks])
-    counts = count_packed_keys(keys, via=via)
-    supported = {key: count for key, count in counts if count >= threshold}
+    partition, out_path, threshold, via, mode, reply_name = task
     rows_written = 0
     chunks_written = 0
     bytes_written = 0
-    sids = array("q")
-    if supported:
-        supported_keys = set(supported)
-        with open(out_path, "wb") as handle:
-            for chunk in chunks:
-                survivors = filter_by_keys(chunk, supported_keys)
-                if len(survivors) == 0:
-                    continue
-                blob = survivors.to_chunk_bytes()
-                handle.write(blob)
-                bytes_written += len(blob)
-                chunks_written += 1
-                rows_written += len(survivors)
-                last_sid = survivors.last_sid
-                if _np is not None and isinstance(last_sid, _np.ndarray):
-                    sids.frombytes(last_sid.tobytes())
-                else:
-                    sids.extend(map(int, last_sid))
-        if rows_written == 0:  # every supported pattern lived elsewhere
-            os.remove(out_path)
+    sid_parts: list[bytes] = []
+    with partition_buffer(partition, mode) as (buffer, source):
+        bytes_read = len(buffer)
+        chunks, zero_copy = decode_buffer_chunks(buffer)
+        if source not in ("shm", "mmap"):
+            zero_copy = 0
+        if chunks:
+            keys = concat_columns([chunk.keys for chunk in chunks])
+            counts = count_packed_keys(keys, via=via)
+            supported = {
+                key: count for key, count in counts if count >= threshold
+            }
+            if supported:
+                supported_keys = set(supported)
+                with open(out_path, "wb") as handle:
+                    for chunk in chunks:
+                        survivors = filter_by_keys(chunk, supported_keys)
+                        if len(survivors) == 0:
+                            continue
+                        blob = survivors.to_chunk_bytes()
+                        handle.write(blob)
+                        bytes_written += len(blob)
+                        chunks_written += 1
+                        rows_written += len(survivors)
+                        # Cursor values are always < 2**63 (row numbers),
+                        # so even a big-key chunk's column flattens to
+                        # native int64 bytes without an intermediate list.
+                        sid_parts.append(
+                            _int64_column_bytes(survivors.last_sid)
+                        )
+                if rows_written == 0:  # every survivor lived elsewhere
+                    os.remove(out_path)
+            # The chunk columns (and a single-chunk key view) borrow the
+            # shm/mmap buffer; drop them before the context releases it.
+            del keys
+        else:
+            counts = []
+            supported = {}
+        del chunks
     partition.delete()
+    kind, distinct, tally_bytes = _pack_counts(list(supported.items()))
+    envelope = pack_buffers(
+        [distinct, tally_bytes, b"".join(sid_parts)], reply_name
+    )
     return (
         len(counts),
-        _pack_counts(list(supported.items())),
+        kind,
+        envelope,
         rows_written,
         chunks_written,
         bytes_written,
         bytes_read,
-        sids.tobytes(),
+        zero_copy,
     )
 
 
-class SpillParallelKernel(SpillingColumnarKernel):
+class SpillParallelKernel(PoolTransportMixin, SpillingColumnarKernel):
     """The spilling Figure-4 steps with pooled per-partition counting.
 
     ``merge_extend`` (budgeted slicing, key-range spilling) is
@@ -163,6 +190,10 @@ class SpillParallelKernel(SpillingColumnarKernel):
     gracefully to its two parents.
     """
 
+    #: Spilled partitions already live in files, so ``auto`` means
+    #: mapping them (``shm`` would still help only the reply leg).
+    _AUTO_TRANSPORT = "mmap"
+
     def __init__(
         self,
         database: TransactionDatabase,
@@ -172,6 +203,7 @@ class SpillParallelKernel(SpillingColumnarKernel):
         count_via: Literal["auto", "sort", "hash"] = "auto",
         spill_dir: str | os.PathLike | None = None,
         start_method: str | None = None,
+        transport: str | None = None,
     ) -> None:
         super().__init__(
             database,
@@ -181,6 +213,7 @@ class SpillParallelKernel(SpillingColumnarKernel):
         )
         self._workers = validate_workers(workers)
         self._start_method = resolve_start_method(start_method)
+        self._init_transport(transport)
         self._pooled_per_k: dict[int, int] = {}
         self._in_process: list[int] = []
 
@@ -199,43 +232,59 @@ class SpillParallelKernel(SpillingColumnarKernel):
                 self._in_process.append(self._k)
             return super().count_and_filter(r_prime, threshold)
 
-        tasks = []
-        for p, partition in enumerate(r_prime.partitions):
-            out_path = self._spill_path(f"r-k{self._k}-p{p}")
-            tasks.append((partition, str(out_path), threshold, self._count_via))
-        replies = pool_map(
-            self._start_method, self._workers, _count_filter_partition, tasks
-        )
-
-        # Submission order == ascending key range: the per-partition
-        # count relations are disjoint, so merging is concatenation —
-        # the same order the serial engine produces partition-at-a-time.
+        mode = self._negotiated_transport()
         candidate_patterns = 0
         c_k: dict[int, int] = {}
         paths: list[Path] = []
         out_rows = 0
         out_extension_rows = 0
-        for task, reply in zip(tasks, replies):
-            (
-                candidates,
-                packed,
-                rows_written,
-                chunks_written,
-                bytes_written,
-                bytes_read,
-                sid_bytes,
-            ) = reply
-            candidate_patterns += candidates
-            keys, tallies = _unpack_counts(packed)
-            for key, count in zip(keys, tallies):
-                c_k[int(key)] = int(count)
-            self._bytes_read += bytes_read
-            self._bytes_written += bytes_written
-            self._chunks_written += chunks_written
-            if rows_written:
-                paths.append(Path(task[1]))
-                out_rows += rows_written
-                out_extension_rows += self._extension_rows_from_sids(sid_bytes)
+        with TransportSession(mode) as session:
+            tasks = []
+            for p, partition in enumerate(r_prime.partitions):
+                out_path = self._spill_path(f"r-k{self._k}-p{p}")
+                tasks.append(
+                    (
+                        partition,
+                        str(out_path),
+                        threshold,
+                        self._count_via,
+                        mode,
+                        session.reply_name(p),
+                    )
+                )
+            replies = self._dispatch(_count_filter_partition, tasks)
+
+            # Submission order == ascending key range: the per-partition
+            # count relations are disjoint, so merging is concatenation —
+            # the same order the serial engine produces
+            # partition-at-a-time.
+            for task, reply in zip(tasks, replies):
+                (
+                    candidates,
+                    kind,
+                    envelope,
+                    rows_written,
+                    chunks_written,
+                    bytes_written,
+                    bytes_read,
+                    zero_copy,
+                ) = reply
+                session.note_zero_copy(zero_copy)
+                distinct, tally_bytes, sid_bytes = session.collect(envelope)
+                candidate_patterns += candidates
+                keys, tallies = _unpack_counts((kind, distinct, tally_bytes))
+                for key, count in zip(keys, tallies):
+                    c_k[int(key)] = int(count)
+                self._bytes_read += bytes_read
+                self._bytes_written += bytes_written
+                self._chunks_written += chunks_written
+                if rows_written:
+                    paths.append(Path(task[1]))
+                    out_rows += rows_written
+                    out_extension_rows += self._extension_rows_from_sids(
+                        sid_bytes
+                    )
+            self._record_transport(session)
         r_prime.partitions = []
         self._pooled_per_k[self._k] = len(tasks)
         return (
@@ -271,6 +320,7 @@ class SpillParallelKernel(SpillingColumnarKernel):
             "short_circuited": sorted(set(self._in_process)),
             "start_method": resolved_start_method(self._start_method),
         }
+        stats["transport"] = self.transport_stats()
         return stats
 
 
@@ -289,6 +339,7 @@ class SpillParallelKernel(SpillingColumnarKernel):
         "spill_dir",
         "workers",
         "start_method",
+        "transport",
         "measure_memory",
     ),
 )
@@ -302,6 +353,7 @@ def setm_spill_parallel(
     spill_dir: str | os.PathLike | None = None,
     workers: int | None = None,
     start_method: str | None = None,
+    transport: str | None = None,
     measure_memory: bool = True,
 ) -> MiningResult:
     """Mine with pooled counting of on-disk partitions; identical to ``setm``.
@@ -333,6 +385,14 @@ def setm_spill_parallel(
     start_method:
         ``multiprocessing`` start method for the pool; ``None`` defers
         to ``REPRO_MP_START_METHOD``, then the platform default.
+    transport:
+        How partition bytes cross the process boundary —
+        ``"pickle"`` (workers read spill files whole; replies ride the
+        result pickle), ``"mmap"`` (workers map spill files and decode
+        columns as views over the map), ``"shm"`` (replies return
+        through named shared-memory segments), or ``"auto"``/``None``
+        (prefer ``mmap`` — the partitions already live in files).
+        Results are byte-identical on every transport.
 
     Returns
     -------
@@ -343,7 +403,9 @@ def setm_spill_parallel(
         ``"spill"`` — including worker-side reads and writes) merged
         with the pool telemetry of ``setm-parallel`` (``workers``, a
         ``"parallel"`` block with pooled iterations, partition counts,
-        and the resolved start method).
+        and the resolved start method) and a ``"transport"`` block
+        with the negotiated mode and bytes-moved / copies-avoided
+        counters.
     """
     return run_figure4_loop(
         database,
@@ -355,6 +417,7 @@ def setm_spill_parallel(
             count_via=count_via,
             spill_dir=spill_dir,
             start_method=start_method,
+            transport=transport,
         ),
         algorithm="setm-spill-parallel",
         max_length=max_length,

@@ -181,6 +181,7 @@ class TestCapabilityFlags:
                     "workers",
                     "parallel_threshold",
                     "start_method",
+                    "transport",
                     "measure_memory",
                 },
             ),
@@ -207,6 +208,7 @@ class TestCapabilityFlags:
                     "spill_dir",
                     "workers",
                     "start_method",
+                    "transport",
                     "measure_memory",
                 },
             ),

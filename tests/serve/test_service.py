@@ -296,6 +296,10 @@ class TestStats:
         example = stats["server"]["datasets"]["example"]
         assert example["transactions"] == 10
         assert isinstance(stats["pools"], list)
+        transport = stats["transport"]
+        assert transport["sessions"] >= 0
+        assert {"task_bytes_shared", "reply_bytes_shared",
+                "zero_copy_bytes"} <= set(transport)
 
     def test_cache_hit_flag_in_responses(self, service):
         first = ok(service.handle({"op": "mine", "dataset": "example",
@@ -313,6 +317,7 @@ class TestDrain:
         report = ok(service.handle({"op": "drain"}))["result"]
         assert report["drained"] is True
         assert report["leftover_spill_files"] == 0
+        assert report["leftover_shm_segments"] == 0
         assert not service.spill_root.exists()
         status, document = service.handle(
             {"op": "mine", "dataset": "example"}
@@ -362,6 +367,7 @@ class TestDrain:
         report = service.drain()
         thread.join(60)
         assert report["leftover_spill_files"] == 0
+        assert report["leftover_shm_segments"] == 0
         assert results, "request thread never finished"
         status, document = results[0]
         if status == 200:
@@ -377,6 +383,31 @@ class TestDrain:
             # Only the draining rejection is acceptable; any other
             # failure is a real bug.
             assert document["error"]["type"] == "ServerDrainingError"
+
+    def test_drain_after_shm_transport_mine_leaves_no_segments(
+        self, example_db
+    ):
+        """The drain audit covers shared memory like it covers spill."""
+        service = MiningService({"example": example_db}, workers=2)
+        status, document = service.handle({
+            "op": "mine",
+            "dataset": "example",
+            "config": {
+                "support": 0.3,
+                "algorithm": "setm-parallel",
+                "options": {
+                    "workers": 2,
+                    "parallel_threshold": 0,
+                    "transport": "shm",
+                },
+            },
+        })
+        assert status == 200, document
+        report = service.drain()
+        assert report["leftover_shm_segments"] == 0
+        from repro.core.transport import leaked_segment_names
+
+        assert leaked_segment_names() == ()
 
 
 class TestSpillDirInjection:
