@@ -47,7 +47,7 @@ from repro.analysis.cost_model import (
     strategy_speedup,
 )
 from repro.analysis.report import format_kv_block, format_table
-from repro.config import MiningConfig
+from repro.config import INPUT_FORMATS, MiningConfig
 from repro.core.transactions import TransactionDatabase
 from repro.errors import ReproError
 from repro.miner import Miner
@@ -107,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "workers: pickle (serialize), shm (zero-copy "
                            "shared-memory views), mmap (map spill/spool "
                            "files); auto picks per engine")
+    mine.add_argument("--input-format", default=None,
+                      choices=list(INPUT_FORMATS),
+                      help="decode the input through the streaming ingest "
+                           "layer: auto sniffs magic bytes/extension; "
+                           "parquet/arrow need the optional pyarrow "
+                           "dependency and read only the projected "
+                           "trans_id/item columns")
+    mine.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                      help="rows per ingest chunk (enables streaming "
+                           "ingest; peak ingest memory is O(chunk + "
+                           "catalog) instead of O(dataset))")
     mine.add_argument("--patterns", action="store_true",
                       help="also print every frequent pattern")
     mine.add_argument("--json", action="store_true",
@@ -141,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--spill-root", default=None, metavar="DIR",
                        help="directory out-of-core engines spill under "
                             "(default: a private temporary directory)")
+    serve.add_argument("--input-format", default=None,
+                       choices=list(INPUT_FORMATS),
+                       help="stream-encode the hosted files at startup "
+                            "through the ingest layer (cuts server boot "
+                            "memory; parquet/arrow need pyarrow)")
+    serve.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                       help="rows per ingest chunk for startup "
+                            "stream-encoding (enables streaming ingest)")
 
     generate = commands.add_parser("generate", help="write a bundled data set")
     generate.add_argument("--dataset", required=True,
@@ -199,6 +218,27 @@ def _load(path: str) -> TransactionDatabase:
     return read_basket_file(path)
 
 
+def _load_streamed(
+    path: str,
+    args: argparse.Namespace,
+    *,
+    memory_budget_bytes: int | None = None,
+):
+    """Stream-encode ``path`` per the ``--input-format``/``--chunk-rows`` flags."""
+    from repro.data.ingest import load_dataset
+
+    return load_dataset(
+        path,
+        input_format=args.input_format or "auto",
+        chunk_rows=args.chunk_rows,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+
+
+def _wants_streaming(args: argparse.Namespace) -> bool:
+    return args.input_format is not None or args.chunk_rows is not None
+
+
 def _mining_report(result, rules) -> dict:
     """The ``--json`` document for one mining run."""
     return {
@@ -244,16 +284,26 @@ def _mining_report(result, rules) -> dict:
         "workers": result.extra.get("workers"),
         "parallel": result.extra.get("parallel"),
         "transport": result.extra.get("transport"),
+        # Streaming-ingest telemetry (chunks, rows, bytes decoded,
+        # bytes_read_reduction); None when the input was whole-file read.
+        "ingest": result.extra.get("ingest"),
     }
 
 
 def _cmd_mine(args: argparse.Namespace, out) -> int:
-    database = _load(args.input)
+    if _wants_streaming(args):
+        database = _load_streamed(
+            args.input, args, memory_budget_bytes=args.memory_budget
+        )
+        num_items = len(database.catalog)
+    else:
+        database = _load(args.input)
+        num_items = len(database.distinct_items())
     if not args.json:
         print(
             f"{database.num_transactions:,} transactions, "
             f"{database.num_sales_rows:,} rows, "
-            f"{len(database.distinct_items())} items",
+            f"{num_items} items",
             file=out,
         )
     options: dict[str, object] = {}
@@ -273,6 +323,8 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         algorithm=args.algorithm,
         max_length=args.max_length,
         options=options,
+        input_format=args.input_format,
+        chunk_rows=args.chunk_rows,
     )
     miner = Miner(database)
     result = miner.frequent_itemsets(config)
@@ -312,7 +364,12 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         if name in datasets:
             print(f"error: duplicate dataset name {name!r}", file=out)
             return 2
-        database = _load(path)
+        if _wants_streaming(args):
+            # Stream-encode at startup: the server never materializes
+            # labelled Python transactions while loading.
+            database = _load_streamed(path, args)
+        else:
+            database = _load(path)
         datasets[name] = database
         print(
             f"hosting {name!r}: {database.num_transactions:,} transactions, "
@@ -344,6 +401,7 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
                 "reports_page_accesses": spec.reports_page_accesses,
                 "out_of_core": spec.out_of_core,
                 "parallel": spec.parallel,
+                "streaming_ingest": spec.streaming_ingest,
                 "accepted_options": (
                     None
                     if spec.accepted_options is None
@@ -361,6 +419,7 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
             spec.representation,
             "yes" if spec.out_of_core else "no",
             "yes" if spec.parallel else "no",
+            "yes" if spec.streaming_ingest else "no",
             "yes" if spec.reports_page_accesses else "no",
             (
                 "(unchecked)"
@@ -373,7 +432,7 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
     print(
         format_table(
             ["engine", "representation", "out-of-core", "parallel",
-             "page I/O", "options"],
+             "streaming", "page I/O", "options"],
             rows,
             title=f"{len(specs)} registered engines",
         ),

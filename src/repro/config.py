@@ -32,7 +32,11 @@ from dataclasses import dataclass, field
 
 from repro.errors import InvalidConfigError, InvalidSupportError
 
-__all__ = ["MiningConfig"]
+__all__ = ["INPUT_FORMATS", "MiningConfig"]
+
+#: Valid ``input_format`` values: ``"auto"`` sniffs magic bytes and the
+#: file extension; the rest name a decoder in :mod:`repro.data.formats`.
+INPUT_FORMATS = ("auto", "csv", "basket", "parquet", "arrow")
 
 
 def _validate_support(value: object) -> None:
@@ -87,6 +91,16 @@ class MiningConfig:
         Engine options; a plain key applies to whatever engine runs, a
         ``"engine.option"`` key only to that engine.  Unknown options are
         rejected by the registry *before* mining starts.
+    input_format:
+        How to decode the input file when the run loads its own data
+        (``None`` leaves the loader's default, usually ``"auto"``).
+        One of :data:`INPUT_FORMATS`; ``"parquet"`` and ``"arrow"``
+        need the optional ``pyarrow`` dependency.  Ingest options shape
+        *how data is read*, never the pattern set, so they are excluded
+        from result caching keys.
+    chunk_rows:
+        Decoder batch size for streaming ingest (rows per chunk);
+        ``None`` leaves the decoder's default.
     """
 
     support: float | int = 0.01
@@ -94,6 +108,8 @@ class MiningConfig:
     algorithm: str = "setm"
     max_length: int | None = None
     options: Mapping[str, object] = field(default_factory=dict)
+    input_format: str | None = None
+    chunk_rows: int | None = None
 
     def __post_init__(self) -> None:
         _validate_support(self.support)
@@ -115,6 +131,20 @@ class MiningConfig:
         if not isinstance(self.options, Mapping):
             raise InvalidConfigError(
                 f"options must be a mapping; got {self.options!r}"
+            )
+        if self.input_format is not None and self.input_format not in INPUT_FORMATS:
+            raise InvalidConfigError(
+                f"input_format must be one of {INPUT_FORMATS} or None; "
+                f"got {self.input_format!r}"
+            )
+        if self.chunk_rows is not None and (
+            isinstance(self.chunk_rows, bool)
+            or not isinstance(self.chunk_rows, int)
+            or self.chunk_rows < 1
+        ):
+            raise InvalidConfigError(
+                f"chunk_rows must be a positive integer or None; "
+                f"got {self.chunk_rows!r}"
             )
         for key in self.options:
             _validate_option_key(key)

@@ -241,11 +241,39 @@ class InstanceRelation:
                 chain.from_iterable(txn.items for txn in database),
             )
         )
-        index = SalesIndex(
+        return cls.sales_from_columns(
             items,
             base=len(catalog) + 1,
             run_lengths=[len(txn.items) for txn in database],
             trans_ids=[txn.trans_id for txn in database],
+        )
+
+    @classmethod
+    def sales_from_columns(
+        cls,
+        items: array,
+        *,
+        base: int,
+        run_lengths: Sequence[int],
+        trans_ids: Sequence[int],
+    ) -> "InstanceRelation":
+        """``R_1`` directly from its physical columns (chunk-append path).
+
+        The streaming ingest layer builds the encoded item column and
+        the ``(trans_ids, run_lengths)`` run-length framing in bounded
+        appends (see :func:`repro.data.ingest.stream_encode`) and
+        finishes here; :meth:`sales_from_database` is the same
+        construction with the columns derived from Python transaction
+        objects in one pass.  Requirements are those of the whole-file
+        path: rows grouped by ascending ``trans_id``, items ascending
+        within a transaction, ``base`` strictly greater than every
+        item id.
+        """
+        index = SalesIndex(
+            items,
+            base=base,
+            run_lengths=run_lengths,
+            trans_ids=trans_ids,
         )
         return cls(
             None,

@@ -51,34 +51,59 @@ class ColumnarKernel(KernelLifecycle):
     exceeds every dictionary id, so numeric order equals lexicographic
     pattern order); labels are decoded only for the final
     :class:`~repro.core.result.MiningResult`.
+
+    ``database`` may be a classic :class:`TransactionDatabase` *or* a
+    stream-encoded :class:`~repro.data.ingest.EncodedDataset`: the
+    latter already carries the catalog and the physical ``R_1`` columns,
+    so :meth:`make_sales` reattaches them instead of re-deriving
+    anything — no Python transaction objects exist on that path, which
+    is the point of streaming ingest.
     """
 
     def __init__(
         self,
-        database: TransactionDatabase,
+        database,
         *,
         count_via: Literal["auto", "sort", "hash"] = "auto",
     ) -> None:
         self._database = database
-        # One C-level pass collects the labels (equivalent to
-        # database.catalog(), minus its per-transaction set updates).
-        self._catalog = ItemCatalog(
-            set(chain.from_iterable(txn.items for txn in database))
-        )
+        if isinstance(database, TransactionDatabase):
+            # One C-level pass collects the labels (equivalent to
+            # database.catalog(), minus its per-transaction set updates).
+            self._catalog = ItemCatalog(
+                set(chain.from_iterable(txn.items for txn in database))
+            )
+            self._ingest_stats: dict | None = None
+        else:
+            # An EncodedDataset (duck-typed to keep this module free of
+            # a repro.data import): catalog and telemetry travel with it.
+            self._catalog = database.catalog
+            stats = database.stats
+            self._ingest_stats = (
+                stats.as_dict() if stats is not None else None
+            )
         # Ids run 1..len(catalog); any base > max id packs injectively.
         self._base = len(self._catalog) + 1
         self._count_via: Literal["auto", "sort", "hash"] = count_via
         self._index: SalesIndex | None = None
 
     def make_sales(self) -> InstanceRelation:
-        # sales_from_database also resolves the merge-scan's group
-        # matching over the static R_1, once for the whole run (the
-        # attached SalesIndex).
-        sales = InstanceRelation.sales_from_database(
-            self._database, self._catalog
-        )
+        if isinstance(self._database, TransactionDatabase):
+            # sales_from_database also resolves the merge-scan's group
+            # matching over the static R_1, once for the whole run (the
+            # attached SalesIndex).
+            sales = InstanceRelation.sales_from_database(
+                self._database, self._catalog
+            )
+        else:
+            sales = self._database.sales_relation()
         self._index = sales.index
         return sales
+
+    def extra_stats(self) -> dict:
+        if self._ingest_stats is not None:
+            return {"ingest": self._ingest_stats}
+        return {}
 
     def c1_counts(self, sales: InstanceRelation) -> list[tuple[int, int]]:
         # For k = 1 the packed key *is* the item id; no pack pass needed.
@@ -115,6 +140,7 @@ class ColumnarKernel(KernelLifecycle):
     "setm-columnar",
     description="SETM on dictionary-encoded array columns (fast in-memory)",
     representation="columnar",
+    streaming_ingest=True,
     accepted_options=("count_via", "measure_memory"),
 )
 def setm_columnar(

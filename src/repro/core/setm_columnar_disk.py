@@ -366,6 +366,7 @@ class SpillingColumnarKernel(ColumnarKernel):
 
     def extra_stats(self) -> dict[str, Any]:
         return {
+            **super().extra_stats(),
             "memory_budget_bytes": self._budget,
             "spill": {
                 "partitions": dict(self._partitions_per_k),
@@ -392,6 +393,7 @@ class SpillingColumnarKernel(ColumnarKernel):
     ),
     representation="columnar",
     out_of_core=True,
+    streaming_ingest=True,
     accepted_options=(
         "count_via",
         "memory_budget_bytes",

@@ -508,6 +508,7 @@ class ParallelColumnarKernel(PoolTransportMixin, ColumnarKernel):
 
     def extra_stats(self) -> dict[str, Any]:
         return {
+            **super().extra_stats(),
             "workers": self._workers,
             "parallel": {
                 "partitions": dict(self._partitions_per_k),
@@ -528,6 +529,7 @@ class ParallelColumnarKernel(PoolTransportMixin, ColumnarKernel):
     ),
     representation="columnar",
     parallel=True,
+    streaming_ingest=True,
     accepted_options=(
         "count_via",
         "workers",

@@ -333,6 +333,7 @@ class SpillParallelKernel(PoolTransportMixin, SpillingColumnarKernel):
     representation="columnar",
     out_of_core=True,
     parallel=True,
+    streaming_ingest=True,
     accepted_options=(
         "count_via",
         "memory_budget_bytes",

@@ -32,16 +32,47 @@ from dataclasses import dataclass
 from typing import Any
 
 __all__ = [
+    "CatalogBuilder",
     "Item",
     "ItemCatalog",
     "Transaction",
     "TransactionDatabase",
+    "absolute_support_threshold",
     "sales_rows_to_transactions",
 ]
 
 # An item is any hashable, totally ordered label.  We alias it for
 # documentation purposes; Python's typing cannot express "totally ordered".
 Item = Hashable
+
+
+def absolute_support_threshold(
+    minimum_support: float | int, num_transactions: int
+) -> int:
+    """Convert a minimum support into an absolute count threshold.
+
+    The shared semantics of :meth:`TransactionDatabase.absolute_support`
+    and :meth:`repro.data.ingest.EncodedDataset.absolute_support`: an
+    ``int`` is already an absolute transaction count (applied as-is,
+    must be ``>= 1``); a ``float`` is a fraction in ``(0, 1]`` rounded
+    up over ``num_transactions`` ("minimum support of 30%" over 10
+    transactions means 3).  A threshold of at least 1 is enforced so
+    empty patterns never qualify vacuously.
+    """
+    if isinstance(minimum_support, int) and not isinstance(
+        minimum_support, bool
+    ):
+        if minimum_support < 1:
+            raise ValueError(
+                "absolute minimum_support must be >= 1, "
+                f"got {minimum_support!r}"
+            )
+        return minimum_support
+    if not 0.0 < minimum_support <= 1.0:
+        raise ValueError(
+            f"minimum_support must be in (0, 1], got {minimum_support!r}"
+        )
+    return max(1, math.ceil(minimum_support * num_transactions))
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,6 +164,65 @@ class ItemCatalog:
     def labels(self) -> list[Item]:
         """All labels in sorted (== id) order."""
         return [self._label_of[i] for i in sorted(self._label_of)]
+
+    @classmethod
+    def builder(cls) -> "CatalogBuilder":
+        """An incremental bulk-encode builder (see :class:`CatalogBuilder`)."""
+        return CatalogBuilder()
+
+
+class CatalogBuilder:
+    """Incremental bulk encoding for inputs read in bounded chunks.
+
+    :class:`ItemCatalog` assigns ids in sorted label order — an
+    invariant the packed-key machinery of :mod:`repro.core.columns`
+    relies on (numeric id order must equal lexicographic label order).
+    A streaming reader cannot honour that order up front because it has
+    not seen all the labels yet, so this builder encodes with
+    *provisional* ids in first-appearance order and :meth:`build`
+    resolves them: it constructs the final sorted-order catalog and
+    returns the ``provisional id -> final id`` remap the caller applies
+    to everything it encoded along the way (one vectorizable gather per
+    resident or spilled column).
+
+    Provisional ids are 0-based and dense, so the remap is a plain list
+    indexable by provisional id.
+    """
+
+    __slots__ = ("_provisional", "_labels")
+
+    def __init__(self) -> None:
+        self._provisional: dict[Item, int] = {}
+        self._labels: list[Item] = []
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def encode(self, labels: Iterable[Item]) -> list[int]:
+        """Provisional ids for ``labels``, registering new ones in bulk."""
+        provisional = self._provisional
+        out: list[int] = []
+        for label in labels:
+            pid = provisional.get(label)
+            if pid is None:
+                pid = len(provisional)
+                provisional[label] = pid
+                self._labels.append(label)
+            out.append(pid)
+        return out
+
+    def build(self, *, first_id: int = 1) -> tuple[ItemCatalog, list[int]]:
+        """The final catalog plus the ``provisional -> final`` id remap.
+
+        ``remap[pid]`` is the sorted-order id of the label that was
+        provisionally encoded as ``pid``; mixing incomparable label
+        types raises ``TypeError`` here, exactly as the whole-file
+        :class:`ItemCatalog` construction would.
+        """
+        catalog = ItemCatalog(self._labels, first_id=first_id)
+        mapping = catalog.id_mapping()
+        remap = [mapping[label] for label in self._labels]
+        return catalog, remap
 
 
 class TransactionDatabase:
@@ -253,20 +343,9 @@ class TransactionDatabase:
         count-to-fraction round trip.  A threshold of at least 1 is
         enforced so empty patterns never qualify vacuously.
         """
-        if isinstance(minimum_support, int) and not isinstance(
-            minimum_support, bool
-        ):
-            if minimum_support < 1:
-                raise ValueError(
-                    "absolute minimum_support must be >= 1, "
-                    f"got {minimum_support!r}"
-                )
-            return minimum_support
-        if not 0.0 < minimum_support <= 1.0:
-            raise ValueError(
-                f"minimum_support must be in (0, 1], got {minimum_support!r}"
-            )
-        return max(1, math.ceil(minimum_support * self.num_transactions))
+        return absolute_support_threshold(
+            minimum_support, self.num_transactions
+        )
 
     # -- relational view -----------------------------------------------------------
 

@@ -1,5 +1,7 @@
 """Data sets: the paper's example, calibrated retail data, Quest
-workloads, the hypothetical analysis database, and file I/O."""
+workloads, the hypothetical analysis database, file I/O, and the
+streaming chunked-ingest layer (:mod:`repro.data.ingest` /
+:mod:`repro.data.formats`)."""
 
 from repro.data.example import (
     PAPER_C2_RULE_LINES,
@@ -13,6 +15,20 @@ from repro.data.hypothetical import (
     PAPER_HYPOTHETICAL,
     HypotheticalConfig,
     generate_hypothetical_database,
+)
+from repro.data.formats import (
+    ChunkSource,
+    ColumnChunk,
+    DecodeStats,
+    available_formats,
+    detect_format,
+    open_chunk_source,
+)
+from repro.data.ingest import (
+    EncodedDataset,
+    IngestStats,
+    load_dataset,
+    stream_encode,
 )
 from repro.data.io import (
     read_basket_file,
@@ -36,7 +52,12 @@ from repro.data.retail import (
 )
 
 __all__ = [
+    "ChunkSource",
+    "ColumnChunk",
+    "DecodeStats",
+    "EncodedDataset",
     "HypotheticalConfig",
+    "IngestStats",
     "PAPER_C2_RULE_LINES",
     "PAPER_C3_RULE_LINES",
     "PAPER_EXAMPLE_TRANSACTIONS",
@@ -48,11 +69,16 @@ __all__ = [
     "PAPER_NUM_TRANSACTIONS",
     "QuestConfig",
     "RetailConfig",
+    "available_formats",
+    "detect_format",
     "generate_hypothetical_database",
     "generate_quest_dataset",
+    "load_dataset",
+    "open_chunk_source",
     "paper_example_database",
     "read_basket_file",
     "read_sales_csv",
+    "stream_encode",
     "t10_i4_d100k",
     "t10_i4_d10k",
     "t5_i2_d10k",

@@ -1,0 +1,632 @@
+"""Streaming ingest: out-of-core dictionary encode + chunked index build.
+
+The whole-file path materializes a labelled
+:class:`~repro.core.transactions.TransactionDatabase`, *then* encodes
+it, *then* builds the ``SALES`` columns — three O(dataset) residents
+before a single mining iteration runs.  :func:`stream_encode` collapses
+that to one bounded pass: it pulls ``(trans_id, item)`` column batches
+from a :class:`~repro.data.formats.ChunkSource`, dictionary-encodes
+each transaction as it completes, and appends straight onto the flat
+``R_1`` columns, so peak ingest memory is **O(chunk + catalog)** —
+and, when a ``memory_budget_bytes`` is given, the growing encoded item
+column is spilled through the existing
+:class:`~repro.core.partitioning.Partition` chunk machinery whenever it
+reaches half the budget.
+
+Two problems make this more than a loop:
+
+* **The sorted-id invariant.**  :class:`ItemCatalog` assigns ids in
+  sorted label order (numeric id order must equal lexicographic label
+  order — the packed-key machinery depends on it), but a single pass
+  sees labels in arrival order.  The encoder therefore uses
+  *provisional* first-appearance ids
+  (:class:`~repro.core.transactions.CatalogBuilder`) and applies the
+  final ``provisional -> sorted`` remap at the end: one vectorized
+  gather over the resident column, one streamed rewrite per spilled
+  chunk.  Each transaction's labels are sorted *before* provisional
+  encoding, so the remapped rows land in exactly the whole-file order —
+  the product is byte-identical to
+  :meth:`InstanceRelation.sales_from_database`.
+* **The ordering contract.**  A bounded pass cannot regroup rows, so
+  input must arrive grouped by ascending ``trans_id`` (what
+  ``write_sales_csv``/``write_basket_file`` and any clustered
+  relational scan produce).  Violations raise a typed
+  :class:`~repro.errors.IngestError` naming the whole-file readers as
+  the fallback for unsorted data.
+
+The product, :class:`EncodedDataset`, carries the catalog plus the
+physical ``R_1`` columns and quacks enough like a database
+(``num_transactions``, ``absolute_support``) that engines flagged
+``streaming_ingest`` mine it directly — no Python transaction objects
+ever exist.  For every other engine, :meth:`EncodedDataset.database`
+materializes the classic object form.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.columns import (
+    COLUMN_TYPECODE,
+    InstanceRelation,
+    SalesIndex,
+    read_chunks,
+)
+from repro.core.partitioning import Partition
+from repro.core.transactions import (
+    ItemCatalog,
+    Transaction,
+    TransactionDatabase,
+    absolute_support_threshold,
+)
+from repro.data.formats import ChunkSource, open_chunk_source
+from repro.errors import IngestError
+
+try:  # pragma: no cover - exercised via the numpy/stdlib matrix
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "EncodedDataset",
+    "IngestStats",
+    "load_dataset",
+    "stream_encode",
+]
+
+#: Default decoder batch size when the caller does not choose one.
+DEFAULT_CHUNK_ROWS = 65536
+
+
+def _column(values=()) -> array:
+    return array(COLUMN_TYPECODE, values)
+
+
+@dataclass
+class IngestStats:
+    """Telemetry of one streaming ingest, for ``extra["ingest"]``.
+
+    Decoder-side counters (bytes, chunks, rows) come from the source's
+    :class:`~repro.data.formats.DecodeStats`; the encode-side counters
+    (transactions, distinct items, spill traffic) are this module's.
+    """
+
+    format: str
+    path: str
+    chunk_rows: int | None
+    chunks: int = 0
+    rows: int = 0
+    transactions: int = 0
+    distinct_items: int = 0
+    bytes_total: int = 0
+    bytes_read: int = 0
+    bytes_decoded: int = 0
+    bytes_read_reduction: float = 0.0
+    bytes_decoded_reduction: float = 0.0
+    columns_total: int = 0
+    columns_read: int = 0
+    memory_budget_bytes: int | None = None
+    spilled_chunks: int = 0
+    spill_bytes_written: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "format": self.format,
+            "path": self.path,
+            "chunk_rows": self.chunk_rows,
+            "chunks": self.chunks,
+            "rows": self.rows,
+            "transactions": self.transactions,
+            "distinct_items": self.distinct_items,
+            "bytes_total": self.bytes_total,
+            "bytes_read": self.bytes_read,
+            "bytes_decoded": self.bytes_decoded,
+            "bytes_read_reduction": self.bytes_read_reduction,
+            "bytes_decoded_reduction": self.bytes_decoded_reduction,
+            "columns_total": self.columns_total,
+            "columns_read": self.columns_read,
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "spilled_chunks": self.spilled_chunks,
+            "spill_bytes_written": self.spill_bytes_written,
+            **self.extra,
+        }
+
+
+class EncodedDataset:
+    """A dictionary-encoded ``SALES`` relation, ready to mine.
+
+    Physically: the :class:`ItemCatalog`, the flat encoded item column
+    (resident, or as spilled :class:`Partition` chunks until first
+    use), and the ``(trans_ids, run_lengths)`` run-length framing.
+    ``run_lengths[i]`` rows of ``items`` belong to ``trans_ids[i]``;
+    a zero run length is an empty transaction (it still counts toward
+    the support denominator).
+
+    The duck-typed surface the shared Figure-4 loop needs —
+    ``num_transactions`` and ``absolute_support`` — is provided here,
+    so engines whose kernels accept the columnar form
+    (``streaming_ingest`` capability) mine this object directly;
+    :meth:`database` bridges to every other engine by materializing
+    Python transaction objects.
+    """
+
+    __slots__ = (
+        "catalog",
+        "base",
+        "run_lengths",
+        "trans_ids",
+        "stats",
+        "_items",
+        "_partitions",
+        "_num_rows",
+        "_spill_root",
+        "_owns_spill_root",
+    )
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        *,
+        items: array | None,
+        partitions: list[Partition] | None = None,
+        run_lengths: array,
+        trans_ids: array,
+        stats: IngestStats | None = None,
+        num_rows: int | None = None,
+        spill_root: Path | None = None,
+        owns_spill_root: bool = False,
+    ) -> None:
+        self.catalog = catalog
+        self.base = len(catalog) + 1
+        self.run_lengths = run_lengths
+        self.trans_ids = trans_ids
+        self.stats = stats
+        self._items = items
+        self._partitions = list(partitions or [])
+        if num_rows is None:
+            num_rows = (len(items) if items is not None else 0) + sum(
+                partition.num_rows for partition in self._partitions
+            )
+        self._num_rows = num_rows
+        self._spill_root = spill_root
+        self._owns_spill_root = owns_spill_root
+
+    # -- database-shaped surface ---------------------------------------------------
+
+    @property
+    def num_transactions(self) -> int:
+        """Support denominator: every transaction, including empty ones."""
+        return len(self.trans_ids)
+
+    @property
+    def num_sales_rows(self) -> int:
+        """``|R_1|``: total encoded ``(trans_id, item)`` rows."""
+        return self._num_rows
+
+    def absolute_support(self, minimum_support: float | int) -> int:
+        """Same semantics as :meth:`TransactionDatabase.absolute_support`."""
+        return absolute_support_threshold(
+            minimum_support, self.num_transactions
+        )
+
+    # -- the physical columns ------------------------------------------------------
+
+    @property
+    def items(self) -> array:
+        """The encoded item column (merges spilled chunks on first access).
+
+        Materializing consumes the spill files — they are scratch, and
+        once their rows are resident there is nothing left to read from
+        them — so the ingest spill directory is cleaned up here.
+        """
+        if self._partitions:
+            merged = _column()
+            for partition in self._partitions:
+                for chunk in read_chunks(partition.read_bytes()):
+                    keys = chunk.keys
+                    if isinstance(keys, array):
+                        merged.extend(keys)
+                    else:
+                        merged.extend(_column(keys))
+                partition.delete()
+            if self._items is not None:
+                merged.extend(self._items)
+            self._items = merged
+            self._partitions = []
+            self._cleanup_spill_root()
+        if self._items is None:
+            self._items = _column()
+        return self._items
+
+    def sales_index(self) -> SalesIndex:
+        """The extension index over this dataset's ``R_1`` columns."""
+        return SalesIndex(
+            self.items,
+            base=self.base,
+            run_lengths=self.run_lengths,
+            trans_ids=self.trans_ids,
+        )
+
+    def sales_relation(self) -> InstanceRelation:
+        """``R_1`` as an :class:`InstanceRelation`, index attached.
+
+        Byte-identical to what
+        :meth:`InstanceRelation.sales_from_database` builds from the
+        equivalent whole-file database — the equivalence suite holds
+        it to that.
+        """
+        return InstanceRelation.sales_from_columns(
+            self.items,
+            base=self.base,
+            run_lengths=self.run_lengths,
+            trans_ids=self.trans_ids,
+        )
+
+    def iter_item_chunks(self):
+        """Yield the encoded item column in its physical pieces.
+
+        Spilled chunks stream one at a time without merging — the seam
+        the incremental-mining work builds on.  Does not consume the
+        spill files.
+        """
+        for partition in self._partitions:
+            for chunk in read_chunks(partition.read_bytes()):
+                keys = chunk.keys
+                yield keys if isinstance(keys, array) else _column(keys)
+        if self._items is not None and (self._partitions or self._items):
+            yield self._items
+
+    # -- bridges to the object world -----------------------------------------------
+
+    def database(self, *, decoded: bool = False) -> TransactionDatabase:
+        """Materialize the classic :class:`TransactionDatabase` form.
+
+        With ``decoded=False`` items are the catalog ids (what
+        ``database.encoded()`` would have produced); with
+        ``decoded=True`` they are the original labels — byte-identical
+        to the whole-file reader's output, which is what lets engines
+        without the ``streaming_ingest`` capability mine a streamed
+        file transparently.
+        """
+        items = self.items
+        label_of = self.catalog.label_of
+        transactions = []
+        offset = 0
+        for trans_id, run_length in zip(self.trans_ids, self.run_lengths):
+            encoded = tuple(items[offset : offset + run_length])
+            offset += run_length
+            transactions.append(
+                Transaction(
+                    trans_id,
+                    tuple(map(label_of, encoded)) if decoded else encoded,
+                )
+            )
+        return TransactionDatabase(transactions)
+
+    def close(self) -> None:
+        """Delete any remaining spill chunks and the owned spill root."""
+        for partition in self._partitions:
+            partition.delete()
+        self._partitions = []
+        self._cleanup_spill_root()
+
+    def _cleanup_spill_root(self) -> None:
+        if self._owns_spill_root and self._spill_root is not None:
+            try:
+                self._spill_root.rmdir()
+            except OSError:
+                pass
+            self._spill_root = None
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedDataset(transactions={self.num_transactions}, "
+            f"rows={self.num_sales_rows}, items={len(self.catalog)}, "
+            f"spilled={len(self._partitions)})"
+        )
+
+
+class _StreamEncoder:
+    """The bounded single-pass encoder behind :func:`stream_encode`."""
+
+    def __init__(
+        self,
+        memory_budget_bytes: int | None,
+        spill_dir: str | os.PathLike | None,
+    ) -> None:
+        if memory_budget_bytes is not None and (
+            isinstance(memory_budget_bytes, bool)
+            or not isinstance(memory_budget_bytes, int)
+            or memory_budget_bytes < 1
+        ):
+            raise IngestError(
+                "memory_budget_bytes must be a positive integer or None; "
+                f"got {memory_budget_bytes!r}"
+            )
+        self.builder = ItemCatalog.builder()
+        self.items = _column()
+        self.run_lengths = _column()
+        self.trans_ids = _column()
+        self.partitions: list[Partition] = []
+        self.empty_tids: list[int] = []
+        self.pending_tid: int | None = None
+        self.pending_labels: list = []
+        self.last_tid: int | None = None
+        self.row_offset = 0
+        self.spilled_chunks = 0
+        self.spill_bytes_written = 0
+        # Spill at half the budget: the remap pass (and a mid-flight
+        # chunk) must fit beside the resident column inside 2x budget.
+        self.budget = memory_budget_bytes
+        self.spill_threshold = (
+            max(8, memory_budget_bytes // 2)
+            if memory_budget_bytes is not None
+            else None
+        )
+        self.spill_dir_option = spill_dir
+        self.spill_root: Path | None = None
+        self.owns_spill_root = False
+
+    # -- transaction grouping ------------------------------------------------------
+
+    def add_rows(self, trans_ids, labels) -> None:
+        pending_tid = self.pending_tid
+        pending_labels = self.pending_labels
+        for trans_id, label in zip(trans_ids, labels):
+            if trans_id != pending_tid:
+                if pending_tid is not None:
+                    self._flush_group(pending_tid, pending_labels)
+                self._check_ascending(trans_id)
+                pending_tid = trans_id
+                pending_labels = []
+            pending_labels.append(label)
+        self.pending_tid = pending_tid
+        self.pending_labels = pending_labels
+
+    def _check_ascending(self, trans_id: int) -> None:
+        if self.last_tid is not None and trans_id <= self.last_tid:
+            raise IngestError(
+                f"streaming ingest needs rows grouped by ascending "
+                f"trans_id; trans_id {trans_id!r} arrived after "
+                f"{self.last_tid!r} (for unsorted data use the "
+                f"whole-file readers in repro.data.io)"
+            )
+
+    def _flush_group(self, trans_id: int, labels: list) -> None:
+        try:
+            ordered = sorted(set(labels))
+        except TypeError as exc:
+            names = sorted({type(label).__name__ for label in labels})
+            raise TypeError(
+                "transaction items must be mutually comparable; found "
+                "mixed types: " + ", ".join(names)
+            ) from exc
+        self.items.extend(self.builder.encode(ordered))
+        self.run_lengths.append(len(ordered))
+        self.trans_ids.append(trans_id)
+        self.last_tid = trans_id
+
+    def finish_groups(self) -> None:
+        if self.pending_tid is not None:
+            self._flush_group(self.pending_tid, self.pending_labels)
+            self.pending_tid = None
+            self.pending_labels = []
+
+    # -- spilling ------------------------------------------------------------------
+
+    def maybe_spill(self) -> None:
+        if (
+            self.spill_threshold is None
+            or len(self.items) * self.items.itemsize < self.spill_threshold
+        ):
+            return
+        self._spill_resident()
+
+    def _spill_resident(self) -> None:
+        if not self.items:
+            return
+        if self.spill_root is None:
+            if self.spill_dir_option is None:
+                self.spill_root = Path(
+                    tempfile.mkdtemp(prefix="repro-ingest-")
+                )
+                self.owns_spill_root = True
+            else:
+                self.spill_root = Path(self.spill_dir_option)
+                self.spill_root.mkdir(parents=True, exist_ok=True)
+        relation = InstanceRelation(
+            None,
+            None,
+            last_sid=range(self.row_offset, self.row_offset + len(self.items)),
+            keys=self.items,
+            k=1,
+        )
+        blob = relation.to_chunk_bytes()
+        path = (
+            self.spill_root
+            / f"ingest-r1-{len(self.partitions):06d}.chunks"
+        )
+        path.write_bytes(blob)
+        self.partitions.append(
+            Partition(1, num_rows=len(self.items), path=path)
+        )
+        self.spilled_chunks += 1
+        self.spill_bytes_written += len(blob)
+        self.row_offset += len(self.items)
+        self.items = _column()
+
+    # -- finalization --------------------------------------------------------------
+
+    def merge_empty_transactions(self) -> None:
+        """Fold zero-item transactions into the run-length framing.
+
+        Both sequences are ascending (the ordering contract), so a
+        two-way merge reproduces exactly the whole-file order; any
+        duplicate or out-of-order empty trans_id fails typed here.
+        """
+        if not self.empty_tids:
+            return
+        for previous, current in zip(self.empty_tids, self.empty_tids[1:]):
+            if current <= previous:
+                raise IngestError(
+                    f"streaming ingest needs rows grouped by ascending "
+                    f"trans_id; empty trans_id {current!r} arrived "
+                    f"after {previous!r}"
+                )
+        merged_tids = _column()
+        merged_runs = _column()
+        empties = iter(self.empty_tids)
+        empty_tid = next(empties, None)
+        for trans_id, run_length in zip(self.trans_ids, self.run_lengths):
+            while empty_tid is not None and empty_tid < trans_id:
+                merged_tids.append(empty_tid)
+                merged_runs.append(0)
+                empty_tid = next(empties, None)
+            if empty_tid is not None and empty_tid == trans_id:
+                raise IngestError(
+                    f"duplicate trans_id {empty_tid!r}: appears both "
+                    "empty and with items"
+                )
+            merged_tids.append(trans_id)
+            merged_runs.append(run_length)
+        while empty_tid is not None:
+            merged_tids.append(empty_tid)
+            merged_runs.append(0)
+            empty_tid = next(empties, None)
+        self.trans_ids = merged_tids
+        self.run_lengths = merged_runs
+
+    def remap(self) -> ItemCatalog:
+        """Resolve provisional ids to the final sorted-order catalog ids."""
+        catalog, remap = self.builder.build()
+        self.items = _remap_column(self.items, remap)
+        for partition in self.partitions:
+            data = partition.read_bytes()
+            pieces = []
+            for chunk in read_chunks(data):
+                remapped = InstanceRelation(
+                    None,
+                    None,
+                    last_sid=chunk.last_sid,
+                    keys=_remap_column(chunk.keys, remap),
+                    k=1,
+                )
+                pieces.append(remapped.to_chunk_bytes())
+            blob = b"".join(pieces)
+            partition.path.write_bytes(blob)
+            self.spill_bytes_written += len(blob)
+        return catalog
+
+
+def _remap_column(values, remap: list[int]) -> array:
+    """Gather ``remap[value]`` for every value, as a fresh int64 column."""
+    if _np is not None:
+        remap_np = _np.asarray(remap, dtype=_np.int64)
+        if isinstance(values, array):
+            source = _np.frombuffer(values, dtype=_np.int64)
+        else:
+            source = _np.asarray(values, dtype=_np.int64)
+        out = _column()
+        out.frombytes(remap_np[source].tobytes())
+        return out
+    return _column(map(remap.__getitem__, values))
+
+
+def stream_encode(
+    source: ChunkSource,
+    *,
+    memory_budget_bytes: int | None = None,
+    spill_dir: str | os.PathLike | None = None,
+) -> EncodedDataset:
+    """Dictionary-encode a chunked source into an :class:`EncodedDataset`.
+
+    One pass over the input: transactions are normalized (labels
+    de-duplicated and sorted) and provisionally encoded as they
+    complete; with a ``memory_budget_bytes`` the growing encoded column
+    spills as :class:`Partition` chunks whenever it reaches half the
+    budget, so peak resident ingest state is O(chunk + catalog).  The
+    final remap pass (provisional first-appearance ids to sorted
+    catalog ids) restores the :class:`ItemCatalog` id-order invariant,
+    making the product byte-identical to the whole-file encode.
+
+    Raises
+    ------
+    IngestError
+        Rows not grouped by ascending ``trans_id``, a duplicate group,
+        or an invalid ``memory_budget_bytes``.
+    """
+    encoder = _StreamEncoder(memory_budget_bytes, spill_dir)
+    for chunk in source:
+        encoder.add_rows(chunk.trans_ids, chunk.items)
+        if chunk.empty_trans_ids:
+            encoder.empty_tids.extend(chunk.empty_trans_ids)
+        encoder.maybe_spill()
+    encoder.finish_groups()
+    encoder.merge_empty_transactions()
+    catalog = encoder.remap()
+
+    decode_stats = source.stats
+    stats = IngestStats(
+        format=decode_stats.format,
+        path=decode_stats.path,
+        chunk_rows=source.chunk_rows,
+        chunks=decode_stats.chunks,
+        rows=decode_stats.rows,
+        transactions=len(encoder.trans_ids),
+        distinct_items=len(catalog),
+        bytes_total=decode_stats.bytes_total,
+        bytes_read=decode_stats.bytes_read,
+        bytes_decoded=decode_stats.bytes_decoded,
+        bytes_read_reduction=round(decode_stats.bytes_read_reduction, 4),
+        bytes_decoded_reduction=round(
+            decode_stats.bytes_decoded_reduction, 4
+        ),
+        columns_total=decode_stats.columns_total,
+        columns_read=decode_stats.columns_read,
+        memory_budget_bytes=memory_budget_bytes,
+        spilled_chunks=encoder.spilled_chunks,
+        spill_bytes_written=encoder.spill_bytes_written,
+    )
+    return EncodedDataset(
+        catalog,
+        items=encoder.items,
+        partitions=encoder.partitions,
+        run_lengths=encoder.run_lengths,
+        trans_ids=encoder.trans_ids,
+        stats=stats,
+        num_rows=encoder.row_offset + len(encoder.items),
+        spill_root=encoder.spill_root,
+        owns_spill_root=encoder.owns_spill_root,
+    )
+
+
+def load_dataset(
+    path: str | os.PathLike,
+    *,
+    input_format: str | None = "auto",
+    chunk_rows: int | None = DEFAULT_CHUNK_ROWS,
+    memory_budget_bytes: int | None = None,
+    spill_dir: str | os.PathLike | None = None,
+) -> EncodedDataset:
+    """Stream-encode a transaction file in one call.
+
+    ``input_format`` of ``"auto"`` sniffs magic bytes and extension
+    (see :func:`repro.data.formats.detect_format`); ``parquet`` and
+    ``arrow`` need the optional ``pyarrow`` dependency and fail typed
+    without it.
+    """
+    source = open_chunk_source(
+        path, input_format=input_format, chunk_rows=chunk_rows
+    )
+    return stream_encode(
+        source,
+        memory_budget_bytes=memory_budget_bytes,
+        spill_dir=spill_dir,
+    )

@@ -13,6 +13,11 @@ Two interchange formats:
 Items round-trip as strings unless they look like integers, in which case
 they come back as ``int`` — matching the generators, which use integer
 items throughout.
+
+The *parsing* lives in :mod:`repro.data.formats` — these whole-file
+readers are thin consumers of the same chunk decoders the streaming
+ingest layer drives (a whole-file read is just a single-chunk read), so
+a format quirk is fixed in exactly one place.
 """
 
 from __future__ import annotations
@@ -21,10 +26,12 @@ import csv
 from pathlib import Path
 
 from repro.core.transactions import (
-    Item,
     TransactionDatabase,
     sales_rows_to_transactions,
 )
+from repro.data.formats import parse_item as _parse_item  # noqa: F401  (re-export)
+from repro.data.formats.basketfile import iter_basket_transactions
+from repro.data.formats.csvfile import CsvChunkSource
 
 __all__ = [
     "read_basket_file",
@@ -32,14 +39,6 @@ __all__ = [
     "write_basket_file",
     "write_sales_csv",
 ]
-
-
-def _parse_item(token: str) -> Item:
-    """Items that look like integers become integers; others stay strings."""
-    try:
-        return int(token)
-    except ValueError:
-        return token
 
 
 def write_basket_file(database: TransactionDatabase, path: str | Path) -> None:
@@ -55,29 +54,10 @@ def read_basket_file(path: str | Path) -> TransactionDatabase:
     """Read a file produced by :func:`write_basket_file`.
 
     Blank lines and ``#`` comment lines are ignored; malformed lines raise
-    ``ValueError`` with the offending line number.
+    ``ValueError`` with the offending line number, and duplicate
+    trans_ids fail in :class:`TransactionDatabase` construction.
     """
-    path = Path(path)
-    transactions = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            head, separator, tail = line.partition(":")
-            if not separator:
-                raise ValueError(
-                    f"{path}:{line_no}: expected 'trans_id: items', got {line!r}"
-                )
-            try:
-                trans_id = int(head.strip())
-            except ValueError as exc:
-                raise ValueError(
-                    f"{path}:{line_no}: bad trans_id {head.strip()!r}"
-                ) from exc
-            items = tuple(_parse_item(token) for token in tail.split())
-            transactions.append((trans_id, items))
-    return TransactionDatabase(transactions)
+    return TransactionDatabase(iter_basket_transactions(path))
 
 
 def write_sales_csv(database: TransactionDatabase, path: str | Path) -> None:
@@ -91,23 +71,15 @@ def write_sales_csv(database: TransactionDatabase, path: str | Path) -> None:
 
 
 def read_sales_csv(path: str | Path) -> TransactionDatabase:
-    """Read a CSV produced by :func:`write_sales_csv` (header required)."""
-    path = Path(path)
-    rows: list[tuple[int, Item]] = []
-    with path.open("r", encoding="utf-8", newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None or [cell.strip() for cell in header[:2]] != [
-            "trans_id",
-            "item",
-        ]:
-            raise ValueError(
-                f"{path}: expected header 'trans_id,item', got {header!r}"
-            )
-        for line_no, row in enumerate(reader, start=2):
-            if not row:
-                continue
-            if len(row) < 2:
-                raise ValueError(f"{path}:{line_no}: expected two columns")
-            rows.append((int(row[0]), _parse_item(row[1])))
+    """Read a CSV produced by :func:`write_sales_csv` (header required).
+
+    The header must *name* the ``trans_id`` and ``item`` columns; any
+    extra columns are carried past undecoded (the decoder projects just
+    the two named ones).  One code path with streaming ingest: this is
+    the whole-file (single chunk) consumption of
+    :class:`~repro.data.formats.csvfile.CsvChunkSource`.
+    """
+    rows: list[tuple[int, object]] = []
+    for chunk in CsvChunkSource(path):
+        rows.extend(zip(chunk.trans_ids, chunk.items))
     return sales_rows_to_transactions(rows)

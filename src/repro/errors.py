@@ -35,6 +35,7 @@ from collections.abc import Iterable
 
 __all__ = [
     "EngineOptionError",
+    "IngestError",
     "InvalidConfigError",
     "InvalidSupportError",
     "PartitionFormatError",
@@ -74,6 +75,19 @@ class InvalidSupportError(InvalidConfigError):
         self.parameter = parameter
         self.value = value
         super().__init__(f"{parameter} must be {requirement}; got {value!r}")
+
+
+class IngestError(ReproError, ValueError):
+    """Streaming ingest rejected the input (see :mod:`repro.data.ingest`).
+
+    Raised when a chunked source violates the streaming contract —
+    rows not grouped by ascending ``trans_id``, a ``trans_id`` group
+    reappearing after it was flushed — conditions the whole-file
+    readers tolerate (they buffer everything and can regroup) but a
+    bounded-memory single pass cannot.  The message names the
+    offending ``trans_id`` and points at the whole-file path as the
+    fallback for unsorted data.
+    """
 
 
 class UnknownAlgorithmError(ReproError, ValueError):

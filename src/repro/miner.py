@@ -45,7 +45,11 @@ class Miner:
     Parameters
     ----------
     database:
-        The transactions every call of this session mines.
+        The transactions every call of this session mines — a
+        :class:`TransactionDatabase`, or a stream-encoded
+        :class:`~repro.data.ingest.EncodedDataset` (engines without the
+        ``streaming_ingest`` capability transparently mine its
+        materialized decoded form; see :meth:`EngineSpec.run`).
     default_config:
         Config used when a call omits one (default: ``MiningConfig()``,
         i.e. SETM at 1% support).
@@ -107,8 +111,10 @@ class Miner:
     def _pattern_key(config: MiningConfig) -> tuple:
         """A hashable key of the fields that determine the pattern set.
 
-        Confidence is excluded (it only shapes rule generation), the
-        support *type* is included (``support=1`` means one absolute
+        Confidence is excluded (it only shapes rule generation), as are
+        the ingest fields ``input_format``/``chunk_rows`` (they shape
+        how a file is decoded, never the pattern set); the support
+        *type* is included (``support=1`` means one absolute
         transaction; ``support=1.0`` means everything — ``==`` on the
         config would conflate them), and option values are keyed by
         ``repr`` so unhashable values (lists, dicts) never break caching.
@@ -230,6 +236,12 @@ class Miner:
                 f"yes (workers={self._resolve_workers(options)})"
                 if spec.parallel
                 else "no"
+            ),
+            "  streaming ingest: "
+            + (
+                "yes (mines stream-encoded datasets directly)"
+                if spec.streaming_ingest
+                else "no (streamed inputs are materialized first)"
             ),
             f"  accepted options: {accepted}",
             f"minimum support: {support} -> threshold {threshold}",

@@ -107,6 +107,14 @@ class EngineSpec:
         Whether the engine distributes iteration work across worker
         processes (honours a ``workers`` option, defaulting to
         ``os.cpu_count()``; ``workers=1`` forces serial execution).
+    streaming_ingest:
+        Whether the engine mines a stream-encoded
+        :class:`~repro.data.ingest.EncodedDataset` directly (its kernel
+        reads the encoded ``R_1`` columns without materializing Python
+        transaction objects).  Engines without the capability still
+        accept one — :meth:`run` transparently materializes the classic
+        decoded :class:`TransactionDatabase` first — but lose the
+        bounded-memory benefit.
     accepted_options:
         Option names the engine accepts beyond the standard
         ``(database, minimum_support, max_length)``.  ``None`` disables
@@ -122,6 +130,7 @@ class EngineSpec:
     representation: str = "tuples"
     out_of_core: bool = False
     parallel: bool = False
+    streaming_ingest: bool = False
     accepted_options: frozenset[str] | None = frozenset()
 
     def validate_options(
@@ -146,11 +155,25 @@ class EngineSpec:
         max_length: int | None = None,
         options: dict[str, object] | None = None,
     ) -> "MiningResult":
-        """Validate ``options`` against this spec, then run the engine."""
+        """Validate ``options`` against this spec, then run the engine.
+
+        A stream-encoded :class:`~repro.data.ingest.EncodedDataset` is
+        handed straight to engines carrying the ``streaming_ingest``
+        capability; for every other engine it is first materialized back
+        into the classic decoded :class:`TransactionDatabase`, so any
+        engine mines a streamed file with identical results.
+        """
         options = dict(options or {})
         self.validate_options(options, max_length=max_length)
         if max_length is not None:
             options["max_length"] = max_length
+        if not self.streaming_ingest:
+            # Imported lazily: the registry must stay importable without
+            # dragging in the data layer (and its optional decoders).
+            from repro.data.ingest import EncodedDataset
+
+            if isinstance(database, EncodedDataset):
+                database = database.database(decoded=True)
         return self.runner(database, support, **options)
 
 
@@ -163,6 +186,7 @@ def register_engine(
     representation: str = "tuples",
     out_of_core: bool = False,
     parallel: bool = False,
+    streaming_ingest: bool = False,
     accepted_options: Iterable[str] | None = (),
     replace: bool = False,
 ) -> Callable[[Callable[..., "MiningResult"]], Callable[..., "MiningResult"]]:
@@ -186,6 +210,7 @@ def register_engine(
                 representation=representation,
                 out_of_core=out_of_core,
                 parallel=parallel,
+                streaming_ingest=streaming_ingest,
                 accepted_options=(
                     None
                     if accepted_options is None

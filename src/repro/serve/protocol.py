@@ -17,7 +17,8 @@ op             fields                                              queued?
 
 ``config`` carries :class:`~repro.config.MiningConfig` fields verbatim
 (``support``, ``confidence``, ``algorithm``, ``max_length``,
-``options``); every queued op may also carry ``timeout`` seconds.
+``options``, ``input_format``, ``chunk_rows``); every queued op may
+also carry ``timeout`` seconds.
 
 Responses are ``{"ok": true, "op": ..., ...}`` or ``{"ok": false,
 "error": {...}}`` where the error payload names the *type* from the
@@ -63,7 +64,15 @@ INLINE_OPS = frozenset({"ping", "stats", "drain"})
 
 #: Keys a ``config`` payload may carry — exactly MiningConfig's fields.
 _CONFIG_KEYS = frozenset(
-    {"support", "confidence", "algorithm", "max_length", "options"}
+    {
+        "support",
+        "confidence",
+        "algorithm",
+        "max_length",
+        "options",
+        "input_format",
+        "chunk_rows",
+    }
 )
 
 #: Per-op request keys beyond ``op`` itself.

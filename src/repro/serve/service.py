@@ -88,7 +88,7 @@ def pool_crash_signature(error: BaseException) -> bool:
 class _HostedDataset:
     """One dataset: its shared encoded database, catalog, and miner."""
 
-    __slots__ = ("name", "database", "catalog", "miner", "decoded")
+    __slots__ = ("name", "database", "catalog", "miner", "decoded", "ingest")
 
     def __init__(
         self,
@@ -96,11 +96,16 @@ class _HostedDataset:
         database: TransactionDatabase,
         catalog: ItemCatalog,
         miner: Miner,
+        *,
+        ingest: dict[str, Any] | None = None,
     ) -> None:
         self.name = name
         self.database = database
         self.catalog = catalog
         self.miner = miner
+        # Streaming-ingest telemetry when the dataset was registered as
+        # an EncodedDataset; None for whole-file registrations.
+        self.ingest = ingest
         # Decoded views of cached results, keyed by id(result).  The
         # strong reference to the result keeps the id stable; entries
         # are bounded alongside the miner's own cache.
@@ -116,7 +121,13 @@ class MiningService:
     ----------
     datasets:
         ``{name: TransactionDatabase}`` — each is dictionary-encoded
-        once and shared by every request addressing it.
+        once and shared by every request addressing it.  A value may
+        also be a stream-encoded
+        :class:`~repro.data.ingest.EncodedDataset` (see
+        :func:`repro.data.ingest.load_dataset`): its catalog and
+        encoded columns are adopted directly — the whole-dataset
+        labelled database is never materialized at startup — and its
+        ingest telemetry is surfaced in :meth:`stats`.
     queue_depth:
         Bound of the request queue (admission control rejects beyond
         it with a typed ``ServerBusyError``).
@@ -152,12 +163,24 @@ class MiningService:
                 raise InvalidConfigError(
                     f"dataset names must be non-empty strings; got {name!r}"
                 )
-            encoded, catalog = database.encoded()
+            ingest = None
+            if isinstance(database, TransactionDatabase):
+                encoded, catalog = database.encoded()
+            else:
+                # A stream-encoded EncodedDataset: the catalog travels
+                # with it and the encoded-id database materializes from
+                # the already-encoded columns — the labelled whole-file
+                # form never exists in this process.
+                catalog = database.catalog
+                stats = database.stats
+                ingest = stats.as_dict() if stats is not None else None
+                encoded = database.database()
             self._datasets[name] = _HostedDataset(
                 name,
                 encoded,
                 catalog,
                 Miner(encoded, cache_entries=cache_entries),
+                ingest=ingest,
             )
         self._owns_spill_root = spill_root is None
         self._spill_root = Path(
@@ -435,6 +458,7 @@ class MiningService:
                 "sales_rows": hosted.database.num_sales_rows,
                 "distinct_items": len(hosted.catalog),
                 "cache": info,
+                "ingest": hosted.ingest,
             }
         lookups = cache_totals["hits"] + cache_totals["misses"]
         with self._lock:
