@@ -84,6 +84,28 @@ the ``parquet`` leg records ``null`` with an explicit
 ``pyarrow_available: false`` tag — the same honesty discipline as
 ``coordination_overhead_only``.
 
+The Table 6.2 workload (and the tiny smoke) also runs the
+**incremental scenario**: the workload split into a base prefix plus
+append batches, the base stream-encoded and mined once through
+``setm-incremental`` with a state directory, then each batch appended
+(``EncodedDataset.append_chunks``) and re-mined three ways — delta-only
+against the saved state, a full rebuild through the same engine into a
+fresh state directory (the ``delta_speedup`` denominator: both paths
+end with the result *and* a state covering the grown dataset, so the
+ratio is a like-for-like materialized-view refresh comparison), and
+from scratch through plain ``setm-columnar`` (recorded transparently
+as ``columnar_seconds``).  Every batch's delta result must be
+byte-identical (patterns *and* iteration statistics) to both re-mines
+before anything is recorded, and the scenario's ``aggregate_speedup``
+(total rebuild time over total delta time across all batches, serial
+vs serial — honest on any host) must clear the scenario's floor: 3x on
+the retail workload, a reduced floor on the tiny smoke where fixed
+state-handling costs dominate.  Per-batch speedups are recorded but
+not individually floored — whether a batch crosses a support boundary
+(triggering borderline recounts) is data-dependent, and the acceptance
+bar is the scenario, not the luckiest batch.  Both the runner and
+``--validate`` enforce the aggregate floor.
+
 Unlike the ``pytest-benchmark`` suites in this directory (which
 regenerate the paper's figures), this is a plain script so CI and
 humans can run it without plugins::
@@ -105,6 +127,7 @@ import csv
 import json
 import os
 import platform
+import shutil
 import sys
 import tempfile
 import threading
@@ -116,21 +139,23 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.incremental import setm_incremental  # noqa: E402
 from repro.core.setm import setm  # noqa: E402
 from repro.core.setm_columnar import setm_columnar  # noqa: E402
 from repro.core.setm_columnar_disk import setm_columnar_disk  # noqa: E402
 from repro.core.setm_parallel import setm_parallel  # noqa: E402
 from repro.core.setm_spill_parallel import setm_spill_parallel  # noqa: E402
 from repro.core.columns import InstanceRelation  # noqa: E402
+from repro.core.transactions import TransactionDatabase  # noqa: E402
 from repro.data.ingest import stream_encode  # noqa: E402
 from repro.data.formats import open_chunk_source  # noqa: E402
-from repro.data.io import read_sales_csv  # noqa: E402
+from repro.data.io import read_sales_csv, write_basket_file  # noqa: E402
 from repro.data.quest import QuestConfig, generate_quest_dataset  # noqa: E402
 from repro.data.retail import generate_retail_dataset  # noqa: E402
 from repro.serve.protocol import result_payload  # noqa: E402
 from repro.serve.service import MiningService  # noqa: E402
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 ENGINES = {"setm": setm, "setm-columnar": setm_columnar}
 
 #: Worker counts swept per workload (setm-parallel, differentially
@@ -183,6 +208,38 @@ INGEST_SCENARIOS = {
         "chunk_rows": 256, "memory_budget_bytes": 16 * 1024,
     },
 }
+
+#: Incremental-scenario parameters per workload: how much of the
+#: workload forms the mined base prefix, how many append batches the
+#: remainder splits into, the decode chunk size, and the per-workload
+#: ``delta_speedup`` floor.  The retail floor is the PR's acceptance
+#: bar (3x); the tiny smoke keeps a reduced floor because at smoke
+#: scale fixed state-handling costs dominate the delta work.
+INCREMENTAL_SCENARIOS = {
+    "table6.2-retail": {
+        "base_fraction": 0.96,
+        "batches": 2,
+        "chunk_rows": 32768,
+        "speedup_floor": 3.0,
+    },
+    "quest-T5.I2.D300-tiny": {
+        "base_fraction": 0.9,
+        "chunk_rows": 256,
+        "batches": 2,
+        # At smoke scale (15-transaction batches, every batch growing
+        # the catalog) fixed state I/O dominates the delta work, and
+        # the smoke runs on noisy CI machines with --rounds 1 — so its
+        # floor only guards against gross regressions (delta taking
+        # multiples of the rebuild).  The 3x perf claim lives on the
+        # retail workload, measured best-of-rounds on a quiet host.
+        "speedup_floor": 0.5,
+    },
+}
+
+#: The acceptance floor a non-tiny incremental scenario must carry:
+#: delta-only re-mining must beat the from-scratch re-mine by at least
+#: this factor on the Table 6.2 append workload.
+INCREMENTAL_SPEEDUP_FLOOR = 3.0
 
 #: Acceptance floor for the ingest scenario's deterministic savings:
 #: the projected CSV fields must skip >= 30% of the decode bytes, and a
@@ -924,6 +981,224 @@ def _bench_ingest(
     }
 
 
+def _bench_incremental(
+    name: str,
+    database,
+    minsup: float,
+    rounds: int,
+    *,
+    base_fraction: float,
+    batches: int,
+    chunk_rows: int,
+    speedup_floor: float,
+) -> dict:
+    """The incremental scenario: delta-only re-mining under appends.
+
+    The workload splits into a base prefix plus ``batches`` append
+    batches.  The base is stream-encoded and mined once through
+    ``setm-incremental`` with a state directory; each batch is then
+    appended in place and re-mined three ways — delta-only against the
+    saved state (restored from a snapshot between timing rounds, since
+    a delta mine advances the state), a full rebuild through the same
+    engine into a fresh state directory (the ``delta_speedup``
+    denominator — both paths deliver the result plus a state covering
+    the grown dataset), and from scratch through plain
+    ``setm-columnar`` (recorded as ``columnar_seconds`` so the
+    cross-engine cost stays visible).  Every batch refuses to record
+    unless the delta result matches both re-mines byte for byte, and
+    the whole scenario refuses to record unless the aggregate speedup
+    (total rebuild time over total delta time) clears
+    ``speedup_floor``.  All mines are serial, so the ratio is honest
+    on any host — no ``coordination_overhead_only`` tagging needed.
+    """
+    txns = list(database)
+    base_count = max(1, int(len(txns) * base_fraction))
+    remaining = txns[base_count:]
+    if len(remaining) < batches:
+        raise SystemExit(
+            f"incremental scenario on {name}: only {len(remaining)} "
+            f"transactions left for {batches} append batches"
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-incr-") as tmp:
+        root = Path(tmp)
+        state_dir = root / "state"
+
+        def _write_split(split, index):
+            path = root / f"split{index}.basket"
+            write_basket_file(
+                TransactionDatabase(
+                    (txn.trans_id, txn.items) for txn in split
+                ),
+                path,
+            )
+            return path
+
+        base_path = _write_split(txns[:base_count], 0)
+        dataset = stream_encode(
+            open_chunk_source(base_path, chunk_rows=chunk_rows)
+        )
+        try:
+            started = time.perf_counter()
+            base_result = setm_incremental(
+                dataset,
+                minsup,
+                state_dir=state_dir,
+                measure_memory=False,
+            )
+            base_elapsed = round(time.perf_counter() - started, 6)
+            if base_result.extra["incremental"]["mode"] != "full":
+                raise SystemExit(
+                    f"incremental scenario on {name}: base mine did not "
+                    "run the full path"
+                )
+            print(
+                f"  incremental base: {base_count:,} transactions mined in "
+                f"{base_elapsed:.3f}s (state materialized)",
+                flush=True,
+            )
+
+            step = len(remaining) / batches
+            runs = []
+            for batch in range(batches):
+                split = remaining[
+                    round(batch * step) : round((batch + 1) * step)
+                ]
+                path = _write_split(split, batch + 1)
+                dataset.append_chunks(
+                    open_chunk_source(path, chunk_rows=chunk_rows)
+                )
+
+                columnar_best = None
+                columnar_result = None
+                for _ in range(rounds):
+                    started = time.perf_counter()
+                    candidate = setm_columnar(
+                        dataset, minsup, measure_memory=False
+                    )
+                    elapsed = time.perf_counter() - started
+                    if columnar_best is None or elapsed < columnar_best:
+                        columnar_best, columnar_result = elapsed, candidate
+
+                # The full rebuild mines the grown dataset from scratch
+                # through the same engine into a fresh state directory:
+                # the honest refresh denominator, since both it and the
+                # delta path end with the result *and* a current state.
+                full_best = None
+                full_result = None
+                for attempt in range(rounds):
+                    rebuild_dir = root / f"rebuild-{batch}-{attempt}"
+                    started = time.perf_counter()
+                    candidate = setm_incremental(
+                        dataset,
+                        minsup,
+                        state_dir=rebuild_dir,
+                        measure_memory=False,
+                    )
+                    elapsed = time.perf_counter() - started
+                    shutil.rmtree(rebuild_dir)
+                    if full_best is None or elapsed < full_best:
+                        full_best, full_result = elapsed, candidate
+                if full_result.extra["incremental"]["mode"] != "full":
+                    raise SystemExit(
+                        f"incremental scenario on {name}: batch {batch} "
+                        "rebuild did not run the full path"
+                    )
+
+                # A delta mine advances the state to cover the grown
+                # dataset, so timing rounds restore it from a snapshot.
+                snapshot = root / f"state-pre-batch{batch}"
+                shutil.copytree(state_dir, snapshot)
+                delta_best = None
+                delta_result = None
+                for _ in range(rounds):
+                    shutil.rmtree(state_dir)
+                    shutil.copytree(snapshot, state_dir)
+                    started = time.perf_counter()
+                    candidate = setm_incremental(
+                        dataset,
+                        minsup,
+                        state_dir=state_dir,
+                        measure_memory=False,
+                    )
+                    elapsed = time.perf_counter() - started
+                    if delta_best is None or elapsed < delta_best:
+                        delta_best, delta_result = elapsed, candidate
+
+                telemetry = delta_result.extra["incremental"]
+                if telemetry["mode"] != "delta":
+                    raise SystemExit(
+                        f"incremental scenario on {name}: batch {batch} "
+                        "never took the delta path; nothing measured"
+                    )
+                for label, reference in (
+                    ("full-rebuild", full_result),
+                    ("from-scratch columnar", columnar_result),
+                ):
+                    if not (
+                        reference.same_patterns_as(delta_result)
+                        and reference.iterations == delta_result.iterations
+                    ):
+                        raise SystemExit(
+                            f"incremental scenario on {name}: batch "
+                            f"{batch} delta re-mine disagrees with the "
+                            f"{label} re-mine; refusing to record"
+                        )
+                if delta_best <= 0:
+                    raise SystemExit(
+                        f"incremental scenario on {name}: batch {batch} "
+                        "delta mine measured no time; refusing to record"
+                    )
+                speedup = round(full_best / delta_best, 3)
+                entry = {
+                    "batch": batch,
+                    "delta_transactions": telemetry["delta_transactions"],
+                    "delta_rows": telemetry["delta_rows"],
+                    "total_rows": telemetry["total_rows"],
+                    "state_hits": telemetry["state_hits"],
+                    "recount_fraction": telemetry["recount_fraction"],
+                    "base_rows_rescanned": telemetry["base_rows_rescanned"],
+                    "delta_seconds": round(delta_best, 6),
+                    "full_remine_seconds": round(full_best, 6),
+                    "columnar_seconds": round(columnar_best, 6),
+                    "delta_speedup": speedup,
+                    "agreement": True,
+                }
+                print(
+                    f"  incremental batch {batch}: "
+                    f"+{telemetry['delta_transactions']:,} transactions, "
+                    f"delta {delta_best:.3f}s vs rebuild {full_best:.3f}s "
+                    f"({speedup}x; columnar {columnar_best:.3f}s)",
+                    flush=True,
+                )
+                runs.append(entry)
+        finally:
+            dataset.close()
+    total_delta = sum(entry["delta_seconds"] for entry in runs)
+    total_full = sum(entry["full_remine_seconds"] for entry in runs)
+    aggregate = round(total_full / total_delta, 3) if total_delta else None
+    if aggregate is None or aggregate < speedup_floor:
+        raise SystemExit(
+            f"incremental scenario on {name}: aggregate delta speedup "
+            f"{aggregate} below the {speedup_floor}x floor; refusing "
+            "to record"
+        )
+    print(
+        f"  incremental aggregate: {aggregate}x (floor {speedup_floor}x)",
+        flush=True,
+    )
+    return {
+        "engine": "setm-incremental",
+        "full_remine_engine": "setm-incremental (rebuild)",
+        "base_transactions": base_count,
+        "base_seconds": base_elapsed,
+        "batches": batches,
+        "chunk_rows": chunk_rows,
+        "speedup_floor": speedup_floor,
+        "aggregate_speedup": aggregate,
+        "runs": runs,
+    }
+
+
 def _bench_worker_sweep(
     name: str,
     database,
@@ -1154,6 +1429,14 @@ def run(
         if ingest_params is not None:
             workload_entry["ingest"] = _bench_ingest(
                 name, database, minsup, results["setm"], **ingest_params
+            )
+        # The incremental scenario: materialized count state + delta-only
+        # re-mining under append batches, byte-checked per batch against
+        # a from-scratch re-mine before recording.
+        incremental_params = INCREMENTAL_SCENARIOS.get(name)
+        if incremental_params is not None:
+            workload_entry["incremental"] = _bench_incremental(
+                name, database, minsup, rounds, **incremental_params
             )
         workloads.append(workload_entry)
     return {
@@ -1426,6 +1709,75 @@ def validate(document: dict) -> list[str]:
                         errors.append(
                             f"{leg_prefix}.peak_memory_reduction: streaming "
                             "must beat the whole-file ingest peak"
+                        )
+        if "incremental" in (workload or {}):
+            incremental = need(workload, "incremental", dict, where)
+            if incremental is not None:
+                prefix = f"{where}.incremental"
+                need(incremental, "engine", str, prefix)
+                need(incremental, "full_remine_engine", str, prefix)
+                need(incremental, "base_transactions", int, prefix)
+                need(incremental, "base_seconds", (int, float), prefix)
+                need(incremental, "batches", int, prefix)
+                floor = need(
+                    incremental, "speedup_floor", (int, float), prefix
+                )
+                if not isinstance(floor, (int, float)):
+                    floor = INCREMENTAL_SPEEDUP_FLOOR
+                if (
+                    document.get("tiny") is not True
+                    and isinstance(floor, (int, float))
+                    and floor < INCREMENTAL_SPEEDUP_FLOOR
+                ):
+                    errors.append(
+                        f"{prefix}.speedup_floor: a full bench must hold "
+                        f"the {INCREMENTAL_SPEEDUP_FLOOR}x acceptance floor"
+                    )
+                aggregate = need(
+                    incremental, "aggregate_speedup", (int, float), prefix
+                )
+                if (
+                    isinstance(aggregate, (int, float))
+                    and isinstance(floor, (int, float))
+                    and aggregate < floor
+                ):
+                    errors.append(
+                        f"{prefix}.aggregate_speedup: below the "
+                        f"{floor}x floor"
+                    )
+                runs = need(incremental, "runs", list, prefix)
+                if not runs:
+                    errors.append(f"{prefix}.runs: must be a non-empty list")
+                for j, entry in enumerate(runs or ()):
+                    run_prefix = f"{prefix}.runs[{j}]"
+                    need(entry, "delta_transactions", int, run_prefix)
+                    need(entry, "delta_rows", int, run_prefix)
+                    need(entry, "total_rows", int, run_prefix)
+                    need(entry, "state_hits", int, run_prefix)
+                    need(
+                        entry, "recount_fraction", (int, float), run_prefix
+                    )
+                    need(entry, "delta_seconds", (int, float), run_prefix)
+                    need(
+                        entry, "full_remine_seconds", (int, float), run_prefix
+                    )
+                    need(entry, "columnar_seconds", (int, float), run_prefix)
+                    need(entry, "agreement", bool, run_prefix)
+                    # Per-batch speedups are recorded but not floored:
+                    # borderline-recount batches are data-dependent and
+                    # the acceptance bar is the scenario aggregate.
+                    need(entry, "delta_speedup", (int, float), run_prefix)
+                    delta_rows = entry.get("delta_rows")
+                    total_rows = entry.get("total_rows")
+                    if (
+                        isinstance(delta_rows, int)
+                        and isinstance(total_rows, int)
+                        and delta_rows >= total_rows
+                    ):
+                        errors.append(
+                            f"{run_prefix}: delta_rows must be a strict "
+                            "subset of total_rows (otherwise nothing "
+                            "incremental was measured)"
                         )
         if "serve" in (workload or {}):
             serve = need(workload, "serve", dict, where)

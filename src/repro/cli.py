@@ -26,6 +26,8 @@ Examples::
     python -m repro mine r.basket --engine setm-parallel --workers 4
     python -m repro mine r.basket --engine setm-spill-parallel \\
         --memory-budget 64M --workers 4
+    python -m repro mine r.basket --state state/ --minsup 0.01
+    python -m repro mine r.basket --append day2.basket --state state/
     python -m repro engines --json
     python -m repro sql --k 3 --strategy sort-merge
     python -m repro analyze
@@ -118,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rows per ingest chunk (enables streaming "
                            "ingest; peak ingest memory is O(chunk + "
                            "catalog) instead of O(dataset))")
+    mine.add_argument("--append", action="append", default=None,
+                      metavar="FILE",
+                      help="append this file's transactions onto the "
+                           "input before mining (repeatable, applied in "
+                           "order; trans_ids must continue ascending); "
+                           "with --state, only the appended delta is "
+                           "re-counted")
+    mine.add_argument("--state", default=None, metavar="DIR",
+                      help="directory for the materialized incremental "
+                           "count state: the first run mines fully and "
+                           "saves it, later runs over appended data "
+                           "count only the delta (routes through the "
+                           "setm-incremental engine; results are "
+                           "byte-identical to a from-scratch mine)")
     mine.add_argument("--patterns", action="store_true",
                       help="also print every frequent pattern")
     mine.add_argument("--json", action="store_true",
@@ -287,14 +303,37 @@ def _mining_report(result, rules) -> dict:
         # Streaming-ingest telemetry (chunks, rows, bytes decoded,
         # bytes_read_reduction); None when the input was whole-file read.
         "ingest": result.extra.get("ingest"),
+        # Incremental-mining telemetry (mode full/delta, delta rows,
+        # state hits, recount fraction); None off the incremental engine.
+        "incremental": result.extra.get("incremental"),
     }
 
 
 def _cmd_mine(args: argparse.Namespace, out) -> int:
-    if _wants_streaming(args):
+    # Appends and incremental state both need the encoded columnar form
+    # (append_chunks / delta slicing), so they force the streamed path.
+    if _wants_streaming(args) or args.append or args.state:
         database = _load_streamed(
             args.input, args, memory_budget_bytes=args.memory_budget
         )
+        for extra_path in args.append or ():
+            from repro.data.formats import open_chunk_source
+
+            info = database.append_chunks(
+                open_chunk_source(
+                    extra_path,
+                    input_format=args.input_format or "auto",
+                    chunk_rows=args.chunk_rows,
+                ),
+                memory_budget_bytes=args.memory_budget,
+            )
+            if not args.json:
+                print(
+                    f"appended {info['transactions']:,} transactions "
+                    f"({info['rows']:,} rows) from {extra_path} "
+                    f"(generation {info['generation']})",
+                    file=out,
+                )
         num_items = len(database.catalog)
     else:
         database = _load(args.input)
@@ -325,9 +364,16 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         options=options,
         input_format=args.input_format,
         chunk_rows=args.chunk_rows,
+        state_dir=args.state,
     )
     miner = Miner(database)
-    result = miner.frequent_itemsets(config)
+    if args.state is not None:
+        result = miner.mine_delta(config)
+        # mine_delta may have rerouted to an incremental engine; align
+        # the config so the rules pass reuses the cached result.
+        config = config.replace(algorithm=result.algorithm)
+    else:
+        result = miner.frequent_itemsets(config)
     rules = miner.rules(config)
     if args.json:
         json.dump(_mining_report(result, rules), out, indent=2)
@@ -402,6 +448,7 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
                 "out_of_core": spec.out_of_core,
                 "parallel": spec.parallel,
                 "streaming_ingest": spec.streaming_ingest,
+                "incremental": spec.incremental,
                 "accepted_options": (
                     None
                     if spec.accepted_options is None
@@ -420,6 +467,7 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
             "yes" if spec.out_of_core else "no",
             "yes" if spec.parallel else "no",
             "yes" if spec.streaming_ingest else "no",
+            "yes" if spec.incremental else "no",
             "yes" if spec.reports_page_accesses else "no",
             (
                 "(unchecked)"
@@ -432,7 +480,7 @@ def _cmd_engines(args: argparse.Namespace, out) -> int:
     print(
         format_table(
             ["engine", "representation", "out-of-core", "parallel",
-             "streaming", "page I/O", "options"],
+             "streaming", "incremental", "page I/O", "options"],
             rows,
             title=f"{len(specs)} registered engines",
         ),

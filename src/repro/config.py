@@ -101,6 +101,15 @@ class MiningConfig:
     chunk_rows:
         Decoder batch size for streaming ingest (rows per chunk);
         ``None`` leaves the decoder's default.
+    state_dir:
+        Directory holding the materialized incremental-mining state
+        (see :mod:`repro.core.incremental`); handed only to engines
+        carrying the ``incremental`` capability, where it enables
+        delta-only re-mining under appends.  Like ``input_format``, it
+        shapes *how counting proceeds*, never the pattern set — results
+        stay byte-identical — so it is excluded from result caching
+        keys (cache invalidation under appends rides on the dataset
+        *generation* instead).
     """
 
     support: float | int = 0.01
@@ -110,6 +119,7 @@ class MiningConfig:
     options: Mapping[str, object] = field(default_factory=dict)
     input_format: str | None = None
     chunk_rows: int | None = None
+    state_dir: str | None = None
 
     def __post_init__(self) -> None:
         _validate_support(self.support)
@@ -145,6 +155,13 @@ class MiningConfig:
             raise InvalidConfigError(
                 f"chunk_rows must be a positive integer or None; "
                 f"got {self.chunk_rows!r}"
+            )
+        if self.state_dir is not None and (
+            not isinstance(self.state_dir, str) or not self.state_dir
+        ):
+            raise InvalidConfigError(
+                f"state_dir must be a non-empty string or None; "
+                f"got {self.state_dir!r}"
             )
         for key in self.options:
             _validate_option_key(key)

@@ -1,0 +1,1062 @@
+"""Incremental delta mining: materialized count state + delta-only counting.
+
+``setm-incremental`` operationalizes the paper's set-oriented view: the
+counted ``(keys, counts)`` summaries of the ``R_k`` relations are a
+*materialized view* over the ``SALES`` relation, and a view can be
+maintained under appends instead of recomputed.  A run with a
+``state_dir`` snapshots, per iteration ``k``, the full pre-HAVING
+candidate count map of the Figure-4 loop (:class:`MiningState`, keyed by
+the dataset *generation*); when new transactions land via
+:meth:`~repro.data.ingest.EncodedDataset.append_chunks`, the next run
+counts **only the appended chunks** and merges with the saved maps.
+
+Correctness sketch (why delta-only counting is exact)
+-----------------------------------------------------
+Every SETM instance lives inside a single transaction, so per-pattern
+counts are additive across disjoint transaction sets:
+``count_D(p) = count_B(p) + count_delta(p)``.  Candidacy is structural:
+``R_1`` is joined unfiltered (Section 4.1), so at ``k = 2`` every
+2-pattern present in the data is a candidate — the base map is complete
+there and ``state.levels[2].get(p, 0)`` is the exact base count.  For
+``k >= 3`` a pattern is counted iff its ``(k-1)``-prefix is in the
+*global* frequent set ``F_{k-1}``, which yields three merge cases per
+level:
+
+* prefix frequent before and now — the base count is in the state map
+  (or genuinely zero): a **state hit**, no base I/O;
+* prefix newly frequent (infrequent over the base alone, frequent over
+  the union) — the base run never counted its extensions, so they get a
+  **targeted recount** over the base transactions via
+  ``iter_item_chunks()``, never a full re-mine;
+* prefix no longer frequent (the threshold grew with ``N``) — its state
+  entries are dropped.
+
+Delta counts come from running the columnar extension loop
+(:func:`~repro.core.columns.suffix_extend`) over the appended
+transactions only, filtered by the global ``F_k``.  Every
+:class:`~repro.core.result.IterationStats` field derives from the merged
+maps (candidate instances are the count sums, supported slices are the
+``>= threshold`` subsets), so the result — patterns, counts, iteration
+trace — is byte-identical to a from-scratch mine of the full dataset;
+the append-equivalence suite and the conformance delta tier hold it
+there.  The merged maps then *become* the new state: after a delta mine
+the whole dataset is the next base.
+
+Survivor cursors are deliberately **not** part of the state: the merged
+count maps fully determine the result, and cursors could not serve the
+newly-frequent-prefix recount anyway (those instances were never
+materialized by the base run).
+
+On-disk format
+--------------
+A state directory holds ``state.json`` (version, dataset fingerprint,
+config identity, catalog labels) plus ``levels.bin`` — one serialized
+chunk per level reusing the spill-chunk framing of
+:meth:`~repro.core.columns.InstanceRelation.to_chunk_bytes` (counts ride
+in the ``last_sid`` column, packed keys in ``keys`` with the > 64-bit
+fallback).  Writes are temp-file + ``os.replace`` atomic with the
+manifest as the commit point; version skew refuses typed
+(:class:`~repro.errors.StateVersionError`), a state that does not cover
+the dataset or config refuses typed
+(:class:`~repro.errors.StateMismatchError`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from array import array
+from bisect import bisect_right
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any, Literal
+
+from repro.core.columns import (
+    COLUMN_TYPECODE,
+    InstanceRelation,
+    count_packed_keys,
+    filter_by_keys,
+    read_chunks,
+    suffix_extend,
+    unpack_key,
+)
+from repro.core.result import IterationStats, MiningResult
+from repro.core.setm import run_figure4_loop
+from repro.core.setm_columnar import ColumnarKernel
+from repro.core.transactions import absolute_support_threshold
+from repro.errors import (
+    InvalidConfigError,
+    StateError,
+    StateMismatchError,
+    StateVersionError,
+)
+from repro.registry import register_engine
+
+try:  # pragma: no cover - exercised implicitly by the recount tests
+    import numpy as _np
+except ImportError:  # minimal installs use the transaction-scan recount
+    _np = None
+
+__all__ = ["MiningState", "STATE_VERSION", "setm_incremental"]
+
+#: On-disk state format version; bumped on any incompatible change.
+STATE_VERSION = 1
+
+#: Largest packed key the vectorized recount can hold (mirrors the
+#: guard of :func:`~repro.core.columns.suffix_extend`).
+_INT64_MAX = 2**63 - 1
+
+_MANIFEST_NAME = "state.json"
+_LEVELS_NAME = "levels.bin"
+
+
+def _column(values=()) -> array:
+    return array(COLUMN_TYPECODE, values)
+
+
+def _is_absolute(support: float | int) -> bool:
+    return isinstance(support, int) and not isinstance(support, bool)
+
+
+#: A level map as parallel columns: ``(keys, counts)``, sorted by key.
+#: Columns are ``array('q')`` / numpy int64 (or a plain list when a
+#: packed key overflows 64 bits) — the exact shape the on-disk chunk
+#: format stores, so save/load never converts through dicts.
+LevelPair = tuple[Sequence[int], Sequence[int]]
+
+_EMPTY_PAIR: LevelPair = (_column(), _column())
+
+
+def _pair_from_dict(counts: dict[int, int]) -> LevelPair:
+    """A count map as a sorted ``(keys, counts)`` column pair."""
+    keys = sorted(counts)
+    values = _column(map(counts.__getitem__, keys))
+    try:
+        return _column(keys), values
+    except OverflowError:  # > 64-bit packed keys stay plain ints
+        return keys, values
+
+
+def _as_np(column) -> "_np.ndarray":
+    """A numpy int64 view/copy of a column (numpy available only)."""
+    if isinstance(column, _np.ndarray):
+        return column
+    if isinstance(column, array):
+        return _np.frombuffer(column, dtype=_np.int64)
+    return _np.fromiter(column, dtype=_np.int64, count=len(column))
+
+
+def _as_list(column) -> list[int]:
+    if _np is not None and isinstance(column, _np.ndarray):
+        return column.tolist()
+    return list(column)
+
+
+def _sum_column(counts) -> int:
+    if _np is not None and isinstance(counts, _np.ndarray):
+        return int(counts.sum())
+    return sum(counts)
+
+
+def _supported_slice(
+    pair: LevelPair, threshold: int
+) -> list[tuple[int, int]]:
+    """The ``>= threshold`` entries of a level pair, in key order."""
+    keys, counts = pair
+    if _np is not None and isinstance(keys, _np.ndarray):
+        mask = counts >= threshold
+        return list(zip(keys[mask].tolist(), counts[mask].tolist()))
+    return [
+        (key, count) for key, count in zip(keys, counts) if count >= threshold
+    ]
+
+
+def _combine_np(parts: list[LevelPair]) -> LevelPair:
+    """Sum column pairs into one sorted pair (numpy path).
+
+    Each input pair must carry unique keys; counts of keys present in
+    several pairs are added — the whole per-level merge (state-kept +
+    recount + delta) in three C passes.
+    """
+    parts = [part for part in parts if len(part[0])]
+    if not parts:
+        return _EMPTY_PAIR
+    if len(parts) == 1:
+        keys, counts = parts[0]
+        return _as_np(keys), _as_np(counts)
+    all_keys = _np.concatenate([_as_np(keys) for keys, _ in parts])
+    all_counts = _np.concatenate([_as_np(counts) for _, counts in parts])
+    merged_keys, inverse = _np.unique(all_keys, return_inverse=True)
+    merged_counts = _np.zeros(len(merged_keys), dtype=_np.int64)
+    _np.add.at(merged_counts, inverse, all_counts)
+    return merged_keys, merged_counts
+
+
+class MiningState:
+    """The materialized per-level candidate count maps of one mine.
+
+    ``levels[k]`` holds each packed pattern key the Figure-4 loop
+    counted at iteration ``k`` (the *pre*-HAVING map, so borderline
+    counts are preserved) with its transaction count, as a sorted
+    ``(keys, counts)`` column pair — the merge works on whole columns
+    and save/load move them without conversion; use
+    :meth:`level_counts` for a dict view.  Keys are packed in the radix
+    of ``labels`` (``base = len(labels) + 1``).  The fingerprint fields
+    identify the dataset prefix the counts cover, so a later run can
+    verify the current dataset is an append-extension and mine only the
+    tail.  Constructor ``levels`` values may be dicts (normalized to
+    pairs) or ready column pairs.
+    """
+
+    __slots__ = (
+        "generation",
+        "num_transactions",
+        "num_sales_rows",
+        "last_trans_id",
+        "labels",
+        "support",
+        "support_is_absolute",
+        "max_length",
+        "levels",
+    )
+
+    def __init__(
+        self,
+        *,
+        generation: int,
+        num_transactions: int,
+        num_sales_rows: int,
+        last_trans_id: int | None,
+        labels: list,
+        support: float | int,
+        max_length: int | None,
+        levels: dict[int, "LevelPair | dict[int, int]"],
+        support_is_absolute: bool | None = None,
+    ) -> None:
+        self.generation = generation
+        self.num_transactions = num_transactions
+        self.num_sales_rows = num_sales_rows
+        self.last_trans_id = last_trans_id
+        self.labels = list(labels)
+        self.support = support
+        self.support_is_absolute = (
+            _is_absolute(support)
+            if support_is_absolute is None
+            else support_is_absolute
+        )
+        self.max_length = max_length
+        self.levels = {
+            k: _pair_from_dict(value) if isinstance(value, dict) else value
+            for k, value in levels.items()
+        }
+
+    def level_counts(self, k: int) -> dict[int, int]:
+        """Level ``k``'s count map as a plain dict (tests, inspection)."""
+        keys, counts = self.levels[k]
+        return dict(zip(_as_list(keys), _as_list(counts)))
+
+    @classmethod
+    def from_full_run(
+        cls,
+        database,
+        level_counts: dict[int, dict[int, int]],
+        minimum_support: float | int,
+        max_length: int | None,
+    ) -> "MiningState":
+        """Snapshot a completed full mine of ``database``."""
+        num = database.num_transactions
+        if hasattr(database, "trans_ids"):
+            last = int(database.trans_ids[-1]) if num else None
+            labels = database.catalog.labels()
+        else:
+            last = database[num - 1].trans_id if num else None
+            labels = database.distinct_items()
+        return cls(
+            generation=getattr(database, "generation", 0),
+            num_transactions=num,
+            num_sales_rows=database.num_sales_rows,
+            last_trans_id=last,
+            labels=labels,
+            support=minimum_support,
+            max_length=max_length,
+            levels=level_counts,
+        )
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, state_dir: str | os.PathLike) -> None:
+        """Atomically persist to ``state_dir`` (created if missing).
+
+        ``levels.bin`` is written and swapped in first, the manifest
+        last — the manifest is the commit point, so a crash mid-save
+        leaves either the old state or the new one, never a torn mix,
+        and the ``finally`` sweep keeps temp files from leaking.
+        """
+        root = Path(state_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        blob = b"".join(
+            _level_chunk(k, self.levels[k]) for k in sorted(self.levels)
+        )
+        manifest = {
+            "version": STATE_VERSION,
+            "generation": self.generation,
+            "num_transactions": self.num_transactions,
+            "num_sales_rows": self.num_sales_rows,
+            "last_trans_id": self.last_trans_id,
+            "support": self.support,
+            "support_is_absolute": self.support_is_absolute,
+            "max_length": self.max_length,
+            "labels": self.labels,
+            "levels": sorted(self.levels),
+        }
+        try:
+            text = json.dumps(manifest, sort_keys=True)
+        except TypeError as exc:
+            raise StateError(
+                "mining state needs JSON-serializable item labels "
+                f"(str/int/...); got: {exc}"
+            ) from exc
+        levels_tmp = root / (_LEVELS_NAME + ".tmp")
+        manifest_tmp = root / (_MANIFEST_NAME + ".tmp")
+        try:
+            levels_tmp.write_bytes(blob)
+            manifest_tmp.write_text(text)
+            os.replace(levels_tmp, root / _LEVELS_NAME)
+            os.replace(manifest_tmp, root / _MANIFEST_NAME)
+        finally:
+            for tmp in (levels_tmp, manifest_tmp):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    @classmethod
+    def load(cls, state_dir: str | os.PathLike) -> "MiningState | None":
+        """Load the state saved in ``state_dir``; ``None`` when absent.
+
+        Raises
+        ------
+        StateVersionError
+            The manifest carries a different format version.
+        StateError
+            The state files are structurally corrupt.
+        """
+        root = Path(state_dir)
+        manifest_path = root / _MANIFEST_NAME
+        if not manifest_path.exists():
+            return None
+        try:
+            doc = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StateError(
+                f"unreadable mining-state manifest {manifest_path}: {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise StateError(
+                f"mining-state manifest {manifest_path} is not an object"
+            )
+        version = doc.get("version")
+        if version != STATE_VERSION:
+            raise StateVersionError(STATE_VERSION, version)
+        try:
+            data = (root / _LEVELS_NAME).read_bytes()
+        except OSError as exc:
+            raise StateError(
+                f"mining state in {root} has no readable level maps: {exc}"
+            ) from exc
+        levels: dict[int, LevelPair] = {}
+        for chunk in read_chunks(data):
+            levels[chunk.k] = (chunk.keys, chunk.last_sid)
+        if sorted(levels) != doc.get("levels"):
+            raise StateError(
+                f"mining state in {root} is corrupt: level maps "
+                f"{sorted(levels)} do not match the manifest "
+                f"{doc.get('levels')!r}"
+            )
+        try:
+            return cls(
+                generation=doc["generation"],
+                num_transactions=doc["num_transactions"],
+                num_sales_rows=doc["num_sales_rows"],
+                last_trans_id=doc["last_trans_id"],
+                labels=doc["labels"],
+                support=doc["support"],
+                max_length=doc["max_length"],
+                levels=levels,
+                support_is_absolute=doc["support_is_absolute"],
+            )
+        except KeyError as exc:
+            raise StateError(
+                f"mining-state manifest {manifest_path} is missing {exc}"
+            ) from exc
+
+
+def _level_chunk(k: int, pair: LevelPair) -> bytes:
+    """One level pair as a spill-format chunk (counts ride in last_sid)."""
+    keys, counts = pair
+    relation = InstanceRelation(None, None, last_sid=counts, keys=keys, k=k)
+    return relation.to_chunk_bytes()
+
+
+# -- state <-> dataset matching ----------------------------------------------------
+
+
+def _supports_delta(database) -> bool:
+    """Only the encoded columnar form can be delta-sliced and rescanned."""
+    return (
+        hasattr(database, "trans_ids")
+        and hasattr(database, "run_lengths")
+        and hasattr(database, "iter_item_chunks")
+    )
+
+
+def _check_state_covers(
+    state: MiningState,
+    dataset,
+    minimum_support: float | int,
+    max_length: int | None,
+) -> None:
+    """Raise :class:`StateMismatchError` unless ``dataset`` extends the state."""
+    if (
+        state.support != minimum_support
+        or state.support_is_absolute != _is_absolute(minimum_support)
+    ):
+        raise StateMismatchError(
+            f"saved state was mined at support {state.support!r} "
+            f"({'absolute' if state.support_is_absolute else 'fractional'}); "
+            f"this run asks for {minimum_support!r} — delta counts cannot "
+            "be merged across thresholds (clear the state directory to "
+            "rebuild)"
+        )
+    if state.max_length != max_length:
+        raise StateMismatchError(
+            f"saved state was mined with max_length={state.max_length!r}; "
+            f"this run asks for {max_length!r} (clear the state directory "
+            "to rebuild)"
+        )
+    t_base = state.num_transactions
+    if dataset.num_transactions < t_base:
+        raise StateMismatchError(
+            f"dataset has {dataset.num_transactions} transactions but the "
+            f"saved state covers {t_base}; the dataset is not an "
+            "append-extension of the state"
+        )
+    if t_base:
+        if int(dataset.trans_ids[t_base - 1]) != state.last_trans_id:
+            raise StateMismatchError(
+                f"dataset transaction {t_base} has trans_id "
+                f"{int(dataset.trans_ids[t_base - 1])!r} where the saved "
+                f"state ends at {state.last_trans_id!r}; the base prefix "
+                "diverged"
+            )
+        if sum(dataset.run_lengths[:t_base]) != state.num_sales_rows:
+            raise StateMismatchError(
+                f"the first {t_base} transactions hold "
+                f"{sum(dataset.run_lengths[:t_base])} rows where the saved "
+                f"state covers {state.num_sales_rows}; the base prefix "
+                "diverged"
+            )
+
+
+def _rekey_levels(state: MiningState, catalog) -> dict[int, LevelPair]:
+    """State pairs re-packed into the current catalog's id space.
+
+    Appends can grow the catalog, and new labels sorting between old
+    ones shift every later id — so state keys are unpacked in the old
+    radix, gathered through ``old id -> new id``, and re-packed in the
+    new radix.  Both catalogs list labels sorted, so the id remap is
+    strictly increasing and digit-wise remapping preserves each
+    level's key order: the vectorized path peels digits with
+    ``divmod`` and never re-sorts.  Identity catalogs skip all of it —
+    the hot path of same-vocabulary appends.
+    """
+    current = catalog.labels()
+    if state.labels == current:
+        return state.levels
+    try:
+        old_to_new = [0] + [catalog.id_of(label) for label in state.labels]
+    except KeyError as exc:
+        raise StateMismatchError(
+            f"saved state knows item {exc.args[0]!r} which the dataset's "
+            "catalog no longer contains; the base prefix diverged"
+        ) from None
+    old_base = len(state.labels) + 1
+    new_base = len(current) + 1
+    mapping = (
+        _np.fromiter(old_to_new, dtype=_np.int64, count=len(old_to_new))
+        if _np is not None
+        else None
+    )
+    rekeyed: dict[int, LevelPair] = {}
+    for k, (keys, counts) in state.levels.items():
+        if (
+            mapping is not None
+            and not isinstance(keys, list)
+            and new_base**k <= _INT64_MAX
+        ):
+            rem = _as_np(keys)
+            new_keys = _np.zeros(len(rem), dtype=_np.int64)
+            place = 1
+            for _ in range(k):
+                rem, digit = _np.divmod(rem, old_base)
+                new_keys += mapping[digit] * place
+                place *= new_base
+            rekeyed[k] = (new_keys, _as_np(counts))
+            continue
+        entries: list[tuple[int, int]] = []
+        for key, count in zip(keys, counts):
+            new_key = 0
+            for item in unpack_key(int(key), k, old_base):
+                new_key = new_key * new_base + old_to_new[item]
+            entries.append((new_key, count))
+        entries.sort()
+        new_counts = _column(entry[1] for entry in entries)
+        try:
+            rekeyed[k] = (_column(entry[0] for entry in entries), new_counts)
+        except OverflowError:
+            rekeyed[k] = ([entry[0] for entry in entries], new_counts)
+    return rekeyed
+
+
+# -- the delta mine ----------------------------------------------------------------
+
+
+def _tail_items(dataset, skip: int) -> array:
+    """The encoded item column from global row ``skip`` on, one column."""
+    out = _column()
+    seen = 0
+    for chunk in dataset.iter_item_chunks():
+        end = seen + len(chunk)
+        if end > skip:
+            out.extend(chunk[max(0, skip - seen) :])
+        seen = end
+    return out
+
+
+def _iter_base_transactions(dataset, t_base: int):
+    """Yield each base transaction's sorted item ids, chunk-aligned.
+
+    Walks ``iter_item_chunks()`` (non-consuming — spilled pieces stream
+    one at a time) against the run-length framing; transactions may span
+    chunk boundaries.
+    """
+    run_lengths = dataset.run_lengths
+    source = dataset.iter_item_chunks()
+    chunk: array = _column()
+    pos = 0
+    for i in range(t_base):
+        need = run_lengths[i]
+        txn: list[int] = []
+        while need:
+            if pos == len(chunk):
+                chunk = next(source)
+                pos = 0
+                continue
+            take = min(need, len(chunk) - pos)
+            txn.extend(chunk[pos : pos + take])
+            pos += take
+            need -= take
+        yield txn
+
+
+def _recount_base_scan(
+    dataset, q_new: set[int], k_prev: int, t_base: int, base: int
+) -> tuple[dict[int, int], int]:
+    """Transaction-scan recount (the numpy-free fallback).
+
+    For every base transaction containing a prefix ``q`` of ``q_new``,
+    each later item ``j`` contributes one instance of ``q . j`` — the
+    counts the base run never materialized because ``q`` was infrequent
+    then.  Returns ``(counts, base_rows_walked)``.
+    """
+    patterns = [(key, unpack_key(key, k_prev, base)) for key in q_new]
+    counts: dict[int, int] = {}
+    rows = 0
+    for txn in _iter_base_transactions(dataset, t_base):
+        rows += len(txn)
+        if len(txn) <= k_prev:
+            continue
+        members = set(txn)
+        for key, items in patterns:
+            if all(item in members for item in items):
+                scaled = key * base
+                for j in txn[bisect_right(txn, items[-1]) :]:
+                    new_key = scaled + j
+                    counts[new_key] = counts.get(new_key, 0) + 1
+    return counts, rows
+
+
+class _BaseColumns:
+    """The base prefix's raw columns, gathered once per delta mine.
+
+    Only materialized when some level needs a recount, then shared
+    across recounting levels.  ``ends[searchsorted(ends, s, 'right')]``
+    is the exclusive end position of row ``s``'s transaction — the only
+    piece of transaction framing the targeted recount needs, so no
+    :class:`~repro.core.columns.SalesIndex` (whose ``ext_counts``
+    expansion walks every base row) is ever built here.
+    """
+
+    __slots__ = ("items", "ends")
+
+    def __init__(self, dataset, t_base: int, s_base: int) -> None:
+        gathered = _column()
+        for chunk in dataset.iter_item_chunks():
+            take = s_base - len(gathered)
+            gathered.extend(chunk if len(chunk) <= take else chunk[:take])
+            if len(gathered) == s_base:
+                break
+        self.items = _np.frombuffer(gathered, dtype=_np.int64)
+        lengths = dataset.run_lengths[:t_base]
+        if isinstance(lengths, array):
+            lengths = _np.frombuffer(lengths, dtype=_np.int64)
+        self.ends = _np.cumsum(lengths)
+
+    def extend_instances(self, sids, keys, base: int):
+        """Vectorized merge-scan step over selected instance rows only.
+
+        The ragged-range expansion of
+        :func:`~repro.core.columns.suffix_extend`, but with each row's
+        extension count derived on the fly from its transaction end —
+        O(|selected| log t_base) instead of O(base rows).
+        """
+        ends = self.ends[_np.searchsorted(self.ends, sids, side="right")]
+        counts = ends - sids - 1
+        total = int(counts.sum())
+        offsets = _np.arange(total) - _np.repeat(
+            _np.cumsum(counts) - counts, counts
+        )
+        new_sids = _np.repeat(sids + 1, counts) + offsets
+        new_keys = _np.repeat(keys * base, counts) + self.items[new_sids]
+        return new_sids, new_keys
+
+
+def _recount_base_vectorized(
+    columns: _BaseColumns, q_new: set[int], k_prev: int, base: int
+) -> tuple[LevelPair, int]:
+    """Targeted base recount through a prefix-filtered extension chain.
+
+    Instances of the newly frequent prefixes are re-derived level by
+    level — filter to the length-``j`` prefixes of ``q_new``, extend
+    with the later items of the same transaction — so the recount only
+    materializes rows that can still reach one of the patterns, instead
+    of walking every base transaction.  Returns the counted extensions
+    as a sorted column pair plus the instance rows touched.
+    """
+    prefix_sets: list[set[int]] = [set() for _ in range(k_prev)]
+    for key in q_new:
+        packed = 0
+        for j, item in enumerate(unpack_key(key, k_prev, base)):
+            packed = packed * base + item
+            prefix_sets[j].add(packed)
+
+    def _wanted(prefixes: set[int]):
+        return _np.fromiter(
+            sorted(prefixes), dtype=_np.int64, count=len(prefixes)
+        )
+
+    sids = _np.flatnonzero(_np.isin(columns.items, _wanted(prefix_sets[0])))
+    keys = columns.items[sids]
+    rows = len(sids)
+    for prefixes in prefix_sets[1:]:
+        sids, keys = columns.extend_instances(sids, keys, base)
+        mask = _np.isin(keys, _wanted(prefixes))
+        sids = sids[mask]
+        keys = keys[mask]
+        rows += len(sids)
+    _, keys = columns.extend_instances(sids, keys, base)
+    rows += len(keys)
+    unique, counts = _np.unique(keys, return_counts=True)
+    return (unique, counts), rows
+
+
+def _mine_delta(
+    dataset,
+    minimum_support: float | int,
+    state: MiningState,
+    *,
+    max_length: int | None,
+    count_via: Literal["auto", "sort", "hash"],
+    measure_memory: bool,
+) -> tuple[MiningResult, MiningState]:
+    """Mine only the appended tail of ``dataset`` against ``state``.
+
+    Mirrors :func:`~repro.core.setm.run_figure4_loop` stat-for-stat —
+    same loop condition, same ``max_length`` break point, same terminal
+    empty iteration — but every level's candidate map is assembled by
+    merging the state with counts over the delta transactions only.
+    Returns the result plus the merged maps as the next base state.
+    """
+    started = time.perf_counter()
+    started_tracing = measure_memory and not tracemalloc.is_tracing()
+    if started_tracing:
+        tracemalloc.start()
+    if measure_memory:
+        tracemalloc.reset_peak()
+    try:
+        catalog = dataset.catalog
+        base = dataset.base
+        threshold = absolute_support_threshold(
+            minimum_support, dataset.num_transactions
+        )
+        threshold_base = absolute_support_threshold(
+            minimum_support, max(1, state.num_transactions)
+        )
+        levels = _rekey_levels(state, catalog)
+        t_base = state.num_transactions
+        s_base = state.num_sales_rows
+
+        delta_items = _tail_items(dataset, s_base)
+        delta_sales = InstanceRelation.sales_from_columns(
+            delta_items,
+            base=base,
+            run_lengths=dataset.run_lengths[t_base:],
+            trans_ids=dataset.trans_ids[t_base:],
+        )
+        index = delta_sales.index
+
+        # k = 1: merge the delta item counts onto the state's C_1.
+        pair1 = levels.get(1, _EMPTY_PAIR)
+        state_hits = len(pair1[0])
+        if _np is not None:
+            merged_pair = _combine_np(
+                [
+                    pair1,
+                    _np.unique(_as_np(delta_sales.keys), return_counts=True),
+                ]
+            )
+        else:
+            merged = dict(zip(pair1[0], pair1[1]))
+            for key, count in count_packed_keys(
+                delta_sales.keys, via=count_via
+            ):
+                merged[key] = merged.get(key, 0) + count
+            merged_pair = _pair_from_dict(merged)
+        supported = _supported_slice(merged_pair, threshold)
+        f_list = [key for key, _ in supported]
+        count_relations: dict[int, dict] = {
+            1: {
+                catalog.decode(unpack_key(key, 1, base)): count
+                for key, count in supported
+            }
+        }
+        num_sales = dataset.num_sales_rows
+        iterations = [
+            IterationStats(
+                k=1,
+                candidate_instances=num_sales,
+                supported_instances=num_sales,
+                candidate_patterns=len(merged_pair[0]),
+                supported_patterns=len(f_list),
+            )
+        ]
+        merged_levels: dict[int, LevelPair] = {1: merged_pair}
+        iteration_seconds = {1: time.perf_counter() - started}
+
+        # R_1 is joined unfiltered (Section 4.1): the first extension
+        # carries no prefix condition, so prev_f None means "no filter".
+        r_delta = delta_sales
+        prev_f: list[int] | None = None
+        prev_f_base: list[int] = []
+        base_columns: _BaseColumns | None = None
+        recounted = 0
+        base_rows_rescanned = 0
+        recount_levels: list[int] = []
+
+        current_size = num_sales
+        k = 1
+        while current_size:
+            k += 1
+            if max_length is not None and k > max_length:
+                break
+            tick = time.perf_counter()
+            r_prime = suffix_extend(r_delta, index)
+            pair = levels.get(k, _EMPTY_PAIR)
+            # np_level mirrors suffix_extend's vectorization guard, so
+            # r_prime.keys is an int64 ndarray exactly when this is set.
+            np_level = _np is not None and base**k <= _INT64_MAX
+
+            recount_pair: LevelPair | None = None
+            recount_map: dict[int, int] | None = None
+            if prev_f is not None:
+                q_new = set(prev_f) - set(prev_f_base)
+                if q_new:
+                    if np_level:
+                        if base_columns is None:
+                            base_columns = _BaseColumns(
+                                dataset, t_base, s_base
+                            )
+                        recount_pair, rows = _recount_base_vectorized(
+                            base_columns, q_new, k - 1, base
+                        )
+                        recounted += len(recount_pair[0])
+                    else:
+                        # numpy-free installs, and the > 64-bit packed
+                        # key fallback, walk the base transactions.
+                        recount_map, rows = _recount_base_scan(
+                            dataset, q_new, k - 1, t_base, base
+                        )
+                        recounted += len(recount_map)
+                    base_rows_rescanned += rows
+                    recount_levels.append(k)
+
+            if np_level:
+                if prev_f is None:
+                    # Every 2-pattern in the base is a candidate: the
+                    # base map is complete, no prefix drop, no recount.
+                    kept = pair
+                else:
+                    state_keys = _as_np(pair[0])
+                    keep = _np.isin(
+                        state_keys // base,
+                        _np.fromiter(
+                            prev_f, dtype=_np.int64, count=len(prev_f)
+                        ),
+                    )
+                    kept = (state_keys[keep], _as_np(pair[1])[keep])
+                state_hits += len(kept[0])
+                parts = [kept]
+                if recount_pair is not None:
+                    parts.append(recount_pair)
+                parts.append(
+                    _np.unique(_as_np(r_prime.keys), return_counts=True)
+                )
+                merged_pair = _combine_np(parts)
+            else:
+                if prev_f is None:
+                    merged = dict(zip(pair[0], pair[1]))
+                else:
+                    prev_set = set(prev_f)
+                    merged = {
+                        key: count
+                        for key, count in zip(pair[0], pair[1])
+                        if key // base in prev_set
+                    }
+                state_hits += len(merged)
+                if recount_map is not None:
+                    for key, count in recount_map.items():
+                        merged[key] = merged.get(key, 0) + count
+                for key, count in count_packed_keys(
+                    r_prime.keys, via=count_via
+                ):
+                    merged[key] = merged.get(key, 0) + count
+                merged_pair = _pair_from_dict(merged)
+
+            supported = _supported_slice(merged_pair, threshold)
+            f_list = [key for key, _ in supported]
+            supported_instances = sum(count for _, count in supported)
+            iterations.append(
+                IterationStats(
+                    k=k,
+                    candidate_instances=_sum_column(merged_pair[1]),
+                    supported_instances=supported_instances,
+                    candidate_patterns=len(merged_pair[0]),
+                    supported_patterns=len(f_list),
+                )
+            )
+            if f_list:
+                count_relations[k] = {
+                    catalog.decode(unpack_key(key, k, base)): count
+                    for key, count in supported
+                }
+            merged_levels[k] = merged_pair
+            r_delta = filter_by_keys(r_prime, set(f_list))
+            prev_f = f_list
+            if np_level and len(pair[0]):
+                frequent_in_base = _as_np(pair[1]) >= threshold_base
+                prev_f_base = _as_np(pair[0])[frequent_in_base].tolist()
+            else:
+                prev_f_base = [
+                    key
+                    for key, count in zip(pair[0], pair[1])
+                    if count >= threshold_base
+                ]
+            current_size = supported_instances
+            iteration_seconds[k] = time.perf_counter() - tick
+
+        total_patterns = sum(
+            len(keys) for keys, _ in merged_levels.values()
+        )
+        extra: dict[str, Any] = {
+            "count_via": count_via,
+            "iteration_seconds": iteration_seconds,
+        }
+        stats = getattr(dataset, "stats", None)
+        if stats is not None:
+            extra["ingest"] = stats.as_dict()
+        extra["incremental"] = {
+            "mode": "delta",
+            "generation": getattr(dataset, "generation", 0),
+            "base_transactions": t_base,
+            "base_rows": s_base,
+            "delta_transactions": dataset.num_transactions - t_base,
+            "delta_rows": len(delta_items),
+            "total_rows": num_sales,
+            "state_levels": sorted(levels),
+            "state_hits": state_hits,
+            "recounted_patterns": recounted,
+            "recount_levels": recount_levels,
+            "recount_fraction": (
+                round(recounted / total_patterns, 4) if total_patterns else 0.0
+            ),
+            "base_rows_rescanned": base_rows_rescanned,
+        }
+        if measure_memory:
+            extra["peak_memory_bytes"] = tracemalloc.get_traced_memory()[1]
+        result = MiningResult(
+            algorithm="setm-incremental",
+            num_transactions=dataset.num_transactions,
+            minimum_support=minimum_support,
+            support_threshold=threshold,
+            count_relations=count_relations,
+            unfiltered_item_counts={
+                catalog.decode(unpack_key(key, 1, base))[0]: count
+                for key, count in zip(
+                    _as_list(merged_levels[1][0]),
+                    _as_list(merged_levels[1][1]),
+                )
+            },
+            iterations=iterations,
+            elapsed_seconds=time.perf_counter() - started,
+            extra=extra,
+        )
+        new_state = MiningState(
+            generation=getattr(dataset, "generation", 0),
+            num_transactions=dataset.num_transactions,
+            num_sales_rows=dataset.num_sales_rows,
+            last_trans_id=(
+                int(dataset.trans_ids[-1])
+                if dataset.num_transactions
+                else None
+            ),
+            labels=catalog.labels(),
+            support=minimum_support,
+            max_length=max_length,
+            levels=merged_levels,
+        )
+        return result, new_state
+    finally:
+        if started_tracing:
+            tracemalloc.stop()
+
+
+# -- the engine --------------------------------------------------------------------
+
+
+class _StateCapturingKernel(ColumnarKernel):
+    """A :class:`ColumnarKernel` that keeps every level's full count map.
+
+    The shared loop discards ``all_counts`` after deriving
+    ``candidate_patterns``; state capture needs the whole pre-HAVING map
+    (borderline counts included), so this kernel stashes it per level.
+    """
+
+    def __init__(self, database, *, count_via="auto") -> None:
+        super().__init__(database, count_via=count_via)
+        self.level_counts: dict[int, dict[int, int]] = {}
+
+    def c1_counts(self, sales):
+        counts = super().c1_counts(sales)
+        self.level_counts[1] = dict(counts)
+        return counts
+
+    def count_and_filter(self, r_prime, threshold):
+        all_counts = count_packed_keys(r_prime.keys, via=self._count_via)
+        self.level_counts[r_prime.k] = dict(all_counts)
+        c_k = {key: count for key, count in all_counts if count >= threshold}
+        r_next = filter_by_keys(r_prime, set(c_k))
+        return len(all_counts), c_k, r_next
+
+
+@register_engine(
+    "setm-incremental",
+    description=(
+        "SETM with materialized count state: appends re-mine only the "
+        "delta chunks"
+    ),
+    representation="columnar",
+    streaming_ingest=True,
+    incremental=True,
+    accepted_options=("count_via", "measure_memory", "state_dir"),
+)
+def setm_incremental(
+    database,
+    minimum_support: float | int,
+    *,
+    max_length: int | None = None,
+    state_dir: str | os.PathLike | None = None,
+    count_via: Literal["auto", "sort", "hash"] = "auto",
+    measure_memory: bool = True,
+) -> MiningResult:
+    """SETM whose count state persists, so appends mine only the delta.
+
+    Without a ``state_dir`` (or on the first run with one) this is a
+    full columnar mine — identical results to ``setm-columnar`` — that
+    additionally materializes the per-level count maps; with a
+    ``state_dir`` holding state that covers a prefix of ``database``
+    (an append-extended :class:`~repro.data.ingest.EncodedDataset`),
+    only the appended transactions are counted and merged with the
+    saved maps.  Results are byte-identical either way;
+    ``extra["incremental"]`` reports which mode ran, the delta size,
+    state hits, and the targeted-recount fraction.
+
+    Raises
+    ------
+    StateVersionError
+        ``state_dir`` holds state written by a different format version.
+    StateMismatchError
+        The state does not cover this dataset/config (diverged prefix,
+        different support semantics or ``max_length``).
+    """
+    state = None
+    if state_dir is not None:
+        if not isinstance(state_dir, (str, os.PathLike)):
+            raise InvalidConfigError(
+                f"state_dir must be a path or None; got {state_dir!r}"
+            )
+        state = MiningState.load(state_dir)
+    if state is not None and _supports_delta(database):
+        _check_state_covers(state, database, minimum_support, max_length)
+        result, new_state = _mine_delta(
+            database,
+            minimum_support,
+            state,
+            max_length=max_length,
+            count_via=count_via,
+            measure_memory=measure_memory,
+        )
+        new_state.save(state_dir)
+        return result
+
+    kernel = _StateCapturingKernel(database, count_via=count_via)
+    result = run_figure4_loop(
+        database,
+        minimum_support,
+        kernel,
+        algorithm="setm-incremental",
+        max_length=max_length,
+        extra={"count_via": count_via},
+        measure_memory=measure_memory,
+    )
+    result.extra["incremental"] = {
+        "mode": "full",
+        "generation": getattr(database, "generation", 0),
+        "base_transactions": 0,
+        "base_rows": 0,
+        "delta_transactions": database.num_transactions,
+        "delta_rows": database.num_sales_rows,
+        "total_rows": database.num_sales_rows,
+        "state_levels": sorted(kernel.level_counts),
+        "state_hits": 0,
+        "recounted_patterns": 0,
+        "recount_levels": [],
+        "recount_fraction": 0.0,
+        "base_rows_rescanned": 0,
+    }
+    if state_dir is not None:
+        MiningState.from_full_run(
+            database, kernel.level_counts, minimum_support, max_length
+        ).save(state_dir)
+    return result

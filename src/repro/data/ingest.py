@@ -163,6 +163,7 @@ class EncodedDataset:
         "run_lengths",
         "trans_ids",
         "stats",
+        "generation",
         "_items",
         "_partitions",
         "_num_rows",
@@ -182,12 +183,17 @@ class EncodedDataset:
         num_rows: int | None = None,
         spill_root: Path | None = None,
         owns_spill_root: bool = False,
+        generation: int = 0,
     ) -> None:
         self.catalog = catalog
         self.base = len(catalog) + 1
         self.run_lengths = run_lengths
         self.trans_ids = trans_ids
         self.stats = stats
+        #: Monotonic append counter: 0 for a fresh encode, bumped by
+        #: every :meth:`append_chunks`.  Result caches key on it so an
+        #: append can never serve pre-append patterns.
+        self.generation = generation
         self._items = items
         self._partitions = list(partitions or [])
         if num_rows is None:
@@ -283,6 +289,157 @@ class EncodedDataset:
         if self._items is not None and (self._partitions or self._items):
             yield self._items
 
+    # -- appends -------------------------------------------------------------------
+
+    def append_chunks(
+        self,
+        source: ChunkSource,
+        *,
+        memory_budget_bytes: int | None = None,
+    ) -> dict[str, Any]:
+        """Stream-encode ``source`` onto the end of this dataset, in place.
+
+        The delta pass reuses the whole streaming-encode discipline:
+        new transactions are provisionally encoded against a
+        :class:`CatalogBuilder` pre-seeded with the existing labels,
+        and the final sorted remap restores the id-order invariant for
+        the *union* catalog.  When new labels sort between existing
+        ones, the existing encoded columns (resident tail and spilled
+        chunks alike) are re-gathered through the ``old id -> new id``
+        map, so the result is byte-identical to a from-scratch encode
+        of the concatenated input.  Appended trans_ids must be strictly
+        greater than every existing one (the same ascending-groups
+        contract a single file obeys); violations raise a typed
+        :class:`~repro.errors.IngestError` before anything mutates.
+
+        Bumps :attr:`generation` and returns the append telemetry
+        (also recorded under ``stats.extra["appends"]``).
+        """
+        base_last = (
+            int(self.trans_ids[-1]) if len(self.trans_ids) else None
+        )
+        encoder = _StreamEncoder(memory_budget_bytes, self._spill_root)
+        encoder.file_prefix = f"append-{self.generation + 1:03d}-r1"
+        encoder.last_tid = base_last
+        encoder.row_offset = self._num_rows
+        old_items = len(self.catalog)
+        try:
+            # Seed every existing label so the rebuilt catalog covers the
+            # union even when the delta never mentions an old item.
+            encoder.builder.encode(self.catalog.labels())
+            for chunk in source:
+                encoder.add_rows(chunk.trans_ids, chunk.items)
+                if chunk.empty_trans_ids:
+                    encoder.empty_tids.extend(chunk.empty_trans_ids)
+                encoder.maybe_spill()
+            encoder.finish_groups()
+            encoder.merge_empty_transactions()
+            if (
+                base_last is not None
+                and len(encoder.trans_ids)
+                and encoder.trans_ids[0] <= base_last
+            ):
+                # Grouped rows fail inside add_rows; this catches empty
+                # transactions merged in front of the delta.
+                raise IngestError(
+                    f"appended trans_ids must be strictly greater than "
+                    f"the existing ones; trans_id {encoder.trans_ids[0]!r} "
+                    f"arrived after {base_last!r}"
+                )
+            catalog = encoder.remap()
+        except BaseException:
+            for partition in encoder.partitions:
+                partition.delete()
+            if encoder.owns_spill_root and encoder.spill_root is not None:
+                try:
+                    encoder.spill_root.rmdir()
+                except OSError:
+                    pass
+            raise
+
+        # From here on only infallible column splices mutate the dataset.
+        old_to_new = [0] + [
+            catalog.id_of(self.catalog.label_of(old_id))
+            for old_id in range(1, old_items + 1)
+        ]
+        identity = old_to_new == list(range(old_items + 1))
+        if not identity:
+            if self._items:
+                self._items = _remap_column(self._items, old_to_new)
+            for partition in self._partitions:
+                pieces = []
+                for chunk in read_chunks(partition.read_bytes()):
+                    remapped = InstanceRelation(
+                        None,
+                        None,
+                        last_sid=chunk.last_sid,
+                        keys=_remap_column(chunk.keys, old_to_new),
+                        k=1,
+                    )
+                    pieces.append(remapped.to_chunk_bytes())
+                partition.path.write_bytes(b"".join(pieces))
+        if encoder.spill_root is not None and self._spill_root is None:
+            self._spill_root = encoder.spill_root
+            self._owns_spill_root = encoder.owns_spill_root
+        if encoder.partitions and self._items:
+            # Physical order is partitions-then-resident; a resident base
+            # tail must therefore spill before delta partitions land.
+            relation = InstanceRelation(
+                None,
+                None,
+                last_sid=range(
+                    self._num_rows - len(self._items), self._num_rows
+                ),
+                keys=self._items,
+                k=1,
+            )
+            path = (
+                self._spill_root
+                / f"append-{self.generation + 1:03d}-base-tail.chunks"
+            )
+            path.write_bytes(relation.to_chunk_bytes())
+            self._partitions.append(
+                Partition(1, num_rows=len(self._items), path=path)
+            )
+            self._items = None
+        self._partitions.extend(encoder.partitions)
+        if self._items is None:
+            self._items = encoder.items
+        else:
+            self._items.extend(encoder.items)
+        self.trans_ids.extend(encoder.trans_ids)
+        self.run_lengths.extend(encoder.run_lengths)
+        delta_rows = encoder.row_offset + len(encoder.items) - self._num_rows
+        self._num_rows = encoder.row_offset + len(encoder.items)
+        self.catalog = catalog
+        self.base = len(catalog) + 1
+        self.generation += 1
+
+        decode_stats = source.stats
+        info = {
+            "generation": self.generation,
+            "path": decode_stats.path,
+            "format": decode_stats.format,
+            "rows": delta_rows,
+            "transactions": len(encoder.trans_ids),
+            "new_items": len(catalog) - old_items,
+            "remapped_base_ids": not identity,
+            "spilled_chunks": encoder.spilled_chunks,
+        }
+        if self.stats is not None:
+            stats = self.stats
+            stats.chunks += decode_stats.chunks
+            stats.rows += decode_stats.rows
+            stats.transactions = self.num_transactions
+            stats.distinct_items = len(catalog)
+            stats.bytes_total += decode_stats.bytes_total
+            stats.bytes_read += decode_stats.bytes_read
+            stats.bytes_decoded += decode_stats.bytes_decoded
+            stats.spilled_chunks += encoder.spilled_chunks
+            stats.spill_bytes_written += encoder.spill_bytes_written
+            stats.extra.setdefault("appends", []).append(info)
+        return info
+
     # -- bridges to the object world -----------------------------------------------
 
     def database(self, *, decoded: bool = False) -> TransactionDatabase:
@@ -373,6 +530,10 @@ class _StreamEncoder:
         self.spill_dir_option = spill_dir
         self.spill_root: Path | None = None
         self.owns_spill_root = False
+        # Spill-file name prefix; append passes use a generation-tagged
+        # prefix so delta chunks never collide with the base files in a
+        # shared spill root.
+        self.file_prefix = "ingest-r1"
 
     # -- transaction grouping ------------------------------------------------------
 
@@ -451,7 +612,7 @@ class _StreamEncoder:
         blob = relation.to_chunk_bytes()
         path = (
             self.spill_root
-            / f"ingest-r1-{len(self.partitions):06d}.chunks"
+            / f"{self.file_prefix}-{len(self.partitions):06d}.chunks"
         )
         path.write_bytes(blob)
         self.partitions.append(

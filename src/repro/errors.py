@@ -16,6 +16,9 @@ Hierarchy::
     ├── EngineOptionError (+ TypeError)       option the engine rejects
     ├── TransportError                        partition-transport layer
     │   └── PartitionFormatError (+ ValueError)  descriptor version mismatch
+    ├── StateError                            incremental mining state
+    │   ├── StateVersionError (+ ValueError)  on-disk state version skew
+    │   └── StateMismatchError (+ ValueError) state does not cover the run
     └── ServeError                            mining-as-a-service layer
         ├── ProtocolError (+ ValueError)      malformed serve request
         ├── UnknownDatasetError (+ LookupError)  dataset not hosted
@@ -45,6 +48,9 @@ __all__ = [
     "ServeError",
     "ServerBusyError",
     "ServerDrainingError",
+    "StateError",
+    "StateMismatchError",
+    "StateVersionError",
     "TransportError",
     "UnknownAlgorithmError",
     "UnknownDatasetError",
@@ -178,6 +184,57 @@ class PartitionFormatError(TransportError, ValueError):
             f"process (expects version {expected}); all pool members "
             "must run the same library version"
         )
+
+
+class StateError(ReproError):
+    """A failure in the materialized incremental-mining state layer
+    (:mod:`repro.core.incremental`)."""
+
+
+class StateVersionError(StateError, ValueError):
+    """A saved :class:`~repro.core.incremental.MiningState` carried an
+    unknown on-disk format version.
+
+    Raised *instead of* a garbled load when state written by a different
+    library version is opened — the reader refuses outright and names
+    both versions, so the operator sees a deployment-skew problem (clear
+    or rebuild the state directory), not a corrupt-data one.
+
+    Attributes
+    ----------
+    expected:
+        The state format version this process writes and reads.
+    found:
+        The version carried by the rejected state (``None`` when the
+        manifest predates versioning entirely).
+    """
+
+    def __init__(self, expected: int, found: object) -> None:
+        self.expected = expected
+        self.found = found
+        origin = (
+            "a pre-versioning release"
+            if found is None
+            else f"state version {found!r}"
+        )
+        super().__init__(
+            f"mining state from {origin} cannot be read by this process "
+            f"(expects version {expected}); clear the state directory to "
+            "rebuild it from scratch"
+        )
+
+
+class StateMismatchError(StateError, ValueError):
+    """Saved mining state does not cover the requested delta run.
+
+    Raised when the dataset is not an append-extension of the dataset
+    the state was mined from (fewer transactions, a diverging base
+    prefix, items missing from the catalog) or when the run's config
+    identity (support threshold semantics, ``max_length``) differs from
+    the one the state was built under.  Delta counts merged across
+    mismatched runs would be silently wrong, so the engine refuses;
+    clearing the state directory forces a full re-mine that rebuilds it.
+    """
 
 
 class ServeError(ReproError):

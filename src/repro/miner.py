@@ -107,19 +107,24 @@ class Miner:
             )
         return base.replace(**overrides) if overrides else base
 
-    @staticmethod
-    def _pattern_key(config: MiningConfig) -> tuple:
+    def _pattern_key(self, config: MiningConfig) -> tuple:
         """A hashable key of the fields that determine the pattern set.
 
         Confidence is excluded (it only shapes rule generation), as are
         the ingest fields ``input_format``/``chunk_rows`` (they shape
-        how a file is decoded, never the pattern set); the support
-        *type* is included (``support=1`` means one absolute
+        how a file is decoded, never the pattern set) and ``state_dir``
+        (delta-merged results are byte-identical to from-scratch ones);
+        the support *type* is included (``support=1`` means one absolute
         transaction; ``support=1.0`` means everything — ``==`` on the
         config would conflate them), and option values are keyed by
         ``repr`` so unhashable values (lists, dicts) never break caching.
+        The dataset *generation* leads the key: an
+        :meth:`~repro.data.ingest.EncodedDataset.append_chunks` bumps
+        it, so every pre-append entry goes stale at once and an appended
+        dataset can never be served pre-append patterns.
         """
         return (
+            getattr(self._database, "generation", None),
             config.support,
             config.is_absolute_support,
             config.algorithm,
@@ -156,12 +161,17 @@ class Miner:
                 return cached
             self._misses += 1
         spec = get_engine(config.algorithm)
+        options = config.options_for(spec.name)
+        if config.state_dir is not None and spec.incremental:
+            # The config-level state handle only reaches engines that
+            # maintain state; everything else would reject the option.
+            options.setdefault("state_dir", config.state_dir)
         started = time.perf_counter()
         result = spec.run(
             self._database,
             config.support,
             max_length=config.max_length,
-            options=config.options_for(spec.name),
+            options=options,
         )
         elapsed = time.perf_counter() - started
         result.extra.setdefault("session", {}).update(
@@ -192,6 +202,45 @@ class Miner:
             )
         result = self.frequent_itemsets(config)
         return generate_rules(result, config.confidence)
+
+    def mine_delta(
+        self, config: MiningConfig | None = None, **overrides: object
+    ) -> MiningResult:
+        """Re-mine after appends, counting only the delta where possible.
+
+        Resolves ``config`` like :meth:`frequent_itemsets`, then ensures
+        the run goes through an ``incremental``-capable engine (a
+        non-incremental ``algorithm`` is switched to
+        ``"setm-incremental"`` — results are byte-identical by the
+        conformance contract) with the config's ``state_dir``.  The
+        first call over a dataset performs a full mine that materializes
+        the state; every call after an
+        :meth:`~repro.data.ingest.EncodedDataset.append_chunks` counts
+        only the appended transactions and merges
+        (``result.extra["incremental"]`` reports delta rows, state hits,
+        and the targeted-recount fraction).  The result cache keys on
+        the dataset generation, so served entries are always post-append.
+
+        Raises
+        ------
+        InvalidConfigError
+            No ``state_dir`` is configured — delta mining needs
+            somewhere to keep the materialized counts.
+        StateMismatchError
+            The saved state does not cover this dataset/config.
+        StateVersionError
+            The saved state was written by a different format version.
+        """
+        config = self._resolve_config(config, overrides)
+        if config.state_dir is None:
+            raise InvalidConfigError(
+                "mine_delta needs MiningConfig(state_dir=...) to hold the "
+                "materialized count state between runs"
+            )
+        spec = get_engine(config.algorithm)
+        if not spec.incremental:
+            config = config.replace(algorithm="setm-incremental")
+        return self.frequent_itemsets(config)
 
     def explain(self, config: MiningConfig | None = None, **overrides: object) -> str:
         """Describe how ``config`` would run — without mining anything.
@@ -242,6 +291,12 @@ class Miner:
                 "yes (mines stream-encoded datasets directly)"
                 if spec.streaming_ingest
                 else "no (streamed inputs are materialized first)"
+            ),
+            "  incremental: "
+            + (
+                "yes (state_dir enables delta-only re-mining)"
+                if spec.incremental
+                else "no"
             ),
             f"  accepted options: {accepted}",
             f"minimum support: {support} -> threshold {threshold}",

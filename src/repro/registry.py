@@ -68,6 +68,7 @@ _BUILTIN_ENGINE_MODULES = (
     "repro.baselines.apriori",
     "repro.baselines.ais",
     "repro.baselines.bruteforce",
+    "repro.core.incremental",
 )
 
 _REGISTRY: dict[str, "EngineSpec"] = {}
@@ -115,6 +116,13 @@ class EngineSpec:
         accept one — :meth:`run` transparently materializes the classic
         decoded :class:`TransactionDatabase` first — but lose the
         bounded-memory benefit.
+    incremental:
+        Whether the engine maintains a materialized
+        :class:`~repro.core.incremental.MiningState` under appends
+        (honours a ``state_dir`` option): with saved state covering a
+        prefix of the dataset it counts **only the appended delta** and
+        merges, byte-identical to a from-scratch mine.  Engines with
+        this flag must appear in the conformance delta tier.
     accepted_options:
         Option names the engine accepts beyond the standard
         ``(database, minimum_support, max_length)``.  ``None`` disables
@@ -131,6 +139,7 @@ class EngineSpec:
     out_of_core: bool = False
     parallel: bool = False
     streaming_ingest: bool = False
+    incremental: bool = False
     accepted_options: frozenset[str] | None = frozenset()
 
     def validate_options(
@@ -187,6 +196,7 @@ def register_engine(
     out_of_core: bool = False,
     parallel: bool = False,
     streaming_ingest: bool = False,
+    incremental: bool = False,
     accepted_options: Iterable[str] | None = (),
     replace: bool = False,
 ) -> Callable[[Callable[..., "MiningResult"]], Callable[..., "MiningResult"]]:
@@ -211,6 +221,7 @@ def register_engine(
                 out_of_core=out_of_core,
                 parallel=parallel,
                 streaming_ingest=streaming_ingest,
+                incremental=incremental,
                 accepted_options=(
                     None
                     if accepted_options is None

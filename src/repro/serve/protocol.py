@@ -13,12 +13,22 @@ op             fields                                              queued?
                ``min_count``                                       yes
 ``support_of`` ``dataset``, ``config``, ``items``                  yes
 ``rules_about``  ``dataset``, ``config``, ``item``, ``confidence``  yes
+``append``     ``dataset``, ``path``, ``input_format``,
+               ``chunk_rows``                                      yes
+``refresh``    ``dataset``, ``config``, ``include_rules``          yes
 =============  ==================================================  =========
+
+``append`` stream-encodes a *server-visible* file onto a hosted
+dataset registered in stream-encoded form (bumping its generation);
+``refresh`` re-mines through the incremental engine so only the
+appended delta is counted (the response carries the
+``extra["incremental"]`` telemetry).  Both are queued: appends
+serialize against in-flight mining of the same dataset.
 
 ``config`` carries :class:`~repro.config.MiningConfig` fields verbatim
 (``support``, ``confidence``, ``algorithm``, ``max_length``,
-``options``, ``input_format``, ``chunk_rows``); every queued op may
-also carry ``timeout`` seconds.
+``options``, ``input_format``, ``chunk_rows``, ``state_dir``); every
+queued op may also carry ``timeout`` seconds.
 
 Responses are ``{"ok": true, "op": ..., ...}`` or ``{"ok": false,
 "error": {...}}`` where the error payload names the *type* from the
@@ -57,7 +67,9 @@ __all__ = [
 
 #: Ops that go through the bounded queue (they may mine); the rest are
 #: control-plane and answered inline even when the queue is saturated.
-QUEUED_OPS = frozenset({"mine", "patterns", "support_of", "rules_about"})
+QUEUED_OPS = frozenset(
+    {"mine", "patterns", "support_of", "rules_about", "append", "refresh"}
+)
 
 #: Control-plane ops handled without touching the queue.
 INLINE_OPS = frozenset({"ping", "stats", "drain"})
@@ -72,6 +84,7 @@ _CONFIG_KEYS = frozenset(
         "options",
         "input_format",
         "chunk_rows",
+        "state_dir",
     }
 )
 
@@ -88,6 +101,10 @@ _REQUEST_KEYS = {
     "rules_about": frozenset(
         {"dataset", "config", "item", "confidence", "timeout"}
     ),
+    "append": frozenset(
+        {"dataset", "path", "input_format", "chunk_rows", "timeout"}
+    ),
+    "refresh": frozenset({"dataset", "config", "include_rules", "timeout"}),
 }
 
 
@@ -230,12 +247,33 @@ def _validate_params(op: str, params: dict[str, Any]) -> None:
             raise ProtocolError(
                 f"patterns 'min_count' must be an integer; got {min_count!r}"
             )
-    if op == "mine":
+    if op in ("mine", "refresh"):
         include_rules = params.get("include_rules")
         if include_rules is not None and not isinstance(include_rules, bool):
             raise ProtocolError(
-                "mine 'include_rules' must be a boolean; "
+                f"{op} 'include_rules' must be a boolean; "
                 f"got {include_rules!r}"
+            )
+    if op == "append":
+        path = params.get("path")
+        if not isinstance(path, str) or not path:
+            raise ProtocolError(
+                f"append needs a non-empty server-visible 'path'; got {path!r}"
+            )
+        input_format = params.get("input_format")
+        if input_format is not None and not isinstance(input_format, str):
+            raise ProtocolError(
+                f"append 'input_format' must be a string; got {input_format!r}"
+            )
+        chunk_rows = params.get("chunk_rows")
+        if chunk_rows is not None and (
+            isinstance(chunk_rows, bool)
+            or not isinstance(chunk_rows, int)
+            or chunk_rows < 1
+        ):
+            raise ProtocolError(
+                f"append 'chunk_rows' must be a positive integer; "
+                f"got {chunk_rows!r}"
             )
 
 
@@ -306,6 +344,8 @@ _ERROR_ATTRS = (
     "queue_depth",
     "timeout_seconds",
     "attempts",
+    "expected",
+    "found",
 )
 
 

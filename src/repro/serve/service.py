@@ -11,6 +11,14 @@ Query-shaped requests — ``mine``, ``patterns``, ``support_of``,
 (``ping``, ``stats``, ``drain``) are answered inline so a saturated
 queue can still be observed and drained.
 
+Datasets registered in stream-encoded form
+(:class:`~repro.data.ingest.EncodedDataset`) stay *live*: the ``append``
+op stream-encodes a server-visible file onto them (bumping the
+generation every result cache keys on) and ``refresh`` re-mines through
+the incremental engine (:mod:`repro.core.incremental`), counting only
+the appended delta against the service-owned per-dataset state — rules
+refresh as data lands instead of re-encoding + re-mining.
+
 Spill discipline: the service owns a spill root directory and injects it
 (as *namespaced* engine options, so non-spilling engines never see it)
 into every request config.  Graceful drain finishes in-flight work,
@@ -88,7 +96,16 @@ def pool_crash_signature(error: BaseException) -> bool:
 class _HostedDataset:
     """One dataset: its shared encoded database, catalog, and miner."""
 
-    __slots__ = ("name", "database", "catalog", "miner", "decoded", "ingest")
+    __slots__ = (
+        "name",
+        "database",
+        "catalog",
+        "miner",
+        "decoded",
+        "ingest",
+        "encoded_dataset",
+        "lock",
+    )
 
     def __init__(
         self,
@@ -98,6 +115,7 @@ class _HostedDataset:
         miner: Miner,
         *,
         ingest: dict[str, Any] | None = None,
+        encoded_dataset=None,
     ) -> None:
         self.name = name
         self.database = database
@@ -106,6 +124,13 @@ class _HostedDataset:
         # Streaming-ingest telemetry when the dataset was registered as
         # an EncodedDataset; None for whole-file registrations.
         self.ingest = ingest
+        # The live EncodedDataset when registered stream-encoded — kept
+        # (not just materialized away) so the ``append`` op can extend
+        # it in place and the miner sees every generation bump.
+        self.encoded_dataset = encoded_dataset
+        # Serializes dataset mutation (append) against in-flight mining
+        # of the same dataset; different datasets stay concurrent.
+        self.lock = threading.RLock()
         # Decoded views of cached results, keyed by id(result).  The
         # strong reference to the result keeps the id stable; entries
         # are bounded alongside the miner's own cache.
@@ -166,22 +191,30 @@ class MiningService:
             ingest = None
             if isinstance(database, TransactionDatabase):
                 encoded, catalog = database.encoded()
+                self._datasets[name] = _HostedDataset(
+                    name,
+                    encoded,
+                    catalog,
+                    Miner(encoded, cache_entries=cache_entries),
+                    ingest=ingest,
+                )
             else:
-                # A stream-encoded EncodedDataset: the catalog travels
-                # with it and the encoded-id database materializes from
-                # the already-encoded columns — the labelled whole-file
-                # form never exists in this process.
+                # A stream-encoded EncodedDataset stays live: its
+                # catalog travels with it, the miner binds the dataset
+                # itself (so the ``append`` op's generation bumps
+                # invalidate cached results), and engines without the
+                # streaming capability materialize on demand.
                 catalog = database.catalog
                 stats = database.stats
                 ingest = stats.as_dict() if stats is not None else None
-                encoded = database.database()
-            self._datasets[name] = _HostedDataset(
-                name,
-                encoded,
-                catalog,
-                Miner(encoded, cache_entries=cache_entries),
-                ingest=ingest,
-            )
+                self._datasets[name] = _HostedDataset(
+                    name,
+                    database,
+                    catalog,
+                    Miner(database, cache_entries=cache_entries),
+                    ingest=ingest,
+                    encoded_dataset=database,
+                )
         self._owns_spill_root = spill_root is None
         self._spill_root = Path(
             tempfile.mkdtemp(prefix="repro-serve-spill-")
@@ -189,6 +222,10 @@ class MiningService:
             else spill_root
         )
         self._spill_root.mkdir(parents=True, exist_ok=True)
+        # Per-dataset incremental mining state (``refresh`` op) lives
+        # outside the spill root so the drain audit's leftover-spill
+        # count stays meaningful; always service-owned.
+        self._state_root = Path(tempfile.mkdtemp(prefix="repro-serve-state-"))
         self._scheduler = RequestScheduler(
             queue_depth=queue_depth,
             workers=workers,
@@ -265,17 +302,36 @@ class MiningService:
         hosted = self._datasets.get(request.dataset)
         if hosted is None:
             raise UnknownDatasetError(request.dataset, self._datasets)
+        if request.op == "append":
+            return self._op_append(request, hosted)
         config = self._pin_spill_dir(request.config)
-        spec = hosted.miner.engine_spec(config)
+        if request.op == "refresh":
+            config = self._pin_state_dir(request.dataset, config)
+        hosted.miner.engine_spec(config)  # fail typed before any work
         cache_info_before = hosted.miner.cache_info()
-        result = hosted.miner.frequent_itemsets(config)
-        decoded = self._decoded(hosted, result)
+        with hosted.lock:
+            if request.op == "refresh":
+                result = hosted.miner.mine_delta(config)
+            else:
+                result = hosted.miner.frequent_itemsets(config)
+        # Stream-encoded datasets mine in label space already (their
+        # kernels decode through the live catalog); only whole-file
+        # registrations need the id-to-label pass.
+        if hosted.encoded_dataset is not None:
+            decoded = result
+        else:
+            decoded = self._decoded(hosted, result)
+        engine_name = result.extra.get("session", {}).get(
+            "engine", config.algorithm
+        )
         with self._lock:
-            self._by_engine[spec.name] += 1
+            self._by_engine[engine_name] += 1
         handler = getattr(self, f"_op_{request.op}")
         document = handler(request, config, decoded)
+        if request.op == "refresh":
+            document["incremental"] = result.extra.get("incremental")
         document["server"] = {
-            "engine": spec.name,
+            "engine": engine_name,
             "cache_hit": (
                 hosted.miner.cache_info()["hits"]
                 > cache_info_before["hits"]
@@ -370,7 +426,50 @@ class MiningService:
         ]
         return {"item": item, "rules": rules_payload(rules)}
 
+    def _op_append(
+        self, request: Request, hosted: _HostedDataset
+    ) -> dict[str, Any]:
+        """Stream-encode a server-visible file onto a hosted dataset.
+
+        Only datasets registered in stream-encoded form can grow; the
+        append bumps the dataset generation, so every cached result
+        goes stale at once (the next ``refresh`` counts just the delta).
+        """
+        if hosted.encoded_dataset is None:
+            raise InvalidConfigError(
+                f"dataset {hosted.name!r} was loaded whole-file and cannot "
+                "be appended to; host it stream-encoded "
+                "(serve --input-format/--chunk-rows) to enable appends"
+            )
+        # Imported here, like the rest of the data layer: the serve core
+        # stays importable without the optional decoders.
+        from repro.data.formats import open_chunk_source
+
+        source = open_chunk_source(
+            request.params["path"],
+            input_format=request.params.get("input_format") or "auto",
+            chunk_rows=request.params.get("chunk_rows"),
+        )
+        with hosted.lock:
+            info = hosted.encoded_dataset.append_chunks(source)
+            stats = hosted.encoded_dataset.stats
+            if stats is not None:
+                hosted.ingest = stats.as_dict()
+        return {"result": info}
+
+    _op_refresh = _op_mine
+
     # -- shared mining plumbing -----------------------------------------------------
+
+    def _pin_state_dir(self, name: str, config: MiningConfig) -> MiningConfig:
+        """Default ``refresh`` runs to the service's per-dataset state dir.
+
+        A client-chosen ``state_dir`` always wins; the service-owned
+        default lives under a private root removed at drain.
+        """
+        if config.state_dir is not None:
+            return config
+        return config.replace(state_dir=str(self._state_root / name))
 
     def _pin_spill_dir(self, config: MiningConfig) -> MiningConfig:
         """Point the out-of-core engines at the service's spill root.
@@ -453,10 +552,20 @@ class MiningService:
             info = hosted.miner.cache_info()
             for key in cache_totals:
                 cache_totals[key] += info[key]
+            current_catalog = (
+                hosted.encoded_dataset.catalog
+                if hosted.encoded_dataset is not None
+                else hosted.catalog
+            )
             per_dataset[name] = {
                 "transactions": hosted.database.num_transactions,
                 "sales_rows": hosted.database.num_sales_rows,
-                "distinct_items": len(hosted.catalog),
+                "distinct_items": len(current_catalog),
+                # The append counter result caches key on; None for
+                # whole-file registrations (which cannot grow).
+                "generation": getattr(
+                    hosted.encoded_dataset, "generation", None
+                ),
                 "cache": info,
                 "ingest": hosted.ingest,
             }
@@ -517,6 +626,10 @@ class MiningService:
                 )
                 if self._owns_spill_root:
                     shutil.rmtree(self._spill_root, ignore_errors=True)
+            # Incremental state is expected to persist between requests;
+            # it is service-owned and simply removed, never counted as
+            # a leak.
+            shutil.rmtree(self._state_root, ignore_errors=True)
             leftover_segments = len(leaked_segment_names())
             if leftover_segments:  # count honestly, then still clean up
                 cleanup_segments()

@@ -26,6 +26,7 @@ class TestRegistry:
             "setm-sqlite",
             "nested-loop",
             "nested-loop-disk",
+            "setm-incremental",
             "apriori",
             "ais",
             "bruteforce",
@@ -126,7 +127,7 @@ class TestRules:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_public_names_importable(self):
         for name in repro.__all__:

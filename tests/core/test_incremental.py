@@ -1,0 +1,328 @@
+"""Incremental delta mining: equivalence, state persistence, crashes.
+
+The contract under test (PR 9): mining an append-extended
+:class:`~repro.data.ingest.EncodedDataset` through ``setm-incremental``
+with a state directory must be *byte-identical* — count relations,
+unfiltered ``C_1``, iteration statistics, support threshold — to a
+from-scratch ``setm`` mine of the same prefix, for every append batch,
+across chunk sizes, spill budgets, brand-new delta items, empty
+transactions, and ``max_length`` caps.  On top of the equivalence grid:
+state save/load round-trips, version skew and fingerprint mismatches
+fail typed, and a crash mid-merge or mid-save leaks neither temp files
+nor the previous state.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import incremental
+from repro.core.incremental import MiningState, setm_incremental
+from repro.core.setm import setm
+from repro.core.transactions import TransactionDatabase
+from repro.data.formats import open_chunk_source
+from repro.data.ingest import stream_encode
+from repro.data.io import write_basket_file
+from repro.errors import (
+    InvalidConfigError,
+    StateMismatchError,
+    StateVersionError,
+)
+
+_ITEMS = [f"i{j:02d}" for j in range(10)]
+#: Labels only delta batches draw from — forces catalog growth, and
+#: because they sort before/among the base labels, id remapping too.
+_DELTA_ONLY = ["a-new", "j-new", "z-new"]
+
+
+def _basket_lists(labels, min_size, max_size):
+    return st.lists(
+        st.frozensets(st.sampled_from(labels), max_size=5),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+@st.composite
+def _delta_cases(draw):
+    base = draw(_basket_lists(_ITEMS, 1, 12))
+    num_splits = draw(st.integers(min_value=1, max_value=3))
+    deltas = [
+        draw(_basket_lists(_ITEMS + _DELTA_ONLY, 1, 6))
+        for _ in range(num_splits)
+    ]
+    chunk_rows = draw(st.sampled_from([1, 4, 1024]))
+    budget = draw(st.sampled_from([None, 2048]))
+    minsup = draw(st.sampled_from([0.1, 0.3]))
+    max_length = draw(st.sampled_from([None, 2]))
+    return base, deltas, chunk_rows, budget, minsup, max_length
+
+
+def _write(baskets, path, start_tid):
+    db = TransactionDatabase(
+        (tid, sorted(basket))
+        for tid, basket in enumerate(baskets, start=start_tid)
+    )
+    write_basket_file(db, path)
+    return start_tid + len(baskets)
+
+
+def _assert_identical(result, reference):
+    assert result.count_relations == reference.count_relations
+    assert result.unfiltered_item_counts == reference.unfiltered_item_counts
+    assert result.iterations == reference.iterations
+    assert result.support_threshold == reference.support_threshold
+
+
+def _encode_base(baskets, root, chunk_rows, budget):
+    path = root / "base.basket"
+    next_tid = _write(baskets, path, 1)
+    dataset = stream_encode(
+        open_chunk_source(path, chunk_rows=chunk_rows),
+        memory_budget_bytes=budget,
+    )
+    return dataset, next_tid
+
+
+class TestDeltaEquivalence:
+    """mine_delta ≡ full re-mine, batch for batch."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=_delta_cases())
+    def test_every_batch_matches_from_scratch(self, case):
+        base, deltas, chunk_rows, budget, minsup, max_length = case
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            state_dir = root / "state"
+            dataset, next_tid = _encode_base(base, root, chunk_rows, budget)
+            try:
+                first = setm_incremental(
+                    dataset,
+                    minsup,
+                    max_length=max_length,
+                    state_dir=state_dir,
+                    measure_memory=False,
+                )
+                assert first.extra["incremental"]["mode"] == "full"
+                _assert_identical(
+                    first,
+                    setm(
+                        dataset.database(decoded=True),
+                        minsup,
+                        max_length=max_length,
+                        measure_memory=False,
+                    ),
+                )
+
+                all_baskets = list(base)
+                for i, delta in enumerate(deltas):
+                    path = root / f"delta{i}.basket"
+                    next_tid = _write(delta, path, next_tid)
+                    dataset.append_chunks(
+                        open_chunk_source(path, chunk_rows=chunk_rows),
+                        memory_budget_bytes=budget,
+                    )
+                    all_baskets.extend(delta)
+
+                    result = setm_incremental(
+                        dataset,
+                        minsup,
+                        max_length=max_length,
+                        state_dir=state_dir,
+                        measure_memory=False,
+                    )
+                    telemetry = result.extra["incremental"]
+                    assert telemetry["mode"] == "delta"
+                    assert telemetry["generation"] == dataset.generation
+                    assert (
+                        telemetry["delta_rows"] + telemetry["base_rows"]
+                        == telemetry["total_rows"]
+                    )
+
+                    prefix = TransactionDatabase(
+                        (tid, sorted(basket))
+                        for tid, basket in enumerate(all_baskets, start=1)
+                    )
+                    _assert_identical(
+                        result,
+                        setm(
+                            prefix,
+                            minsup,
+                            max_length=max_length,
+                            measure_memory=False,
+                        ),
+                    )
+            finally:
+                dataset.close()
+
+    def test_plain_database_with_state_falls_back_to_full_mine(
+        self, example_db, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        first = setm_incremental(example_db, 0.3, state_dir=state_dir)
+        assert first.extra["incremental"]["mode"] == "full"
+        # TransactionDatabase has no append seam: state exists but the
+        # engine must quietly re-mine in full and refresh the state.
+        again = setm_incremental(example_db, 0.3, state_dir=state_dir)
+        assert again.extra["incremental"]["mode"] == "full"
+        _assert_identical(again, setm(example_db, 0.3))
+
+    def test_state_dir_type_is_validated(self, example_db):
+        with pytest.raises(InvalidConfigError, match="state_dir"):
+            setm_incremental(example_db, 0.3, state_dir=123)
+
+
+class TestStateRoundTrip:
+    def _mined_state(self, root, **kwargs):
+        dataset, _ = _encode_base(
+            [{"a", "b"}, {"a", "b", "c"}, {"b"}, set()], root, 1024, None
+        )
+        try:
+            setm_incremental(
+                dataset,
+                kwargs.pop("support", 0.4),
+                state_dir=root / "state",
+                measure_memory=False,
+                **kwargs,
+            )
+        finally:
+            dataset.close()
+        return root / "state"
+
+    def test_save_load_round_trip(self, tmp_path):
+        state_dir = self._mined_state(tmp_path)
+        state = MiningState.load(state_dir)
+        assert state is not None
+        assert state.generation == 0
+        assert state.num_transactions == 4
+        assert state.last_trans_id == 4
+        assert state.labels == ["a", "b", "c"]
+        assert 1 in state.levels  # the pre-HAVING C_1 map is always kept
+        # level_counts gives the dict view of the columnar level pair:
+        # a=2, b=3, c=1 over {ab, abc, b, {}} — pre-HAVING, so c rides
+        # along below the 0.4 * 4 threshold.
+        assert state.level_counts(1) == {1: 2, 2: 3, 3: 1}
+
+        copy_dir = tmp_path / "copy"
+        state.save(copy_dir)
+        clone = MiningState.load(copy_dir)
+        assert clone.levels == state.levels
+        assert clone.labels == state.labels
+        assert clone.support == state.support
+        assert clone.support_is_absolute == state.support_is_absolute
+
+    def test_load_missing_dir_returns_none(self, tmp_path):
+        assert MiningState.load(tmp_path / "nope") is None
+
+    def test_version_skew_fails_typed(self, tmp_path):
+        state_dir = self._mined_state(tmp_path)
+        manifest = state_dir / "state.json"
+        doc = json.loads(manifest.read_text())
+        doc["version"] = 99
+        manifest.write_text(json.dumps(doc))
+        with pytest.raises(StateVersionError) as excinfo:
+            MiningState.load(state_dir)
+        assert excinfo.value.expected == incremental.STATE_VERSION
+        assert excinfo.value.found == 99
+
+    def test_support_change_is_a_fingerprint_mismatch(self, tmp_path):
+        state_dir = self._mined_state(tmp_path)
+        dataset, next_tid = _encode_base(
+            [{"a", "b"}, {"a", "b", "c"}, {"b"}, set()], tmp_path, 1024, None
+        )
+        try:
+            delta = tmp_path / "delta.basket"
+            _write([{"a"}], delta, next_tid)
+            dataset.append_chunks(open_chunk_source(delta))
+            with pytest.raises(StateMismatchError, match="support"):
+                setm_incremental(
+                    dataset, 0.2, state_dir=state_dir, measure_memory=False
+                )
+        finally:
+            dataset.close()
+
+    def test_diverged_dataset_is_a_fingerprint_mismatch(self, tmp_path):
+        state_dir = self._mined_state(tmp_path)
+        other_root = tmp_path / "other"
+        other_root.mkdir()
+        dataset, _ = _encode_base(
+            [{"x"}, {"y"}, {"x", "y"}, {"x"}, {"y"}],
+            other_root,
+            1024,
+            None,
+        )
+        try:
+            with pytest.raises(StateMismatchError):
+                setm_incremental(
+                    dataset, 0.4, state_dir=state_dir, measure_memory=False
+                )
+        finally:
+            dataset.close()
+
+
+class TestCrashCleanup:
+    def test_crash_mid_merge_preserves_old_state(self, tmp_path, monkeypatch):
+        dataset, next_tid = _encode_base(
+            [{"a", "b"}, {"a", "b", "c"}, {"b", "c"}], tmp_path, 1024, None
+        )
+        state_dir = tmp_path / "state"
+        try:
+            setm_incremental(
+                dataset, 0.3, state_dir=state_dir, measure_memory=False
+            )
+            before = MiningState.load(state_dir)
+
+            delta = tmp_path / "delta.basket"
+            _write([{"a", "b", "c"}], delta, next_tid)
+            dataset.append_chunks(open_chunk_source(delta))
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("simulated crash mid-merge")
+
+            monkeypatch.setattr(incremental, "suffix_extend", boom)
+            with pytest.raises(RuntimeError, match="mid-merge"):
+                setm_incremental(
+                    dataset, 0.3, state_dir=state_dir, measure_memory=False
+                )
+            monkeypatch.undo()
+
+            assert list(state_dir.glob("*.tmp")) == []
+            after = MiningState.load(state_dir)
+            assert after.generation == before.generation
+            assert after.levels == before.levels
+            # The untouched state still supports the delta re-mine.
+            recovered = setm_incremental(
+                dataset, 0.3, state_dir=state_dir, measure_memory=False
+            )
+            assert recovered.extra["incremental"]["mode"] == "delta"
+        finally:
+            dataset.close()
+
+    def test_crash_mid_save_leaks_no_temp_files(self, tmp_path, monkeypatch):
+        state = MiningState(
+            generation=0,
+            num_transactions=2,
+            num_sales_rows=3,
+            last_trans_id=2,
+            labels=["a", "b"],
+            support=0.5,
+            max_length=None,
+            levels={1: {1: 2, 2: 1}},
+        )
+
+        def boom(*args, **kwargs):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr(incremental.os, "replace", boom)
+        state_dir = tmp_path / "state"
+        with pytest.raises(OSError, match="rename failure"):
+            state.save(state_dir)
+        monkeypatch.undo()
+        assert list(state_dir.glob("*.tmp")) == []
+        assert MiningState.load(state_dir) is None

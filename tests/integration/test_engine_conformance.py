@@ -41,6 +41,9 @@ from repro.core.rules import generate_rules
 from repro.core.setm import setm
 from repro.core.setm_sql import setm_sql
 from repro.core.transactions import TransactionDatabase
+from repro.data.formats import open_chunk_source
+from repro.data.ingest import stream_encode
+from repro.data.io import write_basket_file
 from repro.data.quest import QuestConfig, generate_quest_dataset
 from repro.registry import engine_specs, get_engine
 from repro.sqlbridge.sqlite_miner import sqlite_mine
@@ -83,6 +86,10 @@ CONFORMANCE: dict[str, ConformanceRow] = {
         note="budget forces spilling; 2 workers force pooled counting",
     ),
     "setm-disk": ConformanceRow(iterations="exact"),
+    "setm-incremental": ConformanceRow(
+        iterations="exact",
+        note="full-mine path drives Figure 4; delta path has its own tier",
+    ),
     "setm-sql": ConformanceRow(
         iterations="instances",
         note="HAVING prunes before counts are observable",
@@ -96,6 +103,33 @@ CONFORMANCE: dict[str, ConformanceRow] = {
     "apriori": ConformanceRow(note="Apriori-gen candidate semantics"),
     "ais": ConformanceRow(note="AIS candidate semantics"),
     "bruteforce": ConformanceRow(note="the oracle itself"),
+}
+
+@dataclass(frozen=True)
+class DeltaConformanceRow:
+    """How an incremental engine's delta path joins the matrix.
+
+    Engines flagged ``incremental=True`` in the registry re-mine from
+    saved :class:`~repro.core.incremental.MiningState` after appends.
+    The matrix row above only exercises their *full-mine* path; this
+    tier stream-encodes a base split, mines it with a state directory,
+    appends the remaining splits, and requires the delta re-mine to be
+    byte-identical to mining the whole database from scratch.
+    """
+
+    #: Engine options beyond ``state_dir`` (injected by the tier).
+    options: dict = field(default_factory=dict)
+    #: Why the row is shaped the way it is (documentation only).
+    note: str = ""
+
+
+#: One row per engine registered with ``incremental=True``.
+#: TestRegistryCoverage fails when an incremental engine lands without
+#: delta coverage — the flag alone is not conformance.
+DELTA_CONFORMANCE: dict[str, DeltaConformanceRow] = {
+    "setm-incremental": DeltaConformanceRow(
+        note="FUP-style merge must equal a full re-mine bit-for-bit",
+    ),
 }
 
 #: The QUEST × minsup grid every engine runs.
@@ -173,6 +207,26 @@ class TestRegistryCoverage:
             for row in CONFORMANCE.values()
         )
 
+    def test_every_incremental_engine_has_a_delta_row(self):
+        incremental = {
+            spec.name for spec in engine_specs() if spec.incremental
+        }
+        missing = incremental - set(DELTA_CONFORMANCE)
+        assert not missing, (
+            f"engines flagged incremental=True without delta conformance: "
+            f"{sorted(missing)}; add rows to DELTA_CONFORMANCE"
+        )
+
+    def test_no_stale_delta_rows(self):
+        incremental = {
+            spec.name for spec in engine_specs() if spec.incremental
+        }
+        stale = set(DELTA_CONFORMANCE) - incremental
+        assert not stale, (
+            f"delta conformance rows for engines not flagged incremental: "
+            f"{sorted(stale)}"
+        )
+
 
 class TestConformanceMatrix:
     """Every engine × the example database and the QUEST grid."""
@@ -238,6 +292,65 @@ class TestConformanceMatrix:
         _, both = _run("setm-spill-parallel", db, 0.02)
         assert both.extra["spill"]["max_partitions"] >= 2
         assert both.extra["parallel"]["parallel_iterations"]
+
+
+class TestDeltaTier:
+    """Delta re-mining conformance for ``incremental=True`` engines.
+
+    Base split mined with a state directory, then two append batches
+    each followed by a delta re-mine — every delta result must be
+    byte-identical (count relations, unfiltered C_1, iteration stats)
+    to the ``setm`` reference mining the full database from scratch.
+    """
+
+    _CUTS = (0, 90, 120, None)  # base 90 txns, then 30-txn + tail appends
+
+    def _splits(self, tmp_path):
+        db = _grid_db(0)
+        txns = list(db)
+        paths = []
+        for i in range(len(self._CUTS) - 1):
+            lo, hi = self._CUTS[i], self._CUTS[i + 1]
+            part = TransactionDatabase(
+                (txn.trans_id, txn.items) for txn in txns[lo:hi]
+            )
+            path = tmp_path / f"split{i}.basket"
+            write_basket_file(part, path)
+            paths.append(path)
+        return db, paths
+
+    @pytest.mark.parametrize("name", sorted(DELTA_CONFORMANCE))
+    @pytest.mark.parametrize("minsup", GRID_MINSUPS)
+    def test_delta_remine_matches_full_remine(self, name, minsup, tmp_path):
+        db, paths = self._splits(tmp_path)
+        spec = get_engine(name)
+        options = dict(DELTA_CONFORMANCE[name].options)
+        options["state_dir"] = str(tmp_path / "state")
+        if spec.accepted_options and "measure_memory" in spec.accepted_options:
+            options["measure_memory"] = False
+
+        dataset = stream_encode(open_chunk_source(paths[0]))
+        try:
+            base = spec.run(dataset, minsup, options=dict(options))
+            assert base.extra["incremental"]["mode"] == "full", name
+            result = None
+            for path in paths[1:]:
+                dataset.append_chunks(open_chunk_source(path))
+                result = spec.run(dataset, minsup, options=dict(options))
+                assert result.extra["incremental"]["mode"] == "delta", name
+                telemetry = result.extra["incremental"]
+                assert telemetry["delta_rows"] < telemetry["total_rows"]
+
+            reference = setm(db, minsup, measure_memory=False)
+            assert result.count_relations == reference.count_relations
+            assert (
+                result.unfiltered_item_counts
+                == reference.unfiltered_item_counts
+            )
+            assert result.iterations == reference.iterations, name
+            assert result.support_threshold == reference.support_threshold
+        finally:
+            dataset.close()
 
 
 class TestPropertyAgreement:

@@ -109,6 +109,7 @@ class TestParseRequest:
     def test_queued_and_inline_partition_the_ops(self):
         assert QUEUED_OPS | INLINE_OPS == {
             "mine", "patterns", "support_of", "rules_about",
+            "append", "refresh",
             "ping", "stats", "drain",
         }
         assert not QUEUED_OPS & INLINE_OPS
