@@ -1,10 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the library's main workflows without writing any
-Python:
+Seven subcommands cover the library's main workflows without writing
+any Python:
 
 * ``mine`` — mine a transaction file (``.basket`` or ``SALES`` CSV) and
   print patterns and rules;
+* ``query`` — run a declarative ``MINE`` statement (:mod:`repro.query`)
+  whose planner picks the engine from capability metadata;
+  ``--explain`` prints the plan (with every decision's reason) without
+  mining;
 * ``serve`` — host transaction files behind the long-lived JSON/HTTP
   mining service (:mod:`repro.serve`);
 * ``engines`` — list every registered mining engine with its
@@ -28,6 +32,10 @@ Examples::
         --memory-budget 64M --workers 4
     python -m repro mine r.basket --state state/ --minsup 0.01
     python -m repro mine r.basket --append day2.basket --state state/
+    python -m repro query "MINE RULES FROM r WHERE support >= 0.01 \\
+        AND confidence >= 0.7" r=r.basket
+    python -m repro query "MINE ITEMSETS FROM r WHERE support >= 0.01 \\
+        WITH workers = 4, memory_budget = '64M'" r=r.basket --explain
     python -m repro engines --json
     python -m repro sql --k 3 --strategy sort-merge
     python -m repro analyze
@@ -140,6 +148,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit a JSON document (patterns, rules, "
                            "iteration stats, per-iteration timings) "
                            "instead of text")
+
+    query = commands.add_parser(
+        "query", help="run a declarative MINE statement"
+    )
+    query.add_argument(
+        "query", metavar="STATEMENT",
+        help="the MINE statement, e.g. \"MINE RULES FROM r WHERE "
+             "support >= 0.01 AND confidence >= 0.7\"; thresholds, "
+             "HAS/length constraints, USING ENGINE and WITH options "
+             "all live in the statement"
+    )
+    query.add_argument(
+        "inputs", nargs="*", metavar="[NAME=]PATH",
+        help="datasets the statement's FROM may name; NAME defaults to "
+             "the file's stem (not needed when FROM quotes a file path "
+             "directly)"
+    )
+    query.add_argument("--explain", action="store_true",
+                       help="print the plan — engine choice, capability "
+                            "requirements, every decision's reason — "
+                            "without mining anything")
+    query.add_argument("--patterns", action="store_true",
+                       help="also print every frequent pattern")
+    query.add_argument("--json", action="store_true",
+                       help="emit the full query document (canonical "
+                            "query, engine, result, rules) as JSON")
 
     serve = commands.add_parser(
         "serve", help="host transaction files behind the mining service"
@@ -395,6 +429,81 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    """Parse, plan, and (unless ``--explain``) execute a MINE statement."""
+    # Imported here, like serve: the query front-end is only worth
+    # importing for this one subcommand.
+    from repro.query import explain_query, parse_query, run_query
+
+    parsed = parse_query(args.query)
+
+    def load(path: str) -> TransactionDatabase:
+        # The statement's own WITH options drive the load, so a quoted
+        # ``FROM 'path'`` streams exactly like ``mine --chunk-rows``.
+        chunk_rows = parsed.option("chunk_rows")
+        input_format = parsed.option("input_format")
+        if (
+            chunk_rows is not None
+            or input_format is not None
+            or parsed.option("state") is not None
+        ):
+            from repro.data.ingest import load_dataset
+
+            return load_dataset(
+                path,
+                input_format=input_format or "auto",
+                chunk_rows=chunk_rows,
+            )
+        return _load(path)
+
+    source: dict[str, TransactionDatabase] = {}
+    if not parsed.dataset_is_path:
+        mapping: dict[str, str] = {}
+        for spec in args.inputs:
+            name, sep, path = spec.partition("=")
+            if not sep:
+                name, path = Path(spec).stem, spec
+            if name in mapping:
+                print(f"error: duplicate dataset name {name!r}", file=out)
+                return 2
+            mapping[name] = path
+        if parsed.dataset not in mapping:
+            known = ", ".join(sorted(mapping)) or "(none)"
+            print(
+                f"error: FROM names unknown dataset {parsed.dataset!r}; "
+                f"available datasets: {known}",
+                file=out,
+            )
+            return 2
+        # Only the dataset the statement actually names is loaded.
+        source = {parsed.dataset: load(mapping[parsed.dataset])}
+
+    if args.explain:
+        print(explain_query(args.query, source, loader=load), file=out)
+        return 0
+    document = run_query(args.query, source, loader=load)
+    if args.json:
+        json.dump(document, out, indent=2)
+        print(file=out)
+        return 0
+    result = document["result"]
+    rules = document["rules"]
+    header = (
+        f"{document['engine']}: {result['num_patterns']} frequent patterns "
+        f"(longest {result['max_pattern_length']})"
+    )
+    if rules is not None:
+        header += f", {len(rules)} rules"
+    print(header, file=out)
+    if args.patterns:
+        for entry in result["patterns"]:
+            rendered = " ".join(str(item) for item in entry["items"])
+            print(f"  {rendered}  [{entry['count']}]", file=out)
+    for rule in rules or ():
+        print(f"  {rule['text']}", file=out)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     """Load the datasets, start the service, serve until drained."""
     # Imported here: the serve machinery (HTTP plumbing, scheduler) is
@@ -592,6 +701,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         if args.command == "mine":
             return _cmd_mine(args, out)
+        if args.command == "query":
+            return _cmd_query(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
         if args.command == "engines":

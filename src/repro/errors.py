@@ -19,6 +19,9 @@ Hierarchy::
     ├── StateError                            incremental mining state
     │   ├── StateVersionError (+ ValueError)  on-disk state version skew
     │   └── StateMismatchError (+ ValueError) state does not cover the run
+    ├── QueryError                            MINE query front-end
+    │   ├── QueryParseError (+ ValueError)    syntax/semantic error with position
+    │   └── PlanError (+ ValueError)          no executable plan for the query
     └── ServeError                            mining-as-a-service layer
         ├── ProtocolError (+ ValueError)      malformed serve request
         ├── UnknownDatasetError (+ LookupError)  dataset not hosted
@@ -42,7 +45,10 @@ __all__ = [
     "InvalidConfigError",
     "InvalidSupportError",
     "PartitionFormatError",
+    "PlanError",
     "ProtocolError",
+    "QueryError",
+    "QueryParseError",
     "ReproError",
     "RequestTimeoutError",
     "ServeError",
@@ -234,6 +240,68 @@ class StateMismatchError(StateError, ValueError):
     the one the state was built under.  Delta counts merged across
     mismatched runs would be silently wrong, so the engine refuses;
     clearing the state directory forces a full re-mine that rebuilds it.
+    """
+
+
+class QueryError(ReproError):
+    """A failure in the ``MINE`` query front-end (:mod:`repro.query`).
+
+    Both concrete subclasses carry ``status = 400``: a query that does
+    not parse or cannot be planned is always the *request's* fault, so
+    the serve layer answers it as a client error.
+    """
+
+    status = 400
+
+
+class QueryParseError(QueryError, ValueError):
+    """A ``MINE`` query failed to lex, parse, or validate.
+
+    Every parser-side failure — an unexpected character, a misplaced
+    token, a semantic violation like ``lhs HAS`` on an ``ITEMSETS``
+    query — raises exactly this class, carrying the offending position,
+    so callers (and the grammar fuzzer) never see a bare exception.
+
+    Attributes
+    ----------
+    position:
+        0-based character offset of the offending token in the query
+        text (``None`` only when the query text itself was missing).
+    line, column:
+        1-based position of the same spot, as rendered in the message.
+    found:
+        What the parser actually saw there, as a short display string
+        (e.g. ``"'WHERE'"`` or ``"end of query"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        position: int | None = None,
+        line: int | None = None,
+        column: int | None = None,
+        found: str | None = None,
+    ) -> None:
+        self.position = position
+        self.line = line
+        self.column = column
+        self.found = found
+        where = (
+            f" at line {line}, column {column}"
+            if line is not None and column is not None
+            else ""
+        )
+        super().__init__(f"{message}{where}")
+
+
+class PlanError(QueryError, ValueError):
+    """A parsed ``MINE`` query admits no executable plan.
+
+    Raised by the planner — never mid-mine — when the query names an
+    unknown dataset or engine, or demands a capability combination no
+    registered engine provides.  The message names what was required
+    and what the registry offers.
     """
 
 

@@ -1,0 +1,51 @@
+"""The ``MINE`` query front-end: parser → plan DAG → executor.
+
+One declarative surface over every registered engine::
+
+    from repro.query import run_query
+
+    document = run_query(
+        "MINE RULES FROM sales WHERE support >= 0.005 "
+        "AND confidence >= 0.6 AND lhs HAS 'beer'",
+        {"sales": database},
+    )
+
+The pipeline stages are importable separately — :func:`parse_query`
+(text → typed AST), :func:`plan_query` (AST + dataset stats → plan DAG
+with recorded decisions), :func:`render_plan` (``EXPLAIN``), and
+:func:`run_query`/:func:`explain_query` tying them together.  Errors
+are typed: :class:`~repro.errors.QueryParseError` with token positions
+from the parser, :class:`~repro.errors.PlanError` from the planner.
+"""
+
+from repro.query.ast_nodes import HasConstraint, MineQuery, WithOption
+from repro.query.executor import (
+    build_document,
+    explain_query,
+    plan_for,
+    resolve_database,
+    run_query,
+)
+from repro.query.parser import parse_byte_size, parse_query
+from repro.query.plan import Decision, PlanNode, QueryPlan, render_plan
+from repro.query.planner import DatasetStats, dataset_stats, plan_query
+
+__all__ = [
+    "DatasetStats",
+    "Decision",
+    "HasConstraint",
+    "MineQuery",
+    "PlanNode",
+    "QueryPlan",
+    "WithOption",
+    "build_document",
+    "dataset_stats",
+    "explain_query",
+    "parse_byte_size",
+    "parse_query",
+    "plan_for",
+    "plan_query",
+    "render_plan",
+    "resolve_database",
+    "run_query",
+]

@@ -1,0 +1,153 @@
+"""The typed AST of one ``MINE`` query, plus its canonical rendering.
+
+:class:`MineQuery` is what the parser produces and the planner consumes:
+frozen, hashable, and *renderable* — :meth:`MineQuery.render` emits the
+canonical query text, and parsing that text yields an equal AST (the
+grammar-fuzz tier pins ``parse(ast.render()) == ast`` across generated
+ASTs).  Predicates are normalized into scalar fields (``support``,
+``confidence``, ``length``) plus the ordered ``has`` constraints, so two
+spellings of the same query compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HasConstraint",
+    "MineQuery",
+    "WithOption",
+    "is_identifier",
+    "quote",
+]
+
+#: Sides a HAS constraint may address.  ``lhs``/``rhs`` constrain rule
+#: antecedents/consequents (RULES queries only); ``items`` constrains
+#: the mined itemsets themselves and is legal on both targets.
+HAS_SIDES = ("lhs", "rhs", "items")
+
+
+def is_identifier(text: str) -> bool:
+    """Whether ``text`` lexes as a single bare identifier."""
+    if not text or not (text[0].isalpha() or text[0] == "_"):
+        return False
+    if text.upper() in _RESERVED:
+        return False
+    return all(ch.isalnum() or ch in "_-." for ch in text)
+
+
+#: Imported lazily at module bottom to avoid a cycle with the lexer.
+_RESERVED: frozenset[str] = frozenset()
+
+
+def quote(text: str) -> str:
+    """``text`` as a single-quoted literal with ``''`` escaping."""
+    return "'" + text.replace("'", "''") + "'"
+
+
+@dataclass(frozen=True)
+class HasConstraint:
+    """One ``<side> HAS '<item>'`` predicate."""
+
+    side: str  # "lhs" | "rhs" | "items"
+    item: str
+
+    def render(self) -> str:
+        return f"{self.side} HAS {quote(self.item)}"
+
+
+@dataclass(frozen=True)
+class WithOption:
+    """One ``name = value`` assignment of the ``WITH`` clause.
+
+    ``value`` is kept as written — an ``int``, ``float``, or the string
+    body of a quoted literal (byte-size strings like ``'2M'`` are
+    normalized by the *planner*, not here, so rendering round-trips).
+    """
+
+    name: str
+    value: object
+
+    def render(self) -> str:
+        if isinstance(value := self.value, str):
+            return f"{self.name} = {quote(value)}"
+        return f"{self.name} = {value!r}"
+
+
+@dataclass(frozen=True)
+class MineQuery:
+    """One parsed ``MINE`` statement.
+
+    Attributes
+    ----------
+    target:
+        ``"rules"`` or ``"itemsets"``.
+    dataset:
+        The ``FROM`` operand: a hosted dataset name (bare identifier)
+        or, when ``dataset_is_path``, a quoted filesystem path.
+    support, confidence:
+        The ``support >= x`` / ``confidence >= x`` thresholds, or
+        ``None`` when the query leaves them to the defaults.
+    length:
+        The ``length <= n`` cap, or ``None`` for unbounded.
+    has:
+        ``HAS`` constraints in query order.
+    engine:
+        The ``USING ENGINE '<name>'`` override, or ``None`` to let the
+        planner choose.
+    with_options:
+        ``WITH`` assignments in query order.
+    """
+
+    target: str
+    dataset: str
+    dataset_is_path: bool = False
+    support: float | int | None = None
+    confidence: float | None = None
+    length: int | None = None
+    has: tuple[HasConstraint, ...] = ()
+    engine: str | None = None
+    with_options: tuple[WithOption, ...] = field(default=())
+
+    def option(self, name: str) -> object | None:
+        """The value of WITH option ``name``, or ``None``."""
+        for opt in self.with_options:
+            if opt.name == name:
+                return opt.value
+        return None
+
+    def render(self) -> str:
+        """The canonical query text; ``parse(q.render()) == q``."""
+        parts = [f"MINE {self.target.upper()} FROM "]
+        parts.append(
+            quote(self.dataset) if self.dataset_is_path else self.dataset
+        )
+        predicates: list[str] = []
+        if self.support is not None:
+            predicates.append(f"support >= {self.support!r}")
+        if self.confidence is not None:
+            predicates.append(f"confidence >= {self.confidence!r}")
+        for constraint in self.has:
+            predicates.append(constraint.render())
+        if self.length is not None:
+            predicates.append(f"length <= {self.length!r}")
+        if predicates:
+            parts.append(" WHERE " + " AND ".join(predicates))
+        if self.engine is not None:
+            parts.append(f" USING ENGINE {quote(self.engine)}")
+        if self.with_options:
+            parts.append(
+                " WITH "
+                + ", ".join(opt.render() for opt in self.with_options)
+            )
+        return "".join(parts)
+
+
+def _load_reserved() -> None:
+    global _RESERVED
+    from repro.query.lexer import KEYWORDS
+
+    _RESERVED = KEYWORDS
+
+
+_load_reserved()

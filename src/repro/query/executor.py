@@ -1,0 +1,200 @@
+"""Run a planned ``MINE`` query through the existing mining machinery.
+
+The executor adds **no** mining code: the plan's
+:class:`~repro.config.MiningConfig` goes through the same
+:class:`~repro.miner.Miner` a direct caller would use, so query results
+are byte-identical to direct runs (the query conformance tier holds
+every registered engine to that).  What the executor owns is the thin
+shell around the mine — resolving the ``FROM`` source, applying the
+plan's post-mine filters (``HAS`` constraints, an un-pushed length
+cap), and serializing through the serve layer's deterministic
+payload builders.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.core.result import MiningResult
+from repro.core.rules import Rule, generate_rules
+from repro.errors import PlanError
+from repro.miner import Miner
+from repro.query.ast_nodes import MineQuery
+from repro.query.parser import parse_query
+from repro.query.plan import QueryPlan, render_plan
+from repro.query.planner import dataset_stats, plan_query
+from repro.serve.protocol import result_payload, rules_payload
+
+__all__ = [
+    "build_document",
+    "explain_query",
+    "plan_for",
+    "resolve_database",
+    "run_query",
+]
+
+
+def _match_item(label: object, item: str) -> bool:
+    """Whether a pattern label matches a quoted query item.
+
+    Queries spell items as strings; datasets may label them as ints
+    (basket ids) or strings, so both the raw and stringified label
+    match.
+    """
+    return label == item or str(label) == item
+
+
+def resolve_database(
+    query: MineQuery,
+    source: object,
+    *,
+    loader: Callable[[str], object] | None = None,
+) -> object:
+    """The database the query's ``FROM`` addresses.
+
+    ``source`` is either a mapping of hosted dataset names (the serve
+    layer, the CLI's ``NAME=PATH`` arguments) or a database object used
+    directly.  A quoted ``FROM 'path'`` needs a ``loader``; contexts
+    without one (the server) reject paths with a typed error.
+    """
+    if query.dataset_is_path:
+        if loader is None:
+            raise PlanError(
+                f"FROM {query.dataset!r} names a file path, but this "
+                "context only serves hosted datasets; use a dataset name"
+            )
+        return loader(query.dataset)
+    if isinstance(source, Mapping):
+        database = source.get(query.dataset)
+        if database is None:
+            known = ", ".join(sorted(source)) or "(none)"
+            raise PlanError(
+                f"FROM names unknown dataset {query.dataset!r}; "
+                f"available datasets: {known}"
+            )
+        return database
+    return source
+
+
+def plan_for(
+    query: MineQuery,
+    database: object,
+    *,
+    cpu_count: int | None = None,
+) -> QueryPlan:
+    """Plan ``query`` over a resolved ``database`` (stats measured here)."""
+    stats = dataset_stats(
+        database,
+        name=query.dataset,
+        state_dir=query.option("state"),
+    )
+    return plan_query(query, stats, cpu_count=cpu_count)
+
+
+def _keep_pattern(
+    plan: QueryPlan, pattern: tuple, *, sides: tuple[str, ...] = ("items",)
+) -> bool:
+    if plan.post_length is not None and len(pattern) > plan.post_length:
+        return False
+    for side, item in plan.post_filters:
+        if side in sides and not any(
+            _match_item(label, item) for label in pattern
+        ):
+            return False
+    return True
+
+
+def _keep_rule(plan: QueryPlan, rule: Rule) -> bool:
+    if not _keep_pattern(plan, rule.pattern):
+        return False
+    for side, item in plan.post_filters:
+        members = {
+            "lhs": rule.antecedent,
+            "rhs": rule.consequent,
+            "items": rule.pattern,
+        }[side]
+        if not any(_match_item(label, item) for label in members):
+            return False
+    return True
+
+
+def build_document(
+    plan: QueryPlan,
+    result: MiningResult,
+    rules: list[Rule] | None,
+) -> dict[str, Any]:
+    """The deterministic response document for one executed plan.
+
+    ``result`` serializes through the serve layer's
+    :func:`~repro.serve.protocol.result_payload`, so an unfiltered query
+    is byte-for-byte a direct run's serialization; post-mine filters
+    trim the pattern/rule lists (and the pattern count) in place.
+    """
+    payload = result_payload(result)
+    if plan.post_filters or plan.post_length is not None:
+        payload["patterns"] = [
+            entry
+            for entry in payload["patterns"]
+            if _keep_pattern(plan, tuple(entry["items"]))
+        ]
+        payload["num_patterns"] = len(payload["patterns"])
+    document: dict[str, Any] = {
+        "query": plan.query.render(),
+        "engine": plan.engine,
+        "result": payload,
+        "rules": None,
+    }
+    if rules is not None:
+        document["rules"] = rules_payload(
+            rule for rule in rules if _keep_rule(plan, rule)
+        )
+    return document
+
+
+def run_query(
+    text: str,
+    source: object,
+    *,
+    cpu_count: int | None = None,
+    loader: Callable[[str], object] | None = None,
+    miner: Miner | None = None,
+) -> dict[str, Any]:
+    """Parse, plan, and execute one ``MINE`` statement.
+
+    Parameters
+    ----------
+    text:
+        The query text.
+    source:
+        A database, or a mapping of dataset names to databases.
+    cpu_count:
+        Pin the CPU count the planner reasons about (tests).
+    loader:
+        Callable loading a quoted ``FROM 'path'``; omit to forbid paths.
+    miner:
+        Reuse an existing session (and its result cache) instead of
+        building a fresh one over the resolved database.
+    """
+    query = parse_query(text)
+    database = resolve_database(query, source, loader=loader)
+    plan = plan_for(query, database, cpu_count=cpu_count)
+    session = miner if miner is not None else Miner(database)
+    result = session.frequent_itemsets(plan.config)
+    rules = None
+    if query.target == "rules":
+        rules = generate_rules(result, plan.config.confidence)
+    return build_document(plan, result, rules)
+
+
+def explain_query(
+    text: str,
+    source: object,
+    *,
+    cpu_count: int | None = None,
+    loader: Callable[[str], object] | None = None,
+) -> str:
+    """The rendered plan for ``text`` — nothing is mined."""
+    query = parse_query(text)
+    database = resolve_database(query, source, loader=loader)
+    return render_plan(plan_for(query, database, cpu_count=cpu_count))

@@ -1,0 +1,256 @@
+"""Tokenizer for the ``MINE`` dialect.
+
+A hand-rolled single-pass lexer, like :mod:`repro.sql.lexer` but for the
+much smaller mining grammar.  Token kinds: keywords (case-insensitive),
+identifiers, numbers (integer or decimal, optional exponent),
+single-quoted strings (with ``''`` escaping), comparison operators,
+comma, and EOF.  Every token carries its 0-based character offset plus
+1-based line/column, and every failure raises the typed
+:class:`~repro.errors.QueryParseError` carrying that position — the
+grammar fuzzer holds the whole front-end to "typed error or parse,
+never a bare exception".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import QueryParseError
+
+__all__ = ["KEYWORDS", "Token", "TokenType", "tokenize"]
+
+
+class TokenType(Enum):
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"  # >= <= > < =
+    COMMA = "COMMA"
+    EOF = "EOF"
+
+
+#: Reserved words (matched case-insensitively, normalized to upper).
+KEYWORDS = frozenset(
+    {
+        "MINE",
+        "RULES",
+        "ITEMSETS",
+        "FROM",
+        "WHERE",
+        "AND",
+        "HAS",
+        "USING",
+        "ENGINE",
+        "WITH",
+    }
+)
+
+_OPERATORS = (">=", "<=", ">", "<", "=")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its position in the query text.
+
+    ``value`` is the normalized payload: the upper-cased keyword, the
+    identifier verbatim, the decoded string body (``''`` collapsed), the
+    operator text, or the ``int``/``float`` a NUMBER parsed to.
+    ``text`` is the raw source slice, kept for error messages.
+    """
+
+    type: TokenType
+    value: object
+    text: str
+    position: int
+    line: int
+    column: int
+
+    def display(self) -> str:
+        """How errors name this token: ``'WHERE'`` or ``end of query``."""
+        if self.type is TokenType.EOF:
+            return "end of query"
+        return repr(self.text)
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-."
+
+
+def tokenize(text: str) -> list[Token]:
+    """The token list for ``text``, ending with EOF.
+
+    Raises
+    ------
+    QueryParseError
+        On any character the grammar has no use for, or an unterminated
+        string literal — always with the offending position.
+    """
+    if not isinstance(text, str):
+        raise QueryParseError(
+            f"query must be a string; got {type(text).__name__}"
+        )
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(text)
+
+    def error(message: str, at: int, at_line: int, at_col: int) -> None:
+        raise QueryParseError(
+            message,
+            position=at,
+            line=at_line,
+            column=at_col,
+            found=repr(text[at : at + 1]) if at < n else "end of query",
+        )
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch.isspace():
+            i += 1
+            col += 1
+            continue
+        start, start_line, start_col = i, line, col
+        if ch == "'":
+            # Single-quoted string; '' escapes a quote, as in SQL.
+            i += 1
+            body: list[str] = []
+            while True:
+                if i >= n:
+                    error(
+                        "unterminated string literal",
+                        start,
+                        start_line,
+                        start_col,
+                    )
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        body.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                if text[i] == "\n":
+                    line += 1
+                body.append(text[i])
+                i += 1
+            raw = text[start:i]
+            col = start_col + (i - start) if "\n" not in raw else 1
+            tokens.append(
+                Token(
+                    TokenType.STRING,
+                    "".join(body),
+                    raw,
+                    start,
+                    start_line,
+                    start_col,
+                )
+            )
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    # Exponent only if digits follow (optionally signed).
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k].isdigit():
+                        seen_exp = True
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            raw = text[i:j]
+            try:
+                value: object = (
+                    float(raw) if (seen_dot or seen_exp) else int(raw)
+                )
+            except ValueError:  # pragma: no cover - defensive
+                error(f"malformed number {raw!r}", start, start_line, start_col)
+            tokens.append(
+                Token(
+                    TokenType.NUMBER, value, raw, start, start_line, start_col
+                )
+            )
+            col += j - i
+            i = j
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            raw = text[i:j]
+            upper = raw.upper()
+            if upper in KEYWORDS:
+                tokens.append(
+                    Token(
+                        TokenType.KEYWORD,
+                        upper,
+                        raw,
+                        start,
+                        start_line,
+                        start_col,
+                    )
+                )
+            else:
+                tokens.append(
+                    Token(
+                        TokenType.IDENTIFIER,
+                        raw,
+                        raw,
+                        start,
+                        start_line,
+                        start_col,
+                    )
+                )
+            col += j - i
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(
+                    Token(
+                        TokenType.OPERATOR, op, op, start, start_line, start_col
+                    )
+                )
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch == ",":
+            tokens.append(
+                Token(TokenType.COMMA, ",", ",", start, start_line, start_col)
+            )
+            i += 1
+            col += 1
+            continue
+        error(
+            f"unexpected character {ch!r} in MINE query",
+            start,
+            start_line,
+            start_col,
+        )
+    tokens.append(Token(TokenType.EOF, None, "", n, line, col))
+    return tokens

@@ -1,0 +1,138 @@
+"""The plan DAG: typed nodes, recorded decisions, and the EXPLAIN renderer.
+
+A plan is a linear DAG of four node kinds — ``scan`` (read/ingest the
+dataset), ``mine`` (run an engine), ``filter`` (post-mine predicates),
+``project`` (shape the output: itemsets or rules) — each carrying the
+properties the executor needs plus the :class:`Decision` list that says
+*why* the planner shaped it that way.  ``EXPLAIN`` is nothing but
+:func:`render_plan` over this structure: deterministic text, one line
+per property, one ``·`` bullet per decision, so the golden suite can
+pin planner behaviour reviewably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import MiningConfig
+    from repro.query.ast_nodes import MineQuery
+
+__all__ = ["Decision", "PlanNode", "QueryPlan", "render_plan"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded planner choice: what was decided, and why."""
+
+    topic: str
+    choice: str
+    reason: str
+
+    def render(self) -> str:
+        return f"{self.topic}: {self.choice} — {self.reason}"
+
+
+@dataclass
+class PlanNode:
+    """One node of the plan DAG.
+
+    ``props`` is insertion-ordered and rendered verbatim, so planners
+    must emit deterministic values (no timings, no host paths unless
+    the user supplied them).
+    """
+
+    kind: str  # "scan" | "mine" | "filter" | "project"
+    label: str
+    props: dict[str, Any] = field(default_factory=dict)
+    decisions: list[Decision] = field(default_factory=list)
+    children: list["PlanNode"] = field(default_factory=list)
+
+    def decide(self, topic: str, choice: str, reason: str) -> Decision:
+        decision = Decision(topic, choice, reason)
+        self.decisions.append(decision)
+        return decision
+
+
+@dataclass
+class QueryPlan:
+    """A planned query: the DAG plus the resolved execution parameters.
+
+    Attributes
+    ----------
+    query:
+        The AST the plan was lowered from.
+    root:
+        Top of the DAG (the project node; children lead to the scan).
+    engine:
+        The chosen engine name (also recorded on the mine node).
+    config:
+        The exact :class:`~repro.config.MiningConfig` the executor hands
+        to :class:`~repro.miner.Miner` — byte-identity with a direct
+        run of this config is the executor's contract.
+    post_filters:
+        ``(side, item)`` HAS constraints applied after mining.
+    post_length:
+        A length cap the engine could not push down (``None`` when
+        pushed down or absent).
+    """
+
+    query: "MineQuery"
+    root: PlanNode
+    engine: str
+    config: "MiningConfig"
+    post_filters: tuple[tuple[str, str], ...] = ()
+    post_length: int | None = None
+
+    def nodes(self) -> list[PlanNode]:
+        """Every node, root first."""
+        out: list[PlanNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(node.children))
+        return out
+
+    def find(self, kind: str) -> PlanNode:
+        for node in self.nodes():
+            if node.kind == kind:
+                return node
+        raise KeyError(kind)
+
+    def decisions(self) -> list[Decision]:
+        """Every recorded decision, in render order."""
+        return [d for node in self.nodes() for d in node.decisions]
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, str):
+        return value
+    return repr(value)
+
+
+def render_plan(plan: QueryPlan) -> str:
+    """The deterministic ``EXPLAIN`` text for ``plan``.
+
+    Layout: the canonical query first, then one indented block per
+    node — ``kind: label``, its properties as ``key = value`` lines,
+    its decisions as ``· topic: choice — reason`` bullets — children
+    indented one step further.
+    """
+    lines = [plan.query.render()]
+
+    def walk(node: PlanNode, depth: int) -> None:
+        pad = "  " * depth
+        lines.append(f"{pad}{node.kind}: {node.label}")
+        for key, value in node.props.items():
+            lines.append(f"{pad}    {key} = {_render_value(value)}")
+        for decision in node.decisions:
+            lines.append(f"{pad}    · {decision.render()}")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(plan.root, 0)
+    return "\n".join(lines)

@@ -195,6 +195,29 @@ class ServeClient:
             payload["timeout"] = timeout
         return self.request(payload)["rules"]
 
+    def query(
+        self,
+        text: str,
+        *,
+        explain: bool = False,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Run a declarative ``MINE`` statement (:mod:`repro.query`).
+
+        The statement names the hosted dataset (``FROM``) and every
+        threshold itself; the server's planner picks the engine.  With
+        ``explain=True`` the document carries the rendered plan under
+        ``"explain"`` and nothing is mined.  A malformed statement
+        re-raises the server's positioned
+        :class:`~repro.errors.QueryParseError`.
+        """
+        payload: dict[str, Any] = {"op": "query", "query": text}
+        if explain:
+            payload["explain"] = True
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request(payload)
+
     def ping(self) -> dict[str, Any]:
         """Liveness: server status, version, hosted datasets."""
         return self.request({"op": "ping"})["result"]

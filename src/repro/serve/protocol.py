@@ -16,7 +16,16 @@ op             fields                                              queued?
 ``append``     ``dataset``, ``path``, ``input_format``,
                ``chunk_rows``                                      yes
 ``refresh``    ``dataset``, ``config``, ``include_rules``          yes
+``query``      ``query`` (a ``MINE`` statement), ``explain``       yes
 =============  ==================================================  =========
+
+``query`` carries a :mod:`repro.query` ``MINE`` statement instead of a
+``config``: the statement itself names the hosted dataset (``FROM``)
+and every threshold/option, and the server's planner picks the engine.
+The statement is parsed *here*, so a malformed query fails typed
+(:class:`~repro.errors.QueryParseError`, HTTP 400, with the token
+position) before touching the queue; ``explain: true`` returns the
+rendered plan without mining.
 
 ``append`` stream-encodes a *server-visible* file onto a hosted
 dataset registered in stream-encoded form (bumping its generation);
@@ -68,7 +77,15 @@ __all__ = [
 #: Ops that go through the bounded queue (they may mine); the rest are
 #: control-plane and answered inline even when the queue is saturated.
 QUEUED_OPS = frozenset(
-    {"mine", "patterns", "support_of", "rules_about", "append", "refresh"}
+    {
+        "mine",
+        "patterns",
+        "support_of",
+        "rules_about",
+        "append",
+        "refresh",
+        "query",
+    }
 )
 
 #: Control-plane ops handled without touching the queue.
@@ -105,6 +122,7 @@ _REQUEST_KEYS = {
         {"dataset", "path", "input_format", "chunk_rows", "timeout"}
     ),
     "refresh": frozenset({"dataset", "config", "include_rules", "timeout"}),
+    "query": frozenset({"query", "explain", "timeout"}),
 }
 
 
@@ -194,6 +212,8 @@ def parse_request(payload: object) -> Request:
         )
     if op in INLINE_OPS:
         return Request(op)
+    if op == "query":
+        return _parse_query_request(payload)
 
     dataset = payload.get("dataset")
     if not isinstance(dataset, str) or not dataset:
@@ -211,6 +231,42 @@ def parse_request(payload: object) -> Request:
     _validate_params(op, params)
     return Request(
         op, dataset=dataset, config=config, timeout=timeout, params=params
+    )
+
+
+def _parse_query_request(payload: dict[str, Any]) -> Request:
+    """A ``query`` request: the MINE statement is parsed server-side.
+
+    The routing dataset comes out of the statement's ``FROM`` clause,
+    so a syntax error (typed, positioned) or a path-valued ``FROM``
+    fails before the request ever reaches the queue.  The parsed AST
+    rides along in ``params`` so the service does not re-parse.
+    """
+    text = payload.get("query")
+    if not isinstance(text, str) or not text.strip():
+        raise ProtocolError(
+            f"op 'query' needs a non-empty string 'query'; got {text!r}"
+        )
+    explain = payload.get("explain")
+    if explain is not None and not isinstance(explain, bool):
+        raise ProtocolError(
+            f"query 'explain' must be a boolean; got {explain!r}"
+        )
+    # Lazy: repro.query's executor imports this module for the payload
+    # builders, so a top-level import here would be circular.
+    from repro.query.parser import parse_query
+
+    ast = parse_query(text)
+    if ast.dataset_is_path:
+        raise _errors.PlanError(
+            f"FROM {ast.dataset!r} names a file path, but the server only "
+            "serves hosted datasets; use a dataset name"
+        )
+    return Request(
+        "query",
+        dataset=ast.dataset,
+        timeout=_parse_timeout(payload.get("timeout")),
+        params={"query": text, "explain": bool(explain), "ast": ast},
     )
 
 
@@ -346,6 +402,9 @@ _ERROR_ATTRS = (
     "attempts",
     "expected",
     "found",
+    "position",
+    "line",
+    "column",
 )
 
 

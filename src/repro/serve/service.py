@@ -6,10 +6,11 @@ dictionary-encoded :class:`~repro.core.transactions.TransactionDatabase`
 object) and **one** :class:`~repro.miner.Miner` whose bounded per-config
 result cache makes repeated questions about the same config free.
 Query-shaped requests — ``mine``, ``patterns``, ``support_of``,
-``rules_about`` — run through the bounded
-:class:`~repro.serve.scheduler.RequestScheduler`; control-plane requests
-(``ping``, ``stats``, ``drain``) are answered inline so a saturated
-queue can still be observed and drained.
+``rules_about``, and the declarative ``query`` op (a
+:mod:`repro.query` ``MINE`` statement planned server-side) — run
+through the bounded :class:`~repro.serve.scheduler.RequestScheduler`;
+control-plane requests (``ping``, ``stats``, ``drain``) are answered
+inline so a saturated queue can still be observed and drained.
 
 Datasets registered in stream-encoded form
 (:class:`~repro.data.ingest.EncodedDataset`) stay *live*: the ``append``
@@ -304,6 +305,8 @@ class MiningService:
             raise UnknownDatasetError(request.dataset, self._datasets)
         if request.op == "append":
             return self._op_append(request, hosted)
+        if request.op == "query":
+            return self._op_query(request, hosted)
         config = self._pin_spill_dir(request.config)
         if request.op == "refresh":
             config = self._pin_state_dir(request.dataset, config)
@@ -456,6 +459,57 @@ class MiningService:
             if stats is not None:
                 hosted.ingest = stats.as_dict()
         return {"result": info}
+
+    def _op_query(
+        self, request: Request, hosted: _HostedDataset
+    ) -> dict[str, Any]:
+        """Plan and (unless ``explain``) execute one ``MINE`` statement.
+
+        The protocol layer already parsed the statement (the AST rides
+        in ``params``); here the hosted dataset is measured, the planner
+        picks the engine, and the plan's config runs through the same
+        shared :class:`Miner` every other op uses — so results stay
+        byte-identical to a direct run of the planned config.
+        """
+        # Lazy, like the data layer: the serve core stays importable
+        # without dragging the query front-end in for servers that
+        # never see a ``query`` request.
+        from repro.query import build_document, dataset_stats, plan_query
+        from repro.query.plan import render_plan
+
+        ast = request.params["ast"]
+        cache_info_before = hosted.miner.cache_info()
+        with hosted.lock:
+            stats = dataset_stats(
+                hosted.database,
+                name=hosted.name,
+                state_dir=ast.option("state"),
+            )
+            plan = plan_query(ast, stats)
+            if request.params.get("explain"):
+                return {"explain": render_plan(plan), "engine": plan.engine}
+            # Spill pinning happens *after* the explain short-circuit so
+            # rendered plans never leak the service's temp directories.
+            plan.config = self._pin_spill_dir(plan.config)
+            result = hosted.miner.frequent_itemsets(plan.config)
+        if hosted.encoded_dataset is not None:
+            decoded = result
+        else:
+            decoded = self._decoded(hosted, result)
+        rules = None
+        if ast.target == "rules":
+            rules = generate_rules(decoded, plan.config.confidence)
+        document = build_document(plan, decoded, rules)
+        with self._lock:
+            self._by_engine[plan.engine] += 1
+        document["server"] = {
+            "engine": plan.engine,
+            "cache_hit": (
+                hosted.miner.cache_info()["hits"]
+                > cache_info_before["hits"]
+            ),
+        }
+        return document
 
     _op_refresh = _op_mine
 

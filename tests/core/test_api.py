@@ -127,7 +127,7 @@ class TestRules:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_public_names_importable(self):
         for name in repro.__all__:

@@ -132,6 +132,61 @@ DELTA_CONFORMANCE: dict[str, DeltaConformanceRow] = {
     ),
 }
 
+@dataclass(frozen=True)
+class QueryConformanceRow:
+    """How one engine is addressed through the ``MINE`` query front-end.
+
+    The query tier drives every engine via ``USING ENGINE`` and holds
+    the result document **byte-identical** (JSON-serialized through the
+    same deterministic payload builders) to a direct
+    :class:`~repro.miner.Miner` run of the equivalent config — so the
+    declarative surface can never silently change what a direct caller
+    would get.
+    """
+
+    #: WITH clause appended to the statement ("" when none is needed).
+    with_clause: str = ""
+    #: The equivalent direct config's engine options.
+    direct_options: dict = field(default_factory=dict)
+    #: The engine needs a state directory (substituted per-test).
+    needs_state: bool = False
+    #: Why the row is shaped the way it is (documentation only).
+    note: str = ""
+
+
+#: One row per registered engine.  TestRegistryCoverage fails when this
+#: table and the registry drift apart — in either direction — so a new
+#: engine cannot land without query-surface coverage.
+QUERY_CONFORMANCE: dict[str, QueryConformanceRow] = {
+    "setm": QueryConformanceRow(),
+    "setm-columnar": QueryConformanceRow(),
+    "setm-columnar-disk": QueryConformanceRow(
+        with_clause="WITH memory_budget = '16K'",
+        direct_options={"memory_budget_bytes": _SPILL_BUDGET},
+        note="the WITH budget must reach the engine as memory_budget_bytes",
+    ),
+    "setm-parallel": QueryConformanceRow(
+        with_clause="WITH workers = 2",
+        direct_options={"workers": 2},
+    ),
+    "setm-spill-parallel": QueryConformanceRow(
+        with_clause="WITH workers = 2, memory_budget = '16K'",
+        direct_options={"workers": 2, "memory_budget_bytes": _SPILL_BUDGET},
+    ),
+    "setm-disk": QueryConformanceRow(),
+    "setm-incremental": QueryConformanceRow(
+        needs_state=True,
+        note="WITH state routes to config.state_dir (full-mine here)",
+    ),
+    "setm-sql": QueryConformanceRow(),
+    "setm-sqlite": QueryConformanceRow(),
+    "nested-loop": QueryConformanceRow(),
+    "nested-loop-disk": QueryConformanceRow(),
+    "apriori": QueryConformanceRow(),
+    "ais": QueryConformanceRow(),
+    "bruteforce": QueryConformanceRow(),
+}
+
 #: The QUEST × minsup grid every engine runs.
 GRID_SEEDS = (0, 1)
 GRID_MINSUPS = (0.02, 0.05)
@@ -205,6 +260,22 @@ class TestRegistryCoverage:
         assert all(
             row.iterations in {"exact", "instances", "own"}
             for row in CONFORMANCE.values()
+        )
+
+    def test_every_registered_engine_has_a_query_conformance_row(self):
+        registered = {spec.name for spec in engine_specs()}
+        missing = registered - set(QUERY_CONFORMANCE)
+        assert not missing, (
+            f"engines registered without query conformance coverage: "
+            f"{sorted(missing)}; add rows to QUERY_CONFORMANCE"
+        )
+
+    def test_no_stale_query_conformance_rows(self):
+        registered = {spec.name for spec in engine_specs()}
+        stale = set(QUERY_CONFORMANCE) - registered
+        assert not stale, (
+            f"query conformance rows for unregistered engines: "
+            f"{sorted(stale)}"
         )
 
     def test_every_incremental_engine_has_a_delta_row(self):
@@ -292,6 +363,90 @@ class TestConformanceMatrix:
         _, both = _run("setm-spill-parallel", db, 0.02)
         assert both.extra["spill"]["max_partitions"] >= 2
         assert both.extra["parallel"]["parallel_iterations"]
+
+
+class TestQueryConformance:
+    """Every engine through ``USING ENGINE``, byte-identical to direct.
+
+    The query front-end's executor contract is that it adds no mining
+    code — so for each registered engine, a ``MINE`` statement pinning
+    that engine must produce a result document whose JSON serialization
+    equals serializing a direct :class:`~repro.miner.Miner` run of the
+    equivalent config through the same payload builders.
+    """
+
+    @staticmethod
+    def _documents(name, database, tmp_path):
+        import json as _json
+
+        from repro.config import MiningConfig
+        from repro.miner import Miner
+        from repro.query import run_query
+        from repro.serve.protocol import result_payload, rules_payload
+
+        row = QUERY_CONFORMANCE.get(name)
+        if row is None:
+            pytest.fail(
+                f"engine {name!r} has no QUERY_CONFORMANCE row; the query "
+                "surface must cover every registered engine"
+            )
+        with_clause = row.with_clause
+        state_dir = None
+        if row.needs_state:
+            state_dir = str(tmp_path / "direct-state")
+            with_clause = f"WITH state = '{tmp_path / 'query-state'}'"
+        statement = (
+            "MINE RULES FROM q WHERE support >= 0.3 AND confidence >= 0.7 "
+            f"USING ENGINE '{name}' {with_clause}"
+        ).strip()
+        document = run_query(statement, {"q": database})
+
+        direct = Miner(database)
+        config = MiningConfig(
+            support=0.3,
+            confidence=0.7,
+            algorithm=name,
+            options=dict(row.direct_options),
+            state_dir=state_dir,
+        )
+        result = direct.frequent_itemsets(config)
+        rules = direct.rules(config)
+        expected = {
+            "result": result_payload(result),
+            "rules": rules_payload(rules),
+        }
+        got = {"result": document["result"], "rules": document["rules"]}
+        return (
+            _json.dumps(got, sort_keys=True),
+            _json.dumps(expected, sort_keys=True),
+            document,
+        )
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_using_engine_is_byte_identical_to_direct(
+        self, name, example_db, tmp_path
+    ):
+        got, expected, document = self._documents(name, example_db, tmp_path)
+        assert document["engine"] == name
+        assert got == expected, name
+
+    def test_planner_chosen_engine_is_byte_identical_too(self, example_db):
+        """No USING ENGINE: the capability-chosen engine still matches a
+        direct run of the exact config the plan records."""
+        import json as _json
+
+        from repro.miner import Miner
+        from repro.query import parse_query, plan_for, run_query
+        from repro.serve.protocol import result_payload
+
+        statement = "MINE ITEMSETS FROM q WHERE support >= 0.3"
+        document = run_query(statement, {"q": example_db})
+        plan = plan_for(parse_query(statement), example_db, cpu_count=1)
+        direct = Miner(example_db).frequent_itemsets(plan.config)
+        assert document["engine"] == plan.engine
+        assert _json.dumps(document["result"], sort_keys=True) == _json.dumps(
+            result_payload(direct), sort_keys=True
+        )
 
 
 class TestDeltaTier:

@@ -11,7 +11,9 @@ from repro.errors import (
     EngineOptionError,
     InvalidConfigError,
     InvalidSupportError,
+    PlanError,
     ProtocolError,
+    QueryParseError,
     RequestTimeoutError,
     ServeError,
     ServerBusyError,
@@ -109,10 +111,105 @@ class TestParseRequest:
     def test_queued_and_inline_partition_the_ops(self):
         assert QUEUED_OPS | INLINE_OPS == {
             "mine", "patterns", "support_of", "rules_about",
-            "append", "refresh",
+            "append", "refresh", "query",
             "ping", "stats", "drain",
         }
         assert not QUEUED_OPS & INLINE_OPS
+
+
+class TestQueryOp:
+    """The ``query`` op: the MINE statement is parsed at the protocol
+    layer, so routing and errors are settled before the queue."""
+
+    def test_dataset_comes_from_the_statement(self):
+        request = parse_request(
+            {
+                "op": "query",
+                "query": "MINE RULES FROM sales WHERE support >= 0.1",
+            }
+        )
+        assert request.op == "query"
+        assert request.dataset == "sales"
+        assert request.config is None
+        assert request.params["explain"] is False
+        assert request.params["ast"].target == "rules"
+
+    def test_explain_flag_is_validated_and_forwarded(self):
+        request = parse_request(
+            {"op": "query", "query": "MINE ITEMSETS FROM d", "explain": True}
+        )
+        assert request.params["explain"] is True
+        with pytest.raises(ProtocolError, match="explain"):
+            parse_request(
+                {"op": "query", "query": "MINE ITEMSETS FROM d", "explain": 1}
+            )
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"op": "query"},
+            {"op": "query", "query": ""},
+            {"op": "query", "query": "   "},
+            {"op": "query", "query": 7},
+            # query carries no dataset/config fields — the statement does.
+            {"op": "query", "query": "MINE RULES FROM d", "dataset": "d"},
+            {"op": "query", "query": "MINE RULES FROM d", "config": {}},
+            {"op": "query", "query": "MINE RULES FROM d", "timeout": 0},
+        ],
+    )
+    def test_malformed_query_requests_raise_protocol_errors(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_request(payload)
+
+    def test_syntax_errors_are_typed_and_positioned(self):
+        text = "MINE RULES FROM sales WHERE support >= banana"
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_request({"op": "query", "query": text})
+        error = excinfo.value
+        assert error.position == text.index("banana")
+        assert error.line == 1
+
+    def test_path_from_is_rejected_server_side(self):
+        with pytest.raises(PlanError, match="hosted dataset"):
+            parse_request(
+                {"op": "query", "query": "MINE RULES FROM '/tmp/x.basket'"}
+            )
+
+
+class TestQueryErrorRoundTrip:
+    """Clients re-raise the server's typed query errors, position intact."""
+
+    def test_query_parse_error_maps_to_400_with_position(self):
+        try:
+            parse_request({"op": "query", "query": "MINE RULES FROM"})
+        except QueryParseError as error:
+            status, document = error_payload(error)
+        assert status == 400
+        assert document["type"] == "QueryParseError"
+        assert document["position"] == 15
+        assert document["line"] == 1
+        assert document["column"] == 16
+
+    def test_rebuilt_query_parse_error_keeps_class_and_position(self):
+        try:
+            parse_request({"op": "query", "query": "MINE RULES FROM"})
+        except QueryParseError as error:
+            _, document = error_payload(error)
+        rebuilt = rebuild_error(json.loads(json.dumps(document)))
+        assert isinstance(rebuilt, QueryParseError)
+        assert rebuilt.position == 15
+        assert rebuilt.line == 1
+        assert rebuilt.column == 16
+        assert "end of query" in str(rebuilt)
+
+    def test_plan_error_maps_to_400_and_rebuilds(self):
+        error = PlanError("no engine for you")
+        status, document = error_payload(error)
+        assert status == 400
+        assert document["type"] == "PlanError"
+        rebuilt = rebuild_error(json.loads(json.dumps(document)))
+        assert isinstance(rebuilt, PlanError)
+        assert str(rebuilt) == "no engine for you"
 
 
 class TestConfigFromPayload:

@@ -182,6 +182,43 @@ class TestConcurrentConformance:
             server.client.mine("nope", support=0.1)
         assert list(info.value.known) == ["quest"]
 
+    def test_query_op_over_http_matches_direct_mine(
+        self, server, basket_path
+    ):
+        document = server.client.query(
+            "MINE ITEMSETS FROM quest WHERE support >= 0.02"
+        )
+        expected = json.dumps(
+            json.loads(
+                json.dumps(
+                    result_payload(
+                        Miner(read_basket_file(basket_path))
+                        .frequent_itemsets(
+                            MiningConfig(
+                                support=0.02, algorithm="setm-columnar"
+                            )
+                        )
+                    )
+                )
+            ),
+            sort_keys=True,
+        )
+        assert json.dumps(document["result"], sort_keys=True) == expected
+        assert document["engine"] == "setm-columnar"
+
+        explained = server.client.query(
+            "MINE ITEMSETS FROM quest WHERE support >= 0.02", explain=True
+        )
+        assert "mine: setm-columnar" in explained["explain"]
+
+    def test_query_parse_error_crosses_the_wire_with_position(self, server):
+        from repro.errors import QueryParseError
+
+        with pytest.raises(QueryParseError) as info:
+            server.client.query("MINE RULES FROM quest WHERE support >=")
+        assert info.value.position is not None
+        assert info.value.line == 1
+
 
 class TestAdmissionControlOverHTTP:
     def test_queue_depth_one_returns_busy(self, basket_path):

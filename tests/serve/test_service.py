@@ -211,6 +211,142 @@ class TestErrors:
         assert document["error"]["type"] == "EngineOptionError"
 
 
+class TestQueryOp:
+    """The declarative ``query`` op: planned server-side, byte-identical
+    to a direct run of the planned config."""
+
+    def test_query_matches_direct_miner(self, service, example_db):
+        document = ok(
+            service.handle(
+                {
+                    "op": "query",
+                    "query": "MINE RULES FROM example WHERE "
+                             "support >= 0.3 AND confidence >= 0.5",
+                }
+            )
+        )
+        from repro.query import parse_query, plan_for
+
+        plan = plan_for(
+            parse_query(
+                "MINE RULES FROM example WHERE "
+                "support >= 0.3 AND confidence >= 0.5"
+            ),
+            example_db,
+            cpu_count=1,
+        )
+        miner = Miner(example_db)
+        assert document["engine"] == plan.engine
+        assert json.dumps(document["result"], sort_keys=True) == json.dumps(
+            result_payload(miner.frequent_itemsets(plan.config)),
+            sort_keys=True,
+        )
+        assert json.dumps(document["rules"], sort_keys=True) == json.dumps(
+            rules_payload(miner.rules(plan.config)), sort_keys=True
+        )
+        assert document["dataset"] == "example"
+        assert document["server"]["engine"] == plan.engine
+
+    def test_query_using_engine_counts_in_stats(self, service):
+        ok(
+            service.handle(
+                {
+                    "op": "query",
+                    "query": "MINE ITEMSETS FROM example WHERE "
+                             "support >= 0.3 USING ENGINE 'apriori'",
+                }
+            )
+        )
+        stats = service.stats()
+        assert stats["requests"]["by_op"]["query"] == 1
+        assert stats["requests"]["by_engine"]["apriori"] == 1
+
+    def test_explain_renders_the_plan_without_mining(self, service):
+        document = ok(
+            service.handle(
+                {
+                    "op": "query",
+                    "query": "MINE ITEMSETS FROM example WHERE "
+                             "support >= 0.3",
+                    "explain": True,
+                }
+            )
+        )
+        assert "result" not in document
+        assert "mine: " in document["explain"]
+        assert document["engine"]
+        # Nothing was mined: no engine traffic recorded.
+        assert not service.stats()["requests"]["by_engine"]
+
+    def test_explain_never_leaks_the_spill_root(self, service):
+        document = ok(
+            service.handle(
+                {
+                    "op": "query",
+                    "query": "MINE ITEMSETS FROM example WHERE "
+                             "support >= 0.3 WITH memory_budget = '1'",
+                    "explain": True,
+                }
+            )
+        )
+        assert str(service.spill_root) not in document["explain"]
+
+    def test_lhs_has_filters_rules_and_items_has_filters_patterns(
+        self, service
+    ):
+        document = ok(
+            service.handle(
+                {
+                    "op": "query",
+                    "query": "MINE RULES FROM example WHERE support >= 0.3 "
+                             "AND confidence >= 0.5 AND lhs HAS 'F'",
+                }
+            )
+        )
+        assert document["rules"], "the example data has rules with F on lhs"
+        for rule in document["rules"]:
+            assert "F" in rule["antecedent"]
+
+        document = ok(
+            service.handle(
+                {
+                    "op": "query",
+                    "query": "MINE ITEMSETS FROM example WHERE "
+                             "support >= 0.3 AND items HAS 'F'",
+                }
+            )
+        )
+        assert document["result"]["patterns"]
+        for entry in document["result"]["patterns"]:
+            assert "F" in entry["items"]
+        assert document["result"]["num_patterns"] == len(
+            document["result"]["patterns"]
+        )
+
+    def test_query_syntax_error_is_400_with_position(self, service):
+        status, document = service.handle(
+            {"op": "query", "query": "MINE RULES FROM example WHERE"}
+        )
+        assert status == 400
+        assert document["error"]["type"] == "QueryParseError"
+        assert document["error"]["position"] is not None
+        assert document["error"]["line"] == 1
+
+    def test_query_unknown_dataset_is_404(self, service):
+        status, document = service.handle(
+            {"op": "query", "query": "MINE RULES FROM nope"}
+        )
+        assert status == 404
+        assert document["error"]["type"] == "UnknownDatasetError"
+
+    def test_query_path_from_is_400(self, service):
+        status, document = service.handle(
+            {"op": "query", "query": "MINE RULES FROM '/tmp/x.basket'"}
+        )
+        assert status == 400
+        assert document["error"]["type"] == "PlanError"
+
+
 class TestAdmissionControl:
     def test_queue_depth_one_returns_busy_under_load(self, example_db):
         """Deterministic busy: a gate engine holds the only worker."""

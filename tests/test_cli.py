@@ -268,6 +268,87 @@ class TestMine:
         assert document["parallel"]["parallel_iterations"]
 
 
+class TestQuery:
+    def test_query_rules_text_output(self, example_basket):
+        code, output = run_cli(
+            "query",
+            "MINE RULES FROM example WHERE support >= 0.3 "
+            "AND confidence >= 0.7",
+            f"example={example_basket}",
+        )
+        assert code == 0
+        assert "13 frequent patterns" in output
+        assert "11 rules" in output
+        assert "D E ==> F, [100.0%, 30.0%]" in output
+
+    def test_query_json_matches_mine_json(self, example_basket):
+        """The query document's patterns/rules agree with ``repro mine``
+        on the same thresholds (the CI smoke step pins the same)."""
+        import json as _json
+
+        code, q_out = run_cli(
+            "query",
+            "MINE RULES FROM example WHERE support >= 0.3 "
+            "AND confidence >= 0.7 USING ENGINE 'setm'",
+            f"example={example_basket}",
+            "--json",
+        )
+        assert code == 0
+        code, m_out = run_cli(
+            "mine", example_basket, "--minsup", "0.3", "--minconf", "0.7",
+            "--json",
+        )
+        assert code == 0
+        q_doc, m_doc = _json.loads(q_out), _json.loads(m_out)
+        assert [
+            [str(i) for i in p["items"]] for p in q_doc["result"]["patterns"]
+        ] == [p["items"] for p in m_doc["patterns"]]
+        assert [r["text"] for r in q_doc["rules"]] == m_doc["rules"]
+
+    def test_query_explain_does_not_mine(self, example_basket):
+        code, output = run_cli(
+            "query",
+            "MINE ITEMSETS FROM example WHERE support >= 0.3 "
+            "WITH workers = 2",
+            f"example={example_basket}",
+            "--explain",
+        )
+        assert code == 0
+        assert "mine: setm-parallel" in output
+        assert "workers = 2 requested" in output
+        assert "patterns" not in output
+
+    def test_query_quoted_path_needs_no_inputs(self, example_basket):
+        code, output = run_cli(
+            "query",
+            f"MINE ITEMSETS FROM '{example_basket}' WHERE support >= 0.3",
+            "--json",
+        )
+        assert code == 0
+        import json as _json
+
+        assert _json.loads(output)["result"]["num_patterns"] == 13
+
+    def test_query_unknown_dataset_lists_known(self, example_basket):
+        code, output = run_cli(
+            "query",
+            "MINE RULES FROM nope WHERE support >= 0.3",
+            f"example={example_basket}",
+        )
+        assert code == 2
+        assert "unknown dataset 'nope'" in output
+        assert "example" in output
+
+    def test_query_parse_error_carries_position(self, example_basket):
+        code, output = run_cli(
+            "query", "MINE NOTHING FROM example",
+            f"example={example_basket}",
+        )
+        assert code == 2
+        assert "error:" in output
+        assert "line 1, column 6" in output
+
+
 class TestEngines:
     def test_lists_every_registered_engine(self):
         from repro.registry import available_engines
